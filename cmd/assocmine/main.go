@@ -1,0 +1,179 @@
+// Command assocmine mines frequent itemsets and association rules from a
+// database file produced by gendata (or generates one on the fly with
+// -gen), using any of the repository's algorithms.
+//
+// Usage:
+//
+//	assocmine -db t10i6d100k.db -support 0.25 -algo eclat -rules 0.9 -top 20
+//	assocmine -db retail.fimi -format fimi -support 0.5 -maximal
+//	assocmine -gen 50000 -support 0.1 -algo countdist -hosts 4 -procs 2 -report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"repro"
+	"repro/internal/db"
+	"repro/internal/mining"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "assocmine:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("assocmine", flag.ContinueOnError)
+	dbPath := fs.String("db", "", "database file (from gendata, or FIMI text with -format fimi)")
+	format := fs.String("format", "binary", "input format: binary or fimi")
+	genTx := fs.Int("gen", 0, "generate a T10.I6 database with this many transactions instead of reading one")
+	support := fs.Float64("support", 0.25, "minimum support in percent")
+	algoName := fs.String("algo", "eclat", "algorithm: eclat, apriori, countdist, datadist, canddist, hybrid, partition, sampling, dhp")
+	maximal := fs.Bool("maximal", false, "mine only maximal frequent itemsets (MaxEclat)")
+	closed := fs.Bool("closed", false, "mine only closed frequent itemsets")
+	hosts := fs.Int("hosts", 1, "simulated hosts H")
+	procs := fs.Int("procs", 1, "simulated processors per host P")
+	minConf := fs.Float64("rules", 0, "also derive rules at this confidence (0 disables)")
+	top := fs.Int("top", 20, "print at most this many itemsets / rules")
+	report := fs.Bool("report", false, "print the virtual-time cluster report")
+	outPath := fs.String("o", "", "write the full result (support\\titems per line) to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	d, err := loadDatabase(*dbPath, *format, *genTx)
+	if err != nil {
+		return err
+	}
+
+	algos := map[string]repro.Algorithm{
+		"eclat":     repro.AlgoEclat,
+		"apriori":   repro.AlgoApriori,
+		"countdist": repro.AlgoCountDistribution,
+		"datadist":  repro.AlgoDataDistribution,
+		"canddist":  repro.AlgoCandidateDistribution,
+		"hybrid":    repro.AlgoEclatHybrid,
+		"partition": repro.AlgoPartition,
+		"sampling":  repro.AlgoSampling,
+		"dhp":       repro.AlgoDHP,
+	}
+	algo, ok := algos[*algoName]
+	if !ok {
+		return fmt.Errorf("unknown algorithm %q", *algoName)
+	}
+	if *maximal && *closed {
+		return fmt.Errorf("-maximal and -closed are mutually exclusive")
+	}
+
+	start := time.Now()
+	opts := repro.MineOptions{
+		Algorithm:    algo,
+		SupportPct:   *support,
+		Hosts:        *hosts,
+		ProcsPerHost: *procs,
+	}
+	var res *repro.Result
+	var info *repro.RunInfo
+	kind := "frequent"
+	switch {
+	case *maximal:
+		kind = "maximal frequent"
+		res, err = repro.MineMaximal(d, opts)
+		info = &repro.RunInfo{Algorithm: algo, MinSup: d.MinSupCount(*support)}
+	case *closed:
+		kind = "closed frequent"
+		res, err = repro.MineClosed(d, opts)
+		info = &repro.RunInfo{Algorithm: algo, MinSup: d.MinSupCount(*support)}
+	default:
+		res, info, err = repro.Mine(d, opts)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%v mined %d %s itemsets (minsup %d of %d transactions, max size %d) in %v\n",
+		info.Algorithm, res.Len(), kind, info.MinSup, d.Len(), res.MaxK(), time.Since(start).Round(time.Millisecond))
+
+	byK := res.CountsByK()
+	ks := make([]int, 0, len(byK))
+	for k := range byK {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	for _, k := range ks {
+		fmt.Fprintf(stdout, "  %6d %s %d-itemsets\n", byK[k], kind, k)
+	}
+
+	fmt.Fprintf(stdout, "\nTop itemsets by support:\n")
+	sorted := append([]repro.FrequentItemset(nil), res.Itemsets...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Support > sorted[j].Support })
+	for i, f := range sorted {
+		if i >= *top {
+			break
+		}
+		fmt.Fprintf(stdout, "  %-24v sup=%d (%.2f%%)\n", f.Set, f.Support,
+			100*float64(f.Support)/float64(d.Len()))
+	}
+
+	if *minConf > 0 {
+		rs := repro.Rules(res, *minConf)
+		fmt.Fprintf(stdout, "\n%d rules at confidence >= %.2f; top %d:\n", len(rs), *minConf, *top)
+		for _, r := range repro.TopRules(rs, *top) {
+			fmt.Fprintf(stdout, "  %v\n", r)
+		}
+	}
+
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		if err := mining.Write(f, res); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\nwrote %d itemsets to %s\n", res.Len(), *outPath)
+	}
+
+	if *report && info.Report != nil {
+		rep := info.Report
+		fmt.Fprintf(stdout, "\nSimulated cluster: H=%d P=%d  elapsed %v (virtual)\n",
+			rep.Config.Hosts, rep.Config.ProcsPerHost, rep.Elapsed())
+		for i := range rep.PerProc {
+			fmt.Fprintf(stdout, "  proc %2d: %s\n", i, rep.PerProc[i].String())
+		}
+	}
+	return nil
+}
+
+func loadDatabase(path, format string, genTx int) (*repro.Database, error) {
+	switch {
+	case genTx > 0:
+		return repro.Generate(repro.StandardConfig(genTx))
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		switch format {
+		case "binary":
+			return db.Decode(f)
+		case "fimi":
+			return db.DecodeFIMI(f, 0)
+		default:
+			return nil, fmt.Errorf("unknown format %q", format)
+		}
+	default:
+		return nil, fmt.Errorf("provide -db FILE or -gen N")
+	}
+}

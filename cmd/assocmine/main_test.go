@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/mining"
+)
+
+func writeFIMI(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "in.fimi")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunMinesFIMI(t *testing.T) {
+	path := writeFIMI(t, "1 2 3\n1 2\n1 2 3\n2 3\n")
+	var out bytes.Buffer
+	if err := run([]string{"-db", path, "-format", "fimi", "-support", "50", "-top", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Eclat mined 7 frequent itemsets") {
+		t.Fatalf("output:\n%s", s)
+	}
+}
+
+func TestRunAlgorithmsAndViews(t *testing.T) {
+	path := writeFIMI(t, strings.Repeat("1 2 3\n1 2\n4 5\n", 20))
+	for _, extra := range [][]string{
+		{"-algo", "apriori"},
+		{"-algo", "countdist", "-hosts", "2", "-procs", "2", "-report"},
+		{"-algo", "partition"},
+		{"-maximal"},
+		{"-closed"},
+		{"-rules", "0.8"},
+	} {
+		var out bytes.Buffer
+		args := append([]string{"-db", path, "-format", "fimi", "-support", "10"}, extra...)
+		if err := run(args, &out); err != nil {
+			t.Fatalf("%v: %v", extra, err)
+		}
+		if !strings.Contains(out.String(), "itemsets") {
+			t.Fatalf("%v output:\n%s", extra, out.String())
+		}
+	}
+}
+
+func TestRunWritesResult(t *testing.T) {
+	in := writeFIMI(t, "1 2\n1 2\n3\n")
+	outPath := filepath.Join(t.TempDir(), "res.txt")
+	var out bytes.Buffer
+	if err := run([]string{"-db", in, "-format", "fimi", "-support", "50", "-o", outPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	res, err := mining.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() == 0 {
+		t.Fatal("result file empty")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Fatal("missing input should fail")
+	}
+	if err := run([]string{"-gen", "100", "-algo", "nope"}, &out); err == nil {
+		t.Fatal("unknown algorithm should fail")
+	}
+	if err := run([]string{"-gen", "100", "-maximal", "-closed"}, &out); err == nil {
+		t.Fatal("maximal+closed should fail")
+	}
+	if err := run([]string{"-db", "/does/not/exist"}, &out); err == nil {
+		t.Fatal("missing file should fail")
+	}
+	path := writeFIMI(t, "1\n")
+	if err := run([]string{"-db", path, "-format", "weird"}, &out); err == nil {
+		t.Fatal("bad format should fail")
+	}
+}

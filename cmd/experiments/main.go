@@ -1,0 +1,78 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated cluster. By default it runs the quick suite; -full runs the
+// complete Table 2 configuration grid on all three databases.
+//
+// Usage:
+//
+//	experiments [-exp all|table1|figure6|table2|figure7|figure6-plot|figure7-plot|phases|inversion|hybrid]
+//	            [-full] [-support 0.1] [-csv DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment to run: all, table1, figure6, table2, figure7, figure6-plot, figure7-plot, phases, inversion, hybrid, density")
+	full := fs.Bool("full", false, "run the full paper configuration grid (slower)")
+	support := fs.Float64("support", 0.1, "minimum support in percent")
+	csvDir := fs.String("csv", "", "also write figure/table data as CSV files into this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.Quick()
+	if *full {
+		cfg = experiments.Default()
+	}
+	cfg.SupportPct = *support
+	s := experiments.New(cfg)
+
+	switch *exp {
+	case "all":
+		s.All(stdout)
+	case "table1":
+		s.Table1(stdout)
+	case "figure6":
+		s.Figure6(stdout)
+	case "table2":
+		s.Table2(stdout)
+	case "figure7":
+		s.Figure7(stdout)
+	case "figure6-plot":
+		s.Figure6Plot(stdout)
+	case "figure7-plot":
+		s.Figure7Plot(stdout)
+	case "phases":
+		s.Phases(stdout)
+	case "inversion":
+		s.Inversion(stdout)
+	case "hybrid":
+		s.Hybrid(stdout)
+	case "density":
+		s.Density(stdout, 10_000)
+	default:
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+
+	if *csvDir != "" {
+		if err := s.WriteCSV(*csvDir); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote CSV data to %s\n", *csvDir)
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The quick suite is too slow for unit tests, so these exercise argument
+// handling and the cheapest experiment (table1, which only generates
+// databases).
+func TestRunTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates the quick-suite databases")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "table1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Table 1") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "bogus"}, &out); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+	if err := run([]string{"-nosuchflag"}, &out); err == nil {
+		t.Fatal("unknown flag should fail")
+	}
+}
+
+func TestRunCSVExport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick suite")
+	}
+	dir := filepath.Join(t.TempDir(), "csv")
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "figure6", "-csv", dir, "-support", "1.0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "figure6.csv")); err != nil {
+		t.Fatal(err)
+	}
+}

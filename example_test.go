@@ -1,0 +1,70 @@
+package repro_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro"
+)
+
+// ExampleMine mines a tiny hand-written basket database.
+func ExampleMine() {
+	d, _ := repro.ReadFIMI(strings.NewReader(
+		"1 2 3\n1 2\n1 2 3\n2 3\n"), 0)
+	res, info, _ := repro.Mine(d, repro.MineOptions{SupportCount: 3})
+	fmt.Println("algorithm:", info.Algorithm)
+	for _, f := range res.Itemsets {
+		fmt.Printf("%v sup=%d\n", f.Set, f.Support)
+	}
+	// Output:
+	// algorithm: Eclat
+	// {1} sup=3
+	// {1 2} sup=3
+	// {2} sup=4
+	// {2 3} sup=3
+	// {3} sup=3
+}
+
+// ExampleRules derives association rules from mined itemsets.
+func ExampleRules() {
+	d, _ := repro.ReadFIMI(strings.NewReader(
+		"1 2\n1 2\n1 2\n1\n2 3\n"), 0)
+	res, _, _ := repro.Mine(d, repro.MineOptions{SupportCount: 3})
+	for _, r := range repro.Rules(res, 0.75) {
+		fmt.Println(r)
+	}
+	// Output:
+	// {1} => {2} (sup=3, conf=0.750, lift=0.94)
+	// {2} => {1} (sup=3, conf=0.750, lift=0.94)
+}
+
+// ExampleMine_parallel runs the paper's parallel Eclat on a simulated
+// 2-host cluster and reads the deterministic virtual-time report.
+func ExampleMine_parallel() {
+	d, _ := repro.Generate(repro.StandardConfig(2000))
+	res, info, _ := repro.Mine(d, repro.MineOptions{
+		SupportPct:   1.0,
+		Hosts:        2,
+		ProcsPerHost: 2,
+	})
+	fmt.Println("itemsets:", res.Len() > 0)
+	fmt.Println("hosts:", info.Report.Config.Hosts)
+	fmt.Println("three local scans:", info.Report.PerProc[0].Scans)
+	// Output:
+	// itemsets: true
+	// hosts: 2
+	// three local scans: 3
+}
+
+// ExampleMineMaximal condenses the frequent collection to its maximal
+// sets.
+func ExampleMineMaximal() {
+	d, _ := repro.ReadFIMI(strings.NewReader(
+		"1 2 3\n1 2 3\n1 2 3\n"), 0)
+	maximal, _ := repro.MineMaximal(d, repro.MineOptions{SupportCount: 3})
+	for _, f := range maximal.Itemsets {
+		fmt.Printf("%v sup=%d\n", f.Set, f.Support)
+	}
+	// Output:
+	// {1 2 3} sup=3
+}

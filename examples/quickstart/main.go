@@ -1,0 +1,39 @@
+// Quickstart: generate a synthetic basket database, mine its frequent
+// itemsets with Eclat, and print the strongest association rules.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A T10.I6 database (the paper's workload family): 20,000 baskets of
+	// ~10 items drawn from 1000 products.
+	d, err := repro.Generate(repro.StandardConfig(20_000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d transactions, avg size %.1f\n", d.Len(), d.AvgLen())
+
+	// Mine at 0.25% minimum support with sequential Eclat (the default
+	// algorithm).
+	res, info, err := repro.Mine(d, repro.MineOptions{SupportPct: 0.25})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%v found %d frequent itemsets (largest has %d items) in %d database scans\n",
+		info.Algorithm, res.Len(), res.MaxK(), info.Scans)
+
+	// Derive association rules at 90% confidence and show the five
+	// strongest.
+	rules := repro.Rules(res, 0.9)
+	fmt.Printf("%d rules at >= 90%% confidence; top 5:\n", len(rules))
+	for _, r := range repro.TopRules(rules, 5) {
+		fmt.Printf("  %v\n", r)
+	}
+}

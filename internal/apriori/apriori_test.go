@@ -1,0 +1,165 @@
+package apriori
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+	"repro/internal/testutil"
+)
+
+// The worked example from the paper, section 2: L2 = {AB, AC, AD, AE, BC,
+// BD, BE, DE} yields C3 = {ABC, ABD, ABE, ACD, ACE, ADE, BCD, BCE, BDE}
+// before pruning (the paper quotes the join output).
+func TestGenerateCandidatesPaperExample(t *testing.T) {
+	const A, B, C, D, E = 0, 1, 2, 3, 4
+	l2 := []itemset.Itemset{
+		itemset.New(A, B), itemset.New(A, C), itemset.New(A, D), itemset.New(A, E),
+		itemset.New(B, C), itemset.New(B, D), itemset.New(B, E), itemset.New(D, E),
+	}
+	itemset.Sort(l2)
+	tree := GenerateCandidates(l2)
+	// The join produces 9 itemsets; pruning removes those with an
+	// infrequent 2-subset: ACD (CD not in L2), ACE (CE), ADE (ok: AD, AE,
+	// DE all present), BCD (CD), BCE (CE). Remaining: ABC? AB,AC,BC ok.
+	// ABD: AB,AD,BD ok. ABE ok. ADE ok. BDE: BD,BE,DE ok.
+	want := []itemset.Itemset{
+		itemset.New(A, B, C), itemset.New(A, B, D), itemset.New(A, B, E),
+		itemset.New(A, D, E), itemset.New(B, D, E),
+	}
+	if tree.Len() != len(want) {
+		var got []string
+		for _, c := range tree.Candidates() {
+			got = append(got, c.Set.String())
+		}
+		t.Fatalf("generated %d candidates %v, want %d", tree.Len(), got, len(want))
+	}
+	for _, w := range want {
+		if tree.Search(w) == nil {
+			t.Fatalf("candidate %v missing", w)
+		}
+	}
+}
+
+func TestGenerateCandidatesEmpty(t *testing.T) {
+	if tree := GenerateCandidates(nil); tree.Len() != 0 {
+		t.Fatal("empty prev should generate nothing")
+	}
+	// A single itemset cannot join with anything.
+	if tree := GenerateCandidates([]itemset.Itemset{itemset.New(1, 2)}); tree.Len() != 0 {
+		t.Fatal("singleton prev should generate nothing")
+	}
+}
+
+func TestMineTinyKnownAnswer(t *testing.T) {
+	// Transactions over {0,1,2}: {0,1,2} x3, {0,1} x1, {2} x1.
+	d := &db.Database{NumItems: 3, Transactions: []db.Transaction{
+		{TID: 0, Items: itemset.New(0, 1, 2)},
+		{TID: 1, Items: itemset.New(0, 1, 2)},
+		{TID: 2, Items: itemset.New(0, 1, 2)},
+		{TID: 3, Items: itemset.New(0, 1)},
+		{TID: 4, Items: itemset.New(2)},
+	}}
+	res, st := Mine(d, 3)
+	m := res.SupportMap()
+	wants := map[string]int{
+		itemset.New(0).Key():       4,
+		itemset.New(1).Key():       4,
+		itemset.New(2).Key():       4,
+		itemset.New(0, 1).Key():    4,
+		itemset.New(0, 2).Key():    3,
+		itemset.New(1, 2).Key():    3,
+		itemset.New(0, 1, 2).Key(): 3,
+	}
+	if len(m) != len(wants) {
+		t.Fatalf("got %d itemsets %v, want %d", len(m), m, len(wants))
+	}
+	for k, v := range wants {
+		if m[k] != v {
+			set, _ := itemset.ParseKey(k)
+			t.Errorf("support of %v = %d, want %d", set, m[k], v)
+		}
+	}
+	if st.Scans < 3 {
+		t.Errorf("expected at least 3 scans (passes 1,2,3), got %d", st.Scans)
+	}
+	if err := res.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMineMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		d := testutil.RandomDB(rng, 60, 12, 6)
+		for _, minsup := range []int{1, 2, 3, 5, 10} {
+			got, _ := Mine(d, minsup)
+			want := testutil.BruteForce(d, minsup)
+			if !mining.Equal(got, want) {
+				t.Fatalf("trial %d minsup %d: mismatch\n%s", trial, minsup, mining.Diff(got, want))
+			}
+			if err := got.Verify(); err != nil {
+				t.Fatalf("trial %d minsup %d: %v", trial, minsup, err)
+			}
+		}
+	}
+}
+
+func TestMineEmptyDatabase(t *testing.T) {
+	d := &db.Database{NumItems: 5}
+	res, _ := Mine(d, 1)
+	if res.Len() != 0 {
+		t.Fatalf("empty database should yield nothing, got %d", res.Len())
+	}
+}
+
+func TestMineMinsupClamped(t *testing.T) {
+	d := &db.Database{NumItems: 2, Transactions: []db.Transaction{
+		{TID: 0, Items: itemset.New(0)},
+	}}
+	res, _ := Mine(d, 0)
+	if res.MinSup != 1 || res.Len() != 1 {
+		t.Fatalf("minsup 0 should clamp to 1: %+v", res)
+	}
+}
+
+func TestMineHighMinsupStopsEarly(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := testutil.RandomDB(rng, 50, 10, 5)
+	res, st := Mine(d, 51)
+	if res.Len() != 0 {
+		t.Fatal("nothing can be frequent above |D|")
+	}
+	if st.Scans > 2 {
+		t.Fatalf("with empty L1/L2 no k>=3 scans should happen, got %d", st.Scans)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d := testutil.RandomDB(rng, 80, 10, 7)
+	_, st := Mine(d, 2)
+	if st.CountOps <= 0 {
+		t.Fatal("CountOps should be positive")
+	}
+	if st.Scans != 2+st.Iterations && st.Scans != 2+st.Iterations-1 {
+		// Scans = 2 (passes 1-2) + one per k>=3 iteration that had candidates.
+		t.Fatalf("scan accounting inconsistent: scans=%d iterations=%d", st.Scans, st.Iterations)
+	}
+}
+
+func TestCountItems(t *testing.T) {
+	d := &db.Database{NumItems: 4, Transactions: []db.Transaction{
+		{TID: 0, Items: itemset.New(0, 2)},
+		{TID: 1, Items: itemset.New(2, 3)},
+	}}
+	got := CountItems(d)
+	want := []int{1, 0, 2, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CountItems = %v, want %v", got, want)
+		}
+	}
+}

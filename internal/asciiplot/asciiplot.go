@@ -1,0 +1,192 @@
+// Package asciiplot renders small line charts as plain text, so the
+// regenerated paper figures can be *seen*, not just tabulated, without
+// leaving the terminal or adding dependencies.
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one plotted line.
+type Series struct {
+	Name string
+	Y    []float64 // one value per x position; NaN skips the point
+}
+
+// Options controls the canvas.
+type Options struct {
+	Width  int // plot columns (default: number of x positions, min 24)
+	Height int // plot rows (default 12)
+	// LogY plots log10(y) (for the paper's figure 6, whose counts span
+	// orders of magnitude).
+	LogY bool
+}
+
+// markers distinguish series; cycled if there are more series.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Chart renders the series over the shared x labels. All series must have
+// len(Y) == len(xlabels).
+func Chart(title string, xlabels []string, series []Series, opts Options) string {
+	n := len(xlabels)
+	for _, s := range series {
+		if len(s.Y) != n {
+			panic(fmt.Sprintf("asciiplot: series %q has %d points for %d x positions", s.Name, len(s.Y), n))
+		}
+	}
+	if n == 0 || len(series) == 0 {
+		return title + "\n(no data)\n"
+	}
+	height := opts.Height
+	if height <= 0 {
+		height = 12
+	}
+	width := opts.Width
+	if width <= 0 {
+		width = n * 4
+		if width < 24 {
+			width = 24
+		}
+	}
+
+	tr := func(v float64) float64 {
+		if opts.LogY {
+			if v <= 0 {
+				return math.NaN()
+			}
+			return math.Log10(v)
+		}
+		return v
+	}
+
+	// Value range.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Y {
+			tv := tr(v)
+			if math.IsNaN(tv) {
+				continue
+			}
+			if tv < lo {
+				lo = tv
+			}
+			if tv > hi {
+				hi = tv
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return title + "\n(no data)\n"
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(i int) int {
+		if n == 1 {
+			return width / 2
+		}
+		return i * (width - 1) / (n - 1)
+	}
+	row := func(v float64) int {
+		frac := (v - lo) / (hi - lo)
+		r := height - 1 - int(math.Round(frac*float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		prevCol, prevRow := -1, -1
+		for i, v := range s.Y {
+			tv := tr(v)
+			if math.IsNaN(tv) {
+				prevCol = -1
+				continue
+			}
+			c, r := col(i), row(tv)
+			// Connect to the previous point with a sparse line of dots.
+			if prevCol >= 0 {
+				steps := c - prevCol
+				for step := 1; step < steps; step++ {
+					ic := prevCol + step
+					irow := prevRow + (r-prevRow)*step/steps
+					if grid[irow][ic] == ' ' {
+						grid[irow][ic] = '.'
+					}
+				}
+			}
+			grid[r][c] = m
+			prevCol, prevRow = c, r
+		}
+	}
+
+	var sb strings.Builder
+	sb.WriteString(title)
+	sb.WriteByte('\n')
+	yfmt := func(v float64) string {
+		if opts.LogY {
+			return fmt.Sprintf("%9.0f", math.Pow(10, v))
+		}
+		if math.Abs(v) >= 100 || v == math.Trunc(v) {
+			return fmt.Sprintf("%9.0f", v)
+		}
+		return fmt.Sprintf("%9.2f", v)
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", 9)
+		switch r {
+		case 0:
+			label = yfmt(hi)
+		case height / 2:
+			label = yfmt(lo + (hi-lo)/2)
+		case height - 1:
+			label = yfmt(lo)
+		}
+		fmt.Fprintf(&sb, "%s |%s\n", label, string(grid[r]))
+	}
+	sb.WriteString(strings.Repeat(" ", 10) + "+" + strings.Repeat("-", width) + "\n")
+
+	// X labels: first, middle, last.
+	xline := make([]byte, width+11)
+	for i := range xline {
+		xline[i] = ' '
+	}
+	place := func(i int) {
+		lab := xlabels[i]
+		start := 11 + col(i) - len(lab)/2
+		if start < 11 {
+			start = 11
+		}
+		if start+len(lab) > len(xline) {
+			start = len(xline) - len(lab)
+		}
+		copy(xline[start:], lab)
+	}
+	place(0)
+	if n > 2 {
+		place(n / 2)
+	}
+	if n > 1 {
+		place(n - 1)
+	}
+	sb.Write(xline)
+	sb.WriteByte('\n')
+
+	// Legend.
+	for si, s := range series {
+		fmt.Fprintf(&sb, "           %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return sb.String()
+}

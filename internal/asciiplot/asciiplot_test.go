@@ -1,0 +1,75 @@
+package asciiplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartBasics(t *testing.T) {
+	out := Chart("demo", []string{"1", "2", "3"}, []Series{
+		{Name: "up", Y: []float64{1, 2, 3}},
+		{Name: "down", Y: []float64{3, 2, 1}},
+	}, Options{Width: 30, Height: 8})
+	if !strings.Contains(out, "demo") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "* up") || !strings.Contains(out, "o down") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if strings.Count(out, "*") < 3 {
+		t.Fatalf("series points missing:\n%s", out)
+	}
+	// The y-axis should show the extremes.
+	if !strings.Contains(out, "3") || !strings.Contains(out, "1") {
+		t.Fatalf("axis labels missing:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	if out := Chart("t", nil, nil, Options{}); !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart should say so: %q", out)
+	}
+	out := Chart("t", []string{"a"}, []Series{{Name: "s", Y: []float64{math.NaN()}}}, Options{})
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("all-NaN chart should say so: %q", out)
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	out := Chart("flat", []string{"a", "b"}, []Series{{Name: "s", Y: []float64{5, 5}}}, Options{Height: 4})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("constant series should still plot:\n%s", out)
+	}
+}
+
+func TestChartLogY(t *testing.T) {
+	out := Chart("log", []string{"a", "b", "c"}, []Series{
+		{Name: "s", Y: []float64{10, 1000, 100000}},
+	}, Options{Height: 6, LogY: true})
+	if !strings.Contains(out, "100000") {
+		t.Fatalf("log axis should label the max in linear units:\n%s", out)
+	}
+	// Zero values are skipped, not crashed on.
+	out = Chart("log0", []string{"a", "b"}, []Series{{Name: "s", Y: []float64{0, 10}}},
+		Options{LogY: true})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("log chart with zeros should plot the positive point:\n%s", out)
+	}
+}
+
+func TestChartMismatchedLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Chart("bad", []string{"a", "b"}, []Series{{Name: "s", Y: []float64{1}}}, Options{})
+}
+
+func TestChartSinglePoint(t *testing.T) {
+	out := Chart("one", []string{"x"}, []Series{{Name: "s", Y: []float64{7}}}, Options{Height: 3})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point should render:\n%s", out)
+	}
+}

@@ -1,0 +1,377 @@
+// Package cluster simulates the paper's experimental testbed: a cluster of
+// H hosts with P processors each (the paper's 8x4 DEC Alpha system),
+// where each processor runs one SPMD process, hosts have local disks
+// shared by their processors, and all communication goes over a simulated
+// Memory Channel.
+//
+// Each simulated processor is a goroutine doing the *real* computation
+// (the mining results are genuine), while a deterministic virtual clock
+// accumulates modeled CPU, disk, network and synchronization time. A
+// barrier advances every participant's clock to the maximum, charging the
+// difference as wait time; the elapsed time of a run is the maximum final
+// clock. Because every charge is a deterministic function of the work
+// performed, virtual timings are bit-reproducible across runs and
+// machines — which is how the paper's Table 2 and Figure 7 can be
+// regenerated on a single-core CI box.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/memchannel"
+	"repro/internal/stats"
+)
+
+// Config describes a cluster.
+type Config struct {
+	Hosts        int // H
+	ProcsPerHost int // P; total processors T = H*P
+	Disk         disk.Model
+	Net          memchannel.Model
+	// CPUOpNS is the virtual cost of one generic abstract compute
+	// operation. The default models the 233 MHz Alpha of the testbed.
+	CPUOpNS int64
+	// Per-class op costs; zero values fall back to CPUOpNS. The class
+	// split encodes the memory-hierarchy behaviour the paper leans on:
+	// hash-tree traversal is dependent pointer chasing with poor cache
+	// locality ("complicated hash structures ... typically also have poor
+	// cache locality [13]"), while sorted tid-list intersection is a
+	// streaming merge ("all the available memory in Eclat is utilized to
+	// keep tid-lists in memory which results in good locality").
+	HashTreeOpNS  int64 // per hash-tree node visit / candidate subset check
+	IntersectOpNS int64 // per tid-list element comparison
+	PairCountOpNS int64 // per triangular-array increment
+
+	// HostMemBytes is the physical memory of one host (the testbed had
+	// 256 MB shared by the 4 processors of a host). When an algorithm's
+	// per-host resident set exceeds it, memory-bound work is charged a
+	// paging multiplier (see Proc.PageFactor). Zero disables paging.
+	HostMemBytes int64
+}
+
+// OpClass selects the cost class of a CPU charge.
+type OpClass int
+
+// Operation classes (see Config field docs).
+const (
+	OpGeneric OpClass = iota
+	OpHashTree
+	OpIntersect
+	OpPairCount
+)
+
+// Default returns the paper-calibrated configuration for an HxP cluster.
+func Default(hosts, procsPerHost int) Config {
+	return Config{
+		Hosts:         hosts,
+		ProcsPerHost:  procsPerHost,
+		Disk:          disk.Default1997(),
+		Net:           memchannel.DefaultDEC(),
+		CPUOpNS:       40,  // ~10 instructions per abstract op at 233 MHz
+		HashTreeOpNS:  400, // two dependent cache-missing loads per visit (node, then hash slot)
+		IntersectOpNS: 9,   // streaming compare-and-advance over sorted arrays
+		PairCountOpNS: 60,  // random increment into a multi-MB array
+		HostMemBytes:  256 << 20,
+	}
+}
+
+// Cluster is a simulated machine. Create with New, run SPMD programs with
+// Run.
+type Cluster struct {
+	cfg   Config
+	net   *memchannel.Network
+	disks []*disk.Disk
+	procs []*Proc
+
+	bar *barrier
+
+	// Collective staging: slots[i] is written by processor i between the
+	// two barriers of a collective.
+	slots []any
+}
+
+// New builds the cluster and its processors.
+func New(cfg Config) *Cluster {
+	if cfg.Hosts < 1 || cfg.ProcsPerHost < 1 {
+		panic(fmt.Sprintf("cluster: invalid config H=%d P=%d", cfg.Hosts, cfg.ProcsPerHost))
+	}
+	if cfg.CPUOpNS <= 0 {
+		cfg.CPUOpNS = 40
+	}
+	t := cfg.Hosts * cfg.ProcsPerHost
+	c := &Cluster{
+		cfg:   cfg,
+		net:   memchannel.New(cfg.Net),
+		slots: make([]any, t),
+		bar:   newBarrier(t),
+	}
+	for h := 0; h < cfg.Hosts; h++ {
+		c.disks = append(c.disks, disk.New(cfg.Disk))
+	}
+	for i := 0; i < t; i++ {
+		c.procs = append(c.procs, &Proc{id: i, host: i / cfg.ProcsPerHost, c: c})
+	}
+	return c
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// NumProcs returns T = H*P.
+func (c *Cluster) NumProcs() int { return len(c.procs) }
+
+// Net exposes the interconnect cost model.
+func (c *Cluster) Net() *memchannel.Network { return c.net }
+
+// Proc returns processor i.
+func (c *Cluster) Proc(i int) *Proc { return c.procs[i] }
+
+// Run executes fn concurrently on every processor (SPMD) and returns the
+// elapsed virtual time: the maximum processor clock on completion. Run may
+// be called repeatedly; clocks continue from where they stopped, so use a
+// fresh cluster per measured experiment.
+func (c *Cluster) Run(fn func(p *Proc)) time.Duration {
+	var wg sync.WaitGroup
+	for _, p := range c.procs {
+		wg.Add(1)
+		go func(p *Proc) {
+			defer wg.Done()
+			fn(p)
+			p.closePhase()
+		}(p)
+	}
+	wg.Wait()
+	return time.Duration(c.MaxClockNS())
+}
+
+// MaxClockNS returns the largest processor clock, the elapsed virtual time.
+func (c *Cluster) MaxClockNS() int64 {
+	var max int64
+	for _, p := range c.procs {
+		if p.clock > max {
+			max = p.clock
+		}
+	}
+	return max
+}
+
+// Report summarizes a finished run: elapsed virtual time, per-processor
+// breakdowns, and merged volume totals. The parallel algorithm packages
+// return one per mining run.
+type Report struct {
+	Config    Config
+	ElapsedNS int64
+	PerProc   []stats.Breakdown
+	Merged    stats.Breakdown
+}
+
+// Elapsed returns the run's virtual wall time.
+func (r *Report) Elapsed() time.Duration { return time.Duration(r.ElapsedNS) }
+
+// PhaseMaxNS returns the maximum time any processor spent in the named
+// phase — the figure reported in the paper's Table 2 break-up.
+func (r *Report) PhaseMaxNS(name string) int64 {
+	var max int64
+	for i := range r.PerProc {
+		if ns := r.PerProc[i].Phases[name]; ns > max {
+			max = ns
+		}
+	}
+	return max
+}
+
+// Report snapshots the cluster's accounting after a Run.
+func (c *Cluster) Report() Report {
+	r := Report{Config: c.cfg, ElapsedNS: c.MaxClockNS(), Merged: c.MergedStats()}
+	for _, p := range c.procs {
+		r.PerProc = append(r.PerProc, p.Stats)
+	}
+	return r
+}
+
+// MergedStats returns cluster-wide volume totals.
+func (c *Cluster) MergedStats() stats.Breakdown {
+	var out stats.Breakdown
+	for _, p := range c.procs {
+		out.Merge(&p.Stats)
+	}
+	return out
+}
+
+// Proc is one simulated processor: a goroutine identity plus a virtual
+// clock and its accounting.
+type Proc struct {
+	id   int
+	host int
+	c    *Cluster
+
+	clock int64
+	Stats stats.Breakdown
+
+	phase      string
+	phaseStart int64
+}
+
+// ID returns the processor id in [0, T).
+func (p *Proc) ID() int { return p.id }
+
+// Host returns the host index in [0, H).
+func (p *Proc) Host() int { return p.host }
+
+// HostProcs returns P, the number of processors sharing this host's disk.
+func (p *Proc) HostProcs() int { return p.c.cfg.ProcsPerHost }
+
+// ClockNS returns the current virtual time of this processor.
+func (p *Proc) ClockNS() int64 { return p.clock }
+
+// SetPhase attributes subsequent virtual time to the named phase until the
+// next SetPhase (Table 2's init/transform break-up is produced this way).
+func (p *Proc) SetPhase(name string) {
+	p.closePhase()
+	p.phase = name
+	p.phaseStart = p.clock
+}
+
+func (p *Proc) closePhase() {
+	if p.phase != "" {
+		p.Stats.AddPhase(p.phase, p.clock-p.phaseStart)
+	}
+	p.phase = ""
+}
+
+// ChargeCPU advances the clock by ops generic compute operations.
+func (p *Proc) ChargeCPU(ops int64) { p.ChargeOps(OpGeneric, ops) }
+
+// ChargeOps advances the clock by ops operations of the given class.
+func (p *Proc) ChargeOps(class OpClass, ops int64) {
+	if ops <= 0 {
+		return
+	}
+	cost := p.c.cfg.CPUOpNS
+	switch class {
+	case OpHashTree:
+		if p.c.cfg.HashTreeOpNS > 0 {
+			cost = p.c.cfg.HashTreeOpNS
+		}
+	case OpIntersect:
+		if p.c.cfg.IntersectOpNS > 0 {
+			cost = p.c.cfg.IntersectOpNS
+		}
+	case OpPairCount:
+		if p.c.cfg.PairCountOpNS > 0 {
+			cost = p.c.cfg.PairCountOpNS
+		}
+	}
+	ns := ops * cost
+	p.clock += ns
+	p.Stats.CPUNS += ns
+	p.Stats.Ops += ops
+}
+
+// PageFactor returns the paging multiplier for memory-bound work given a
+// per-host resident-set size: 1 while the host's processes fit in
+// physical memory, then the over-commit ratio (resident/memory, rounded
+// up) once they do not, capped at 16. The cap models the point where the
+// working set cycles entirely through swap.
+func (p *Proc) PageFactor(residentBytes int64) int64 {
+	mem := p.c.cfg.HostMemBytes
+	if mem <= 0 || residentBytes <= mem {
+		return 1
+	}
+	f := (residentBytes + mem - 1) / mem
+	if f > 16 {
+		f = 16
+	}
+	return f
+}
+
+// ChargeScan charges a sequential read of `bytes` from the host disk with
+// `concurrent` processors of this host scanning simultaneously (pass
+// p.HostProcs() for the usual SPMD phase). It counts one local-partition
+// scan.
+func (p *Proc) ChargeScan(bytes int64, concurrent int) {
+	ns := p.c.disks[p.host].ScanNS(bytes, concurrent)
+	p.clock += ns
+	p.Stats.DiskNS += ns
+	p.Stats.DiskBytesRead += bytes
+	p.Stats.Scans++
+}
+
+// ChargeDiskWrite charges a sequential write to the host disk.
+func (p *Proc) ChargeDiskWrite(bytes int64, concurrent int) {
+	ns := p.c.disks[p.host].WriteNS(bytes, concurrent)
+	p.clock += ns
+	p.Stats.DiskNS += ns
+	p.Stats.DiskBytesWritten += bytes
+}
+
+// ChargeNet charges raw network time for msgs messages totalling bytes.
+func (p *Proc) ChargeNet(msgs int, bytes int64) {
+	ns := int64(msgs) * p.c.net.Model().LatencyNS
+	if bytes > 0 {
+		ns += p.c.net.SendNS(bytes) - p.c.net.Model().LatencyNS
+	}
+	p.clock += ns
+	p.Stats.NetNS += ns
+	p.Stats.NetBytes += bytes
+	p.Stats.NetMsgs += int64(msgs)
+}
+
+// Barrier synchronizes all processors: every clock advances to the
+// maximum arrival clock plus the combining-tree cost; the idle gap is
+// recorded as wait time.
+func (p *Proc) Barrier() {
+	released := p.c.bar.await(p.clock)
+	wait := released - p.clock
+	if wait > 0 {
+		p.Stats.WaitNS += wait
+	}
+	sync := p.c.net.BarrierNS(p.c.NumProcs())
+	p.clock = released + sync
+	p.Stats.NetNS += sync
+	p.Stats.NetMsgs++
+	p.Stats.Barriers++
+}
+
+// barrier is a reusable counting barrier that also computes the maximum
+// arrival clock of each generation.
+type barrier struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	n        int
+	arrived  int
+	gen      uint64
+	maxClock int64
+	release  int64
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await(clock int64) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if clock > b.maxClock {
+		b.maxClock = clock
+	}
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.release = b.maxClock
+		b.maxClock = 0
+		b.gen++
+		b.cond.Broadcast()
+		return b.release
+	}
+	gen := b.gen
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	return b.release
+}

@@ -1,0 +1,350 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunExecutesAllProcs(t *testing.T) {
+	c := New(Default(2, 3))
+	if c.NumProcs() != 6 {
+		t.Fatalf("NumProcs = %d", c.NumProcs())
+	}
+	var ran int64
+	c.Run(func(p *Proc) {
+		atomic.AddInt64(&ran, 1)
+		if p.Host() != p.ID()/3 {
+			t.Errorf("proc %d on host %d, want %d", p.ID(), p.Host(), p.ID()/3)
+		}
+	})
+	if ran != 6 {
+		t.Fatalf("ran %d procs", ran)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{Hosts: 0, ProcsPerHost: 1})
+}
+
+func TestChargeCPUAdvancesClock(t *testing.T) {
+	c := New(Default(1, 1))
+	c.Run(func(p *Proc) {
+		p.ChargeCPU(1000)
+		if p.ClockNS() != 1000*c.Config().CPUOpNS {
+			t.Errorf("clock = %d", p.ClockNS())
+		}
+		p.ChargeCPU(0)
+		p.ChargeCPU(-5)
+		if p.Stats.Ops != 1000 {
+			t.Errorf("non-positive charges should be ignored; ops=%d", p.Stats.Ops)
+		}
+	})
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	c := New(Default(1, 4))
+	c.Run(func(p *Proc) {
+		// Each proc does a different amount of work, then hits a barrier:
+		// all clocks must equal max + sync cost.
+		p.ChargeCPU(int64(1000 * (p.ID() + 1)))
+		p.Barrier()
+	})
+	want := c.Proc(3).ClockNS()
+	for i := 0; i < 4; i++ {
+		if c.Proc(i).ClockNS() != want {
+			t.Fatalf("proc %d clock %d, want %d", i, c.Proc(i).ClockNS(), want)
+		}
+	}
+	// Proc 0 waited for proc 3's extra 3000 ops.
+	wait := c.Proc(0).Stats.WaitNS
+	if wait != 3000*c.Config().CPUOpNS {
+		t.Fatalf("proc 0 wait = %d", wait)
+	}
+	if c.Proc(3).Stats.WaitNS != 0 {
+		t.Fatal("slowest proc should not wait")
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	c := New(Default(2, 2))
+	c.Run(func(p *Proc) {
+		for round := 0; round < 50; round++ {
+			p.ChargeCPU(int64((p.ID()*7+round)%13 + 1))
+			p.Barrier()
+		}
+	})
+	want := c.Proc(0).ClockNS()
+	for i := 1; i < 4; i++ {
+		if c.Proc(i).ClockNS() != want {
+			t.Fatalf("clocks diverged after repeated barriers")
+		}
+	}
+	if c.Proc(0).Stats.Barriers != 50 {
+		t.Fatalf("barrier count = %d", c.Proc(0).Stats.Barriers)
+	}
+}
+
+func TestDiskContentionModel(t *testing.T) {
+	// Scanning the same bytes with more concurrent scanners must cost
+	// proportionally more (the paper's disk-contention effect).
+	c := New(Default(1, 4))
+	var solo, crowd int64
+	c.Run(func(p *Proc) {
+		if p.ID() == 0 {
+			before := p.ClockNS()
+			p.ChargeScan(1<<20, 1)
+			solo = p.ClockNS() - before
+			before = p.ClockNS()
+			p.ChargeScan(1<<20, 4)
+			crowd = p.ClockNS() - before
+		}
+	})
+	if crowd <= solo {
+		t.Fatalf("contended scan (%d) should cost more than solo (%d)", crowd, solo)
+	}
+	if c.Proc(0).Stats.Scans != 2 {
+		t.Fatalf("scan count = %d", c.Proc(0).Stats.Scans)
+	}
+}
+
+func TestGather(t *testing.T) {
+	c := New(Default(2, 2))
+	c.Run(func(p *Proc) {
+		got := Gather(p, p.ID()*10, 8)
+		for i, v := range got {
+			if v != i*10 {
+				t.Errorf("proc %d: gather[%d] = %d", p.ID(), i, v)
+			}
+		}
+	})
+}
+
+func TestGatherRepeatedNoCrossTalk(t *testing.T) {
+	c := New(Default(1, 3))
+	c.Run(func(p *Proc) {
+		for round := 0; round < 20; round++ {
+			got := Gather(p, p.ID()+round*100, 4)
+			for i, v := range got {
+				if v != i+round*100 {
+					t.Errorf("round %d proc %d: gather[%d] = %d", round, p.ID(), i, v)
+				}
+			}
+		}
+	})
+}
+
+func TestSumReduce(t *testing.T) {
+	c := New(Default(2, 2))
+	c.Run(func(p *Proc) {
+		vec := []int32{int32(p.ID()), 1, 0}
+		got := SumReduceInt32(p, vec)
+		if got[0] != 0+1+2+3 || got[1] != 4 || got[2] != 0 {
+			t.Errorf("proc %d: reduce = %v", p.ID(), got)
+		}
+		// Input must be untouched.
+		if vec[0] != int32(p.ID()) {
+			t.Error("SumReduce modified its input")
+		}
+	})
+	if c.Proc(0).Stats.NetBytes == 0 {
+		t.Fatal("reduction should charge network bytes")
+	}
+}
+
+func TestSumReduceInt(t *testing.T) {
+	c := New(Default(1, 2))
+	c.Run(func(p *Proc) {
+		got := SumReduceInt(p, []int{5, p.ID()})
+		if got[0] != 10 || got[1] != 1 {
+			t.Errorf("reduce = %v", got)
+		}
+	})
+}
+
+func TestExchange(t *testing.T) {
+	c := New(Default(2, 2))
+	c.Run(func(p *Proc) {
+		out := make([]string, c.NumProcs())
+		for dst := range out {
+			out[dst] = string(rune('A'+p.ID())) + string(rune('a'+dst))
+		}
+		in := Exchange(p, out, 128)
+		for src, v := range in {
+			want := string(rune('A'+src)) + string(rune('a'+p.ID()))
+			if v != want {
+				t.Errorf("proc %d: in[%d] = %q, want %q", p.ID(), src, v, want)
+			}
+		}
+	})
+}
+
+func TestExchangeWrongLenPanics(t *testing.T) {
+	c := New(Default(1, 2))
+	var panicked atomic.Bool
+	c.Run(func(p *Proc) {
+		if p.ID() == 1 {
+			// Other proc must still reach the collective or we deadlock, so
+			// only proc 1 misbehaves after recovering.
+			defer func() {
+				if recover() != nil {
+					panicked.Store(true)
+				}
+				// Re-join with the correct shape so proc 0 can finish.
+				Exchange(p, make([]int, 2), 0)
+			}()
+			Exchange(p, make([]int, 5), 0)
+			return
+		}
+		Exchange(p, make([]int, 2), 0)
+	})
+	if !panicked.Load() {
+		t.Fatal("expected panic for wrong payload length")
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	c := New(Default(2, 2))
+	c.Run(func(p *Proc) {
+		v := -1
+		if p.ID() == 2 {
+			v = 777
+		}
+		got := Broadcast(p, 2, v, 8)
+		if got != 777 {
+			t.Errorf("proc %d: broadcast = %d", p.ID(), got)
+		}
+	})
+}
+
+func TestPhaseAccounting(t *testing.T) {
+	c := New(Default(1, 1))
+	c.Run(func(p *Proc) {
+		p.SetPhase("init")
+		p.ChargeCPU(100)
+		p.SetPhase("transform")
+		p.ChargeCPU(300)
+	})
+	ph := c.Proc(0).Stats.Phases
+	op := c.Config().CPUOpNS
+	if ph["init"] != 100*op || ph["transform"] != 300*op {
+		t.Fatalf("phases = %v", ph)
+	}
+}
+
+func TestVirtualTimeDeterministic(t *testing.T) {
+	run := func() int64 {
+		c := New(Default(2, 2))
+		c.Run(func(p *Proc) {
+			p.ChargeScan(int64(1000*(p.ID()+1)), p.HostProcs())
+			p.ChargeCPU(int64(5000 * (4 - p.ID())))
+			SumReduceInt32(p, []int32{1, 2, 3})
+			p.ChargeNet(2, 4096)
+			p.Barrier()
+		})
+		return c.MaxClockNS()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("virtual time nondeterministic: %d vs %d", a, b)
+	}
+	if a == 0 {
+		t.Fatal("virtual time should be positive")
+	}
+}
+
+func TestOpClassCosts(t *testing.T) {
+	cfg := Default(1, 1)
+	c := New(cfg)
+	c.Run(func(p *Proc) {
+		var marks []int64
+		for _, class := range []OpClass{OpGeneric, OpHashTree, OpIntersect, OpPairCount} {
+			before := p.ClockNS()
+			p.ChargeOps(class, 1000)
+			marks = append(marks, p.ClockNS()-before)
+		}
+		want := []int64{1000 * cfg.CPUOpNS, 1000 * cfg.HashTreeOpNS,
+			1000 * cfg.IntersectOpNS, 1000 * cfg.PairCountOpNS}
+		for i := range want {
+			if marks[i] != want[i] {
+				t.Errorf("class %d cost %d, want %d", i, marks[i], want[i])
+			}
+		}
+	})
+	// Zero per-class costs fall back to the generic cost.
+	cfg2 := Default(1, 1)
+	cfg2.HashTreeOpNS = 0
+	c2 := New(cfg2)
+	c2.Run(func(p *Proc) {
+		p.ChargeOps(OpHashTree, 10)
+		if p.ClockNS() != 10*cfg2.CPUOpNS {
+			t.Errorf("fallback cost wrong: %d", p.ClockNS())
+		}
+	})
+}
+
+func TestPageFactor(t *testing.T) {
+	cfg := Default(1, 1)
+	cfg.HostMemBytes = 100
+	c := New(cfg)
+	p := c.Proc(0)
+	cases := []struct {
+		resident int64
+		want     int64
+	}{
+		{0, 1}, {100, 1}, {101, 2}, {250, 3}, {1e9, 16},
+	}
+	for _, tc := range cases {
+		if got := p.PageFactor(tc.resident); got != tc.want {
+			t.Errorf("PageFactor(%d) = %d, want %d", tc.resident, got, tc.want)
+		}
+	}
+	// Disabled paging.
+	cfg.HostMemBytes = 0
+	c2 := New(cfg)
+	if c2.Proc(0).PageFactor(1<<40) != 1 {
+		t.Error("zero HostMemBytes should disable paging")
+	}
+}
+
+func TestDiskWriteAndReportAccessors(t *testing.T) {
+	c := New(Default(2, 1))
+	c.Run(func(p *Proc) {
+		p.SetPhase("work")
+		p.ChargeDiskWrite(1<<20, 1)
+		p.ChargeCPU(int64(p.ID()) * 100)
+		p.Barrier()
+	})
+	rep := c.Report()
+	if rep.Elapsed() <= 0 {
+		t.Fatal("Elapsed should be positive")
+	}
+	if rep.PhaseMaxNS("work") <= 0 {
+		t.Fatal("phase max missing")
+	}
+	if rep.PhaseMaxNS("nonexistent") != 0 {
+		t.Fatal("unknown phase should be 0")
+	}
+	if rep.Merged.DiskBytesWritten != 2<<20 {
+		t.Fatalf("written = %d", rep.Merged.DiskBytesWritten)
+	}
+	if c.Net() == nil {
+		t.Fatal("Net accessor nil")
+	}
+}
+
+func TestMergedStats(t *testing.T) {
+	c := New(Default(1, 2))
+	c.Run(func(p *Proc) {
+		p.ChargeCPU(10)
+		p.ChargeScan(100, 1)
+	})
+	m := c.MergedStats()
+	if m.Ops != 20 || m.DiskBytesRead != 200 || m.Scans != 2 {
+		t.Fatalf("merged = %+v", m)
+	}
+}

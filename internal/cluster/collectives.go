@@ -1,0 +1,111 @@
+package cluster
+
+// Collective operations. All processors of the cluster must call the same
+// collective in the same order (SPMD); a mismatched sequence deadlocks,
+// exactly as on the real machine.
+//
+// Data moves through Go memory (the simulated Memory Channel regions);
+// the virtual clock is charged according to the memchannel cost model.
+
+// Gather makes every processor's contribution visible to all processors:
+// it returns a slice indexed by processor id. It charges one region write
+// of `bytes` per processor plus two barriers (publish, then consume —
+// the second prevents a subsequent collective from overwriting slots
+// before slow readers finish, mirroring the paper's "waits at a barrier
+// for the last processor to update the shared array").
+func Gather[T any](p *Proc, v T, bytes int64) []T {
+	p.c.slots[p.id] = v
+	p.ChargeNet(1, bytes)
+	p.Barrier()
+	out := make([]T, len(p.c.slots))
+	for i, s := range p.c.slots {
+		out[i] = s.(T)
+	}
+	p.Barrier()
+	return out
+}
+
+// SumReduceInt32 performs the paper's section 6.2 reduction: every
+// processor adds its partial count vector into a shared region in mutual
+// exclusion, then waits at a barrier; afterwards everyone holds the global
+// sums. Each processor is charged the serialized O(P) exclusive-update
+// cost. The input vector is not modified; the returned vector is private
+// to the caller.
+func SumReduceInt32(p *Proc, vec []int32) []int32 {
+	bytes := 4 * int64(len(vec))
+	all := Gather(p, vec, 0) // staging only; cost charged below
+	cost := p.c.net.ExclusiveReduceNS(bytes, p.c.NumProcs())
+	p.clock += cost
+	p.Stats.NetNS += cost
+	p.Stats.NetBytes += bytes
+	out := make([]int32, len(vec))
+	for _, part := range all {
+		if len(part) != len(vec) {
+			panic("cluster: SumReduceInt32 vector length mismatch across processors")
+		}
+		for i, v := range part {
+			out[i] += v
+		}
+	}
+	// Summing locally stands in for reading the shared region after the
+	// reduction barrier; every processor derives identical global counts.
+	p.Barrier()
+	return out
+}
+
+// SumReduceInt is SumReduceInt32 for int vectors (1-itemset counts).
+func SumReduceInt(p *Proc, vec []int) []int {
+	v32 := make([]int32, len(vec))
+	for i, v := range vec {
+		v32[i] = int32(v)
+	}
+	r := SumReduceInt32(p, v32)
+	out := make([]int, len(r))
+	for i, v := range r {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// Exchange performs the lock-step all-to-all of the transformation phase:
+// out[dst] is this processor's payload for processor dst (out must have
+// length T), sentBytes is the total byte volume this processor sends. It
+// returns in[src] = payload sent by processor src to this processor, and
+// charges the buffered-exchange cost from the memchannel model.
+func Exchange[T any](p *Proc, out []T, sentBytes int64) []T {
+	if len(out) != p.c.NumProcs() {
+		panic("cluster: Exchange payload must have one entry per processor")
+	}
+	matrix := Gather(p, out, 0)
+	allSent := Gather(p, sentBytes, 0)
+	cost := p.c.net.ExchangeNS(allSent)[p.id]
+	p.clock += cost
+	p.Stats.NetNS += cost
+	p.Stats.NetBytes += sentBytes
+	rounds := (sentBytes + p.c.net.Model().BufferBytes - 1) / p.c.net.Model().BufferBytes
+	if rounds < 1 {
+		rounds = 1
+	}
+	p.Stats.NetMsgs += 2 * rounds
+	in := make([]T, len(matrix))
+	for src, row := range matrix {
+		in[src] = row[p.id]
+	}
+	p.Barrier()
+	return in
+}
+
+// Broadcast sends v (of the given byte size) from root to every
+// processor; all return v.
+func Broadcast[T any](p *Proc, root int, v T, bytes int64) T {
+	if p.id == root {
+		p.c.slots[root] = v
+		p.ChargeNet(1, bytes)
+	} else {
+		p.ChargeNet(1, 0)
+	}
+	p.Barrier()
+	out := p.c.slots[root].(T)
+	p.Barrier()
+	return out
+}

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// Property test: random SPMD programs mixing every collective must
+// deliver correct data to every processor and leave all clocks
+// synchronized after a final barrier, for arbitrary cluster shapes.
+func TestCollectiveSequencesQuick(t *testing.T) {
+	f := func(seed int64, hh, pp uint8) bool {
+		h := 1 + int(hh%3)
+		p := 1 + int(pp%3)
+		prog := rand.New(rand.NewSource(seed))
+		const steps = 12
+		// Pre-draw the program so every proc executes the same sequence.
+		ops := make([]int, steps)
+		for i := range ops {
+			ops[i] = prog.Intn(4)
+		}
+		c := New(Default(h, p))
+		tt := c.NumProcs()
+		var mu sync.Mutex
+		good := true
+		fail := func() {
+			mu.Lock()
+			good = false
+			mu.Unlock()
+		}
+		c.Run(func(pr *Proc) {
+			rng := rand.New(rand.NewSource(seed ^ int64(pr.ID())))
+			for step, op := range ops {
+				switch op {
+				case 0: // Gather
+					v := pr.ID()*1000 + step
+					got := Gather(pr, v, 8)
+					for i, g := range got {
+						if g != i*1000+step {
+							fail()
+						}
+					}
+				case 1: // SumReduce
+					vec := []int32{int32(pr.ID()), 1}
+					got := SumReduceInt32(pr, vec)
+					wantSum := int32(tt * (tt - 1) / 2)
+					if got[0] != wantSum || got[1] != int32(tt) {
+						fail()
+					}
+				case 2: // Exchange
+					out := make([]int, tt)
+					for dst := range out {
+						out[dst] = pr.ID()*100 + dst
+					}
+					in := Exchange(pr, out, int64(rng.Intn(4096)))
+					for src, v := range in {
+						if v != src*100+pr.ID() {
+							fail()
+						}
+					}
+				case 3: // Broadcast from a step-dependent root
+					root := step % tt
+					v := -1
+					if pr.ID() == root {
+						v = step * 7
+					}
+					if got := Broadcast(pr, root, v, 16); got != step*7 {
+						fail()
+					}
+				}
+				// Unequal local work between collectives.
+				pr.ChargeCPU(int64(rng.Intn(1000)))
+			}
+			pr.Barrier()
+		})
+		if !good {
+			return false
+		}
+		// All clocks equal after the final barrier.
+		want := c.Proc(0).ClockNS()
+		for i := 1; i < tt; i++ {
+			if c.Proc(i).ClockNS() != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

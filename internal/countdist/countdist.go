@@ -1,0 +1,189 @@
+// Package countdist implements the Count Distribution algorithm (Agrawal
+// & Shafer) with the CCPD optimizations — the "well known parallel
+// algorithm" the paper compares Eclat against, and the strongest of the
+// Apriori-family baselines (the paper: "Count Distribution [was] shown to
+// be superior to both Data and Candidate Distribution").
+//
+// Every processor holds the entire candidate hash tree, counts partial
+// supports against its local database partition, and at the end of each
+// iteration exchanges partial counts in a sum-reduction followed by a
+// barrier — so the local partition is re-scanned once per iteration and
+// synchronization grows with the number of levels, the two costs Eclat
+// eliminates. Because the full tree is replicated on every processor
+// ("it doesn't utilize the aggregate memory efficiently"), hosts running
+// P processors hold P copies; when those exceed host memory the counting
+// pass pays the paging multiplier.
+//
+// Pass 2 counts C2 = L1 x L1 through the hash tree, as in the original
+// algorithm; Options.TriangularPass2 enables the upper-triangular-array
+// optimization instead (the one Eclat's own initialization uses), which
+// the ablation benchmarks exercise.
+package countdist
+
+import (
+	"repro/internal/apriori"
+	"repro/internal/cluster"
+	"repro/internal/db"
+	"repro/internal/hashtree"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+	"repro/internal/paircount"
+)
+
+// Phase names for the per-processor time break-up.
+const (
+	PhaseInit       = "init"       // passes 1 and 2
+	PhaseIterations = "iterations" // all k >= 3 passes
+)
+
+// Options selects algorithm variants.
+type Options struct {
+	// TriangularPass2 replaces the hash-tree C2 count with the
+	// upper-triangular array (CCPD-style optimization).
+	TriangularPass2 bool
+	// SharedTree models the CCPD shared-memory variant [16] within each
+	// host: the host's processors share one candidate hash tree instead
+	// of holding private replicas ("the candidate itemsets are ... stored
+	// in a hash structure which is shared among all the processors"), so
+	// the per-host resident set shrinks P-fold while every count update
+	// pays an atomic-increment overhead.
+	SharedTree bool
+}
+
+// Mine runs Count Distribution with default options.
+func Mine(cl *cluster.Cluster, d *db.Database, minsup int) (*mining.Result, cluster.Report) {
+	return MineOpts(cl, d, minsup, Options{})
+}
+
+// MineOpts runs Count Distribution on the simulated cluster over the
+// block-partitioned database. The result is identical to sequential
+// Apriori's.
+func MineOpts(cl *cluster.Cluster, d *db.Database, minsup int, opts Options) (*mining.Result, cluster.Report) {
+	if minsup < 1 {
+		minsup = 1
+	}
+	t := cl.NumProcs()
+	parts := d.Partition(t)
+	fanout := d.NumItems
+	if fanout < 64 {
+		fanout = 64
+	}
+
+	var final *mining.Result
+
+	cl.Run(func(p *cluster.Proc) {
+		part := parts[p.ID()]
+		res := &mining.Result{MinSup: minsup, NumTransactions: d.Len()}
+
+		// ---- Pass 1: global L1 ------------------------------------------
+		p.SetPhase(PhaseInit)
+		p.ChargeScan(part.SizeBytes(), p.HostProcs())
+		itemCounts := apriori.CountItems(part)
+		var itemOps int64
+		for _, tx := range part.Transactions {
+			itemOps += int64(len(tx.Items))
+		}
+		p.ChargeCPU(itemOps)
+		gItems := cluster.SumReduceInt(p, itemCounts)
+		var l1 []itemset.Item
+		for it, c := range gItems {
+			if c >= minsup {
+				res.Add(itemset.Itemset{itemset.Item(it)}, c)
+				l1 = append(l1, itemset.Item(it))
+			}
+		}
+
+		// ---- Pass 2: global L2 ------------------------------------------
+		var prev []itemset.Itemset
+		if opts.TriangularPass2 {
+			p.ChargeScan(part.SizeBytes(), p.HostProcs())
+			pc := paircount.New(d.NumItems)
+			p.ChargeOps(cluster.OpPairCount, pc.AddPartition(part))
+			gPairs := paircount.FromCounts(d.NumItems, cluster.SumReduceInt32(p, pc.Counts()))
+			p.ChargeCPU(int64(gPairs.NumCells()))
+			for _, fp := range gPairs.Frequent(minsup) {
+				set := fp.Pair.Itemset()
+				res.Add(set, fp.Count)
+				prev = append(prev, set)
+			}
+		} else {
+			// C2 = all pairs of frequent items, held in the replicated
+			// hash tree like every other pass. Each processor generates an
+			// identical tree; the simulator materializes one shared
+			// structure (counts stay per-processor) and charges every
+			// processor for its own copy.
+			var tree *hashtree.Tree
+			if p.ID() == 0 {
+				tree = hashtree.New(2, hashtree.WithFanout(fanout))
+				for i := 0; i < len(l1); i++ {
+					for j := i + 1; j < len(l1); j++ {
+						tree.Insert(itemset.Itemset{l1[i], l1[j]})
+					}
+				}
+			}
+			tree = cluster.Broadcast(p, 0, tree, 0)
+			p.ChargeOps(cluster.OpHashTree, 2*int64(tree.Len()))
+			prev = countPass(p, tree, part, minsup, opts, res)
+		}
+
+		// ---- Passes k >= 3: identical candidate trees, local counting,
+		// sum-reduction of partial counts every iteration ------------------
+		p.SetPhase(PhaseIterations)
+		for k := 3; len(prev) > 1; k++ {
+			var tree *hashtree.Tree
+			if p.ID() == 0 {
+				tree = apriori.GenerateCandidates(prev, hashtree.WithFanout(fanout))
+			}
+			tree = cluster.Broadcast(p, 0, tree, 0)
+			// Every processor builds the whole tree from L(k-1): charge the
+			// join/prune sweep.
+			p.ChargeOps(cluster.OpHashTree, int64(tree.Len())*int64(k))
+			if tree.Len() == 0 {
+				break
+			}
+			prev = countPass(p, tree, part, minsup, opts, res)
+		}
+
+		res.Sort()
+		if p.ID() == 0 {
+			final = res
+		}
+	})
+
+	return final, cl.Report()
+}
+
+// countPass performs one counting pass: local scan and hash-tree count
+// (with the paging multiplier when the per-host replicated trees exceed
+// memory), then a sum-reduction of the partial counts and extraction of
+// the global L(k).
+func countPass(p *cluster.Proc, tree *hashtree.Tree, part *db.Database, minsup int, opts Options, res *mining.Result) []itemset.Itemset {
+	p.ChargeScan(part.SizeBytes(), p.HostProcs())
+	state := tree.NewCountState()
+	ops := apriori.CountPartitionInto(tree, state, part)
+	if opts.SharedTree {
+		// CCPD: one tree per host; counting pays atomic increments when
+		// several processors share it.
+		factor := p.PageFactor(tree.SizeBytes())
+		if p.HostProcs() > 1 {
+			ops += ops / 4
+		}
+		p.ChargeOps(cluster.OpHashTree, ops*factor)
+	} else {
+		// Count Distribution: the tree is replicated once per processor
+		// on this host.
+		factor := p.PageFactor(int64(p.HostProcs()) * tree.SizeBytes())
+		p.ChargeOps(cluster.OpHashTree, ops*factor)
+	}
+
+	global := cluster.SumReduceInt32(p, state.Counts)
+
+	var next []itemset.Itemset
+	for i, c := range tree.Candidates() {
+		if int(global[i]) >= minsup {
+			res.Add(c.Set, int(global[i]))
+			next = append(next, c.Set)
+		}
+	}
+	return next
+}

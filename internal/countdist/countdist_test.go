@@ -1,0 +1,112 @@
+package countdist
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/apriori"
+	"repro/internal/cluster"
+	"repro/internal/gen"
+	"repro/internal/mining"
+	"repro/internal/testutil"
+)
+
+func TestMatchesSequentialApriori(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	d := testutil.RandomDB(rng, 300, 14, 7)
+	minsup := 6
+	want, _ := apriori.Mine(d, minsup)
+	for _, hp := range [][2]int{{1, 1}, {2, 2}, {4, 1}, {1, 8}} {
+		cl := cluster.New(cluster.Default(hp[0], hp[1]))
+		got, rep := Mine(cl, d, minsup)
+		if !mining.Equal(got, want) {
+			t.Fatalf("H=%d P=%d: %s", hp[0], hp[1], mining.Diff(got, want))
+		}
+		if rep.ElapsedNS <= 0 {
+			t.Fatal("elapsed should be positive")
+		}
+	}
+}
+
+func TestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	d := testutil.RandomDB(rng, 80, 10, 6)
+	want := testutil.BruteForce(d, 4)
+	cl := cluster.New(cluster.Default(2, 2))
+	got, _ := Mine(cl, d, 4)
+	if !mining.Equal(got, want) {
+		t.Fatal(mining.Diff(got, want))
+	}
+}
+
+func TestScansGrowWithIterations(t *testing.T) {
+	// Count Distribution scans the local partition once per pass: with
+	// deep mining (low support) the scan count must exceed Eclat's 3.
+	d := gen.MustGenerate(gen.T10I6(800))
+	cl := cluster.New(cluster.Default(2, 2))
+	_, rep := Mine(cl, d, d.MinSupCount(0.5))
+	if rep.PerProc[0].Scans <= 3 {
+		t.Fatalf("CD should scan more than 3 times on deep mining, got %d", rep.PerProc[0].Scans)
+	}
+}
+
+func TestBarriersGrowWithIterations(t *testing.T) {
+	// Per-iteration sum-reductions mean synchronization scales with the
+	// number of levels, unlike Eclat.
+	d := gen.MustGenerate(gen.T10I6(800))
+	clShallow := cluster.New(cluster.Default(2, 2))
+	Mine(clShallow, d, d.MinSupCount(2.0))
+	clDeep := cluster.New(cluster.Default(2, 2))
+	Mine(clDeep, d, d.MinSupCount(0.5))
+	if clDeep.Report().PerProc[0].Barriers <= clShallow.Report().PerProc[0].Barriers {
+		t.Fatal("deeper mining should require more barriers in Count Distribution")
+	}
+}
+
+func TestSharedTreeCCPDCorrectAndCheaperUnderPressure(t *testing.T) {
+	// CCPD's shared hash tree must produce identical results and, on a
+	// memory-tight multiprocessor host, cost less virtual time than
+	// P-fold replication.
+	d := gen.MustGenerate(gen.T10I6(2000))
+	minsup := d.MinSupCount(0.5)
+	// Memory sized so one tree fits but four replicas do not (the paging
+	// cap would otherwise flatten both configurations equally).
+	mk := func() cluster.Config {
+		cfg := cluster.Default(1, 4)
+		cfg.HostMemBytes = 32 << 20
+		return cfg
+	}
+	clRep := cluster.New(mk())
+	resRep, repRep := MineOpts(clRep, d, minsup, Options{})
+	clShared := cluster.New(mk())
+	resShared, repShared := MineOpts(clShared, d, minsup, Options{SharedTree: true})
+	if !mining.Equal(resRep, resShared) {
+		t.Fatal(mining.Diff(resRep, resShared))
+	}
+	if repShared.ElapsedNS >= repRep.ElapsedNS {
+		t.Fatalf("shared tree (%v) should beat replication (%v) under memory pressure",
+			repShared.Elapsed(), repRep.Elapsed())
+	}
+}
+
+func TestDeterministicVirtualTime(t *testing.T) {
+	d := gen.MustGenerate(gen.T10I6(600))
+	run := func() int64 {
+		cl := cluster.New(cluster.Default(2, 2))
+		_, rep := Mine(cl, d, d.MinSupCount(1.0))
+		return rep.ElapsedNS
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %d vs %d", a, b)
+	}
+}
+
+func TestPhaseBreakdown(t *testing.T) {
+	d := gen.MustGenerate(gen.T10I6(600))
+	cl := cluster.New(cluster.Default(2, 2))
+	_, rep := Mine(cl, d, d.MinSupCount(1.0))
+	if rep.PhaseMaxNS(PhaseInit) <= 0 || rep.PhaseMaxNS(PhaseIterations) <= 0 {
+		t.Fatalf("phase breakdown missing: init=%d iters=%d",
+			rep.PhaseMaxNS(PhaseInit), rep.PhaseMaxNS(PhaseIterations))
+	}
+}

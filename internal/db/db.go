@@ -1,0 +1,186 @@
+// Package db implements the horizontal transaction database of the paper:
+// each transaction is a unique TID followed by the sorted set of items it
+// contains. It also provides the equal-sized block partitioning that all
+// the parallel algorithms assume ("the database is partitioned among all
+// the processors in equal-sized blocks, which reside on the local disk of
+// each processor") and a compact binary encoding used both by the cmd/
+// tools and by the simulated-disk cost model to size I/O transfers.
+package db
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/itemset"
+)
+
+// Transaction is one row of basket data: a transaction identifier and the
+// sorted itemset bought in it.
+type Transaction struct {
+	TID   itemset.TID
+	Items itemset.Itemset
+}
+
+// Database is an in-memory horizontal database. Transactions are stored in
+// increasing TID order; block partitioning therefore yields disjoint,
+// monotonically increasing TID ranges per partition, the property Eclat's
+// transformation phase exploits to keep global tid-lists sorted without a
+// sort step (paper section 6.3).
+type Database struct {
+	// NumItems is the size of the item universe; items are in [0, NumItems).
+	NumItems int
+	// Transactions in increasing TID order.
+	Transactions []Transaction
+}
+
+// Len returns the number of transactions |D|.
+func (d *Database) Len() int { return len(d.Transactions) }
+
+// AvgLen returns the average transaction size |T|.
+func (d *Database) AvgLen() float64 {
+	if len(d.Transactions) == 0 {
+		return 0
+	}
+	var total int
+	for _, t := range d.Transactions {
+		total += len(t.Items)
+	}
+	return float64(total) / float64(len(d.Transactions))
+}
+
+// SizeBytes returns the size of the binary encoding of d, the figure the
+// disk model charges for a full scan (Table 1 reports these in MB).
+func (d *Database) SizeBytes() int64 {
+	var n int64 = 12 // header
+	for _, t := range d.Transactions {
+		n += 4 + 4 + 4*int64(len(t.Items)) // tid + count + items
+	}
+	return n
+}
+
+// MinSupCount converts a percentage support threshold (e.g. 0.1 for the
+// paper's 0.1%) into an absolute transaction count, rounding up so that an
+// itemset with exactly the threshold share qualifies.
+func (d *Database) MinSupCount(pct float64) int {
+	c := int(math.Ceil(pct / 100 * float64(len(d.Transactions))))
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Partition splits d into n block partitions of near-equal transaction
+// count, preserving TID order. Partition i receives transactions
+// [i*ceil(len/n) ...), so TID ranges are disjoint and increasing across
+// partitions. Partitions share the underlying transaction storage.
+func (d *Database) Partition(n int) []*Database {
+	if n <= 0 {
+		panic(fmt.Sprintf("db: invalid partition count %d", n))
+	}
+	parts := make([]*Database, n)
+	total := len(d.Transactions)
+	for i := 0; i < n; i++ {
+		lo := i * total / n
+		hi := (i + 1) * total / n
+		parts[i] = &Database{NumItems: d.NumItems, Transactions: d.Transactions[lo:hi]}
+	}
+	return parts
+}
+
+// Validate checks the structural invariants: increasing TIDs, sorted
+// in-range items. Algorithms rely on these; the generator and decoder
+// guarantee them, and tests call Validate to prove it.
+func (d *Database) Validate() error {
+	var prev itemset.TID = -1
+	for _, t := range d.Transactions {
+		if t.TID <= prev {
+			return fmt.Errorf("db: TIDs not strictly increasing at %d", t.TID)
+		}
+		prev = t.TID
+		for i, it := range t.Items {
+			if it < 0 || int(it) >= d.NumItems {
+				return fmt.Errorf("db: item %d out of range [0,%d) in tid %d", it, d.NumItems, t.TID)
+			}
+			if i > 0 && t.Items[i-1] >= it {
+				return fmt.Errorf("db: items not strictly increasing in tid %d", t.TID)
+			}
+		}
+	}
+	return nil
+}
+
+const magic = uint32(0xEC1A7DB1)
+
+// Encode writes the binary representation of d to w:
+//
+//	magic uint32 | numItems uint32 | numTx uint32
+//	then per transaction: tid uint32 | count uint32 | items []uint32
+//
+// All values little-endian.
+func (d *Database) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(d.NumItems))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(d.Transactions)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [8]byte
+	for _, t := range d.Transactions {
+		binary.LittleEndian.PutUint32(buf[0:], uint32(t.TID))
+		binary.LittleEndian.PutUint32(buf[4:], uint32(len(t.Items)))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+		for _, it := range t.Items {
+			binary.LittleEndian.PutUint32(buf[:4], uint32(it))
+			if _, err := bw.Write(buf[:4]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a database previously written by Encode.
+func Decode(r io.Reader) (*Database, error) {
+	br := bufio.NewReader(r)
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("db: reading header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != magic {
+		return nil, errors.New("db: bad magic; not an encoded database")
+	}
+	d := &Database{NumItems: int(binary.LittleEndian.Uint32(hdr[4:]))}
+	numTx := binary.LittleEndian.Uint32(hdr[8:])
+	d.Transactions = make([]Transaction, 0, numTx)
+	var buf [8]byte
+	for i := uint32(0); i < numTx; i++ {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("db: reading transaction %d: %w", i, err)
+		}
+		t := Transaction{TID: itemset.TID(binary.LittleEndian.Uint32(buf[0:]))}
+		count := binary.LittleEndian.Uint32(buf[4:])
+		if count > 1<<20 {
+			return nil, fmt.Errorf("db: implausible transaction size %d", count)
+		}
+		t.Items = make(itemset.Itemset, count)
+		for j := uint32(0); j < count; j++ {
+			if _, err := io.ReadFull(br, buf[:4]); err != nil {
+				return nil, fmt.Errorf("db: reading items of transaction %d: %w", i, err)
+			}
+			t.Items[j] = itemset.Item(binary.LittleEndian.Uint32(buf[:4]))
+		}
+		d.Transactions = append(d.Transactions, t)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

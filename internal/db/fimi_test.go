@@ -1,0 +1,85 @@
+package db
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/itemset"
+)
+
+func TestDecodeFIMIBasic(t *testing.T) {
+	in := "1 4 7\n# comment\n\n2 3\n7 7 1\n"
+	d, err := DecodeFIMI(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if d.NumItems != 8 {
+		t.Fatalf("NumItems inferred as %d, want 8", d.NumItems)
+	}
+	if !d.Transactions[2].Items.Equal(itemset.New(1, 7)) {
+		t.Fatalf("dedup/sort failed: %v", d.Transactions[2].Items)
+	}
+	if d.Transactions[1].TID != 1 {
+		t.Fatal("TIDs should be consecutive over non-skipped lines")
+	}
+}
+
+func TestDecodeFIMIExplicitUniverse(t *testing.T) {
+	d, err := DecodeFIMI(strings.NewReader("1 2\n"), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumItems != 100 {
+		t.Fatalf("NumItems = %d, want 100", d.NumItems)
+	}
+	// Universe smaller than data grows to fit.
+	d, err = DecodeFIMI(strings.NewReader("5\n"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumItems != 6 {
+		t.Fatalf("NumItems = %d, want 6", d.NumItems)
+	}
+}
+
+func TestDecodeFIMIRejectsBadItems(t *testing.T) {
+	for _, in := range []string{"1 x\n", "-3\n", "1 999999999999999\n"} {
+		if _, err := DecodeFIMI(strings.NewReader(in), 0); err == nil {
+			t.Errorf("input %q should be rejected", in)
+		}
+	}
+}
+
+func TestDecodeFIMIEmpty(t *testing.T) {
+	d, err := DecodeFIMI(strings.NewReader(""), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 || d.NumItems != 1 {
+		t.Fatalf("empty: %d transactions, %d items", d.Len(), d.NumItems)
+	}
+}
+
+func TestFIMIRoundTrip(t *testing.T) {
+	d := sample()
+	var buf bytes.Buffer
+	if err := EncodeFIMI(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeFIMI(&buf, d.NumItems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() {
+		t.Fatalf("round trip lost transactions: %d vs %d", back.Len(), d.Len())
+	}
+	for i := range d.Transactions {
+		if !back.Transactions[i].Items.Equal(d.Transactions[i].Items) {
+			t.Fatalf("transaction %d items changed", i)
+		}
+	}
+}

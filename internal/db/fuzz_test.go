@@ -1,0 +1,56 @@
+package db
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/itemset"
+)
+
+// FuzzDecode throws arbitrary bytes at the decoder: it must never panic,
+// and anything it accepts must re-encode to a stream that decodes to the
+// same database (canonicalization round-trip).
+func FuzzDecode(f *testing.F) {
+	var seed bytes.Buffer
+	sample := &Database{
+		NumItems: 8,
+		Transactions: []Transaction{
+			{TID: 0, Items: itemset.New(1, 3)},
+			{TID: 4, Items: itemset.New(0, 2, 7)},
+		},
+	}
+	if err := sample.Encode(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("garbage that is definitely not a database"))
+	f.Add(seed.Bytes()[:7])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("Decode accepted an invalid database: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := d.Encode(&buf); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if back.Len() != d.Len() || back.NumItems != d.NumItems {
+			t.Fatal("round trip changed the database")
+		}
+		for i := range d.Transactions {
+			if back.Transactions[i].TID != d.Transactions[i].TID ||
+				!back.Transactions[i].Items.Equal(d.Transactions[i].Items) {
+				t.Fatalf("round trip changed transaction %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,74 @@
+package dhp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/apriori"
+	"repro/internal/db"
+	"repro/internal/gen"
+	"repro/internal/mining"
+	"repro/internal/testutil"
+)
+
+func TestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	for trial := 0; trial < 12; trial++ {
+		d := testutil.RandomDB(rng, 100+20*trial, 12, 6)
+		for _, minsup := range []int{2, 4, 8} {
+			got, st := Mine(d, minsup, Options{})
+			want := testutil.BruteForce(d, minsup)
+			if !mining.Equal(got, want) {
+				t.Fatalf("trial %d minsup %d:\n%s", trial, minsup, mining.Diff(got, want))
+			}
+			if st.C2AfterFilter > st.C2Unfiltered {
+				t.Fatal("filter cannot add candidates")
+			}
+		}
+	}
+}
+
+func TestFilterActuallyPrunes(t *testing.T) {
+	d := gen.MustGenerate(gen.T10I6(4000))
+	minsup := d.MinSupCount(1.0)
+	_, st := Mine(d, minsup, Options{})
+	if st.SurvivorRatio >= 0.5 {
+		t.Fatalf("expected a large C2 reduction, survivor ratio %.2f (%d of %d)",
+			st.SurvivorRatio, st.C2AfterFilter, st.C2Unfiltered)
+	}
+	want, _ := apriori.Mine(d, minsup)
+	got, _ := Mine(d, minsup, Options{})
+	if !mining.Equal(got, want) {
+		t.Fatal(mining.Diff(got, want))
+	}
+}
+
+func TestTinyBucketTableStillExact(t *testing.T) {
+	// With absurdly few buckets almost nothing is filtered (collisions
+	// keep counts high), but the result must stay exact.
+	rng := rand.New(rand.NewSource(113))
+	d := testutil.RandomDB(rng, 150, 10, 6)
+	got, st := Mine(d, 4, Options{Buckets: 2})
+	want := testutil.BruteForce(d, 4)
+	if !mining.Equal(got, want) {
+		t.Fatal(mining.Diff(got, want))
+	}
+	if st.Buckets != 2 {
+		t.Fatalf("buckets = %d", st.Buckets)
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	res, st := Mine(&db.Database{NumItems: 3}, 1, Options{})
+	if res.Len() != 0 || st.Scans != 1 {
+		t.Fatalf("empty database: %d itemsets, %d scans", res.Len(), st.Scans)
+	}
+	// minsup clamping.
+	rng := rand.New(rand.NewSource(5))
+	d := testutil.RandomDB(rng, 20, 6, 4)
+	got, _ := Mine(d, 0, Options{})
+	want := testutil.BruteForce(d, 1)
+	if !mining.Equal(got, want) {
+		t.Fatal(mining.Diff(got, want))
+	}
+}

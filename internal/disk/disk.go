@@ -1,0 +1,66 @@
+// Package disk models the per-host local disks of the paper's testbed
+// ("Each host also has a 2GB local disk attached to it ... All the
+// partitioned databases reside on the local disks of each processor").
+//
+// The model is deterministic virtual time: a scan of B bytes costs one
+// seek plus B / bandwidth, multiplied by the number of processors on the
+// host scanning concurrently — the contention effect the paper measures
+// ("Since all the processors will be accessing the local disk
+// simultaneously, we will suffer from a lot of disk contention ... the
+// disk contention causes performance degradation with increasing number
+// of processors on each host").
+package disk
+
+import "fmt"
+
+// Model holds the disk cost parameters.
+type Model struct {
+	// SeekNS is charged once per scan or write burst.
+	SeekNS int64
+	// BytesPerSecond is the sequential bandwidth of one disk with a single
+	// reader.
+	BytesPerSecond int64
+	// ContentionFactor scales the slowdown per additional concurrent
+	// scanner; 1.0 means N concurrent scanners each see bandwidth/N.
+	ContentionFactor float64
+}
+
+// Default1997 approximates a mid-90s SCSI disk: 10 ms seek, 8 MB/s
+// sequential bandwidth, full contention.
+func Default1997() Model {
+	return Model{SeekNS: 10_000_000, BytesPerSecond: 8 << 20, ContentionFactor: 1.0}
+}
+
+// Disk is one host's disk. It is stateless except for the model; the
+// concurrency level is passed per operation because the algorithms know
+// statically how many of the host's processors scan together (SPMD
+// phases).
+type Disk struct {
+	model Model
+}
+
+// New returns a disk with the given model.
+func New(m Model) *Disk {
+	if m.BytesPerSecond <= 0 {
+		panic(fmt.Sprintf("disk: invalid bandwidth %d", m.BytesPerSecond))
+	}
+	return &Disk{model: m}
+}
+
+// ScanNS returns the virtual time to sequentially read `bytes` while
+// `concurrent` processors of the same host are scanning (>= 1).
+func (d *Disk) ScanNS(bytes int64, concurrent int) int64 {
+	if concurrent < 1 {
+		concurrent = 1
+	}
+	slowdown := 1 + d.model.ContentionFactor*float64(concurrent-1)
+	transfer := float64(bytes) / float64(d.model.BytesPerSecond) * 1e9 * slowdown
+	return d.model.SeekNS + int64(transfer)
+}
+
+// WriteNS returns the virtual time to write `bytes` (same model as reads;
+// Eclat's transformation phase writes the inverted partition back to
+// disk).
+func (d *Disk) WriteNS(bytes int64, concurrent int) int64 {
+	return d.ScanNS(bytes, concurrent)
+}

@@ -1,0 +1,62 @@
+package disk
+
+import "testing"
+
+func TestScanCostMonotonic(t *testing.T) {
+	d := New(Default1997())
+	small := d.ScanNS(1<<20, 1)
+	big := d.ScanNS(8<<20, 1)
+	if big <= small {
+		t.Fatalf("more bytes should cost more: %d vs %d", big, small)
+	}
+}
+
+func TestSeekDominatesTinyScans(t *testing.T) {
+	m := Default1997()
+	d := New(m)
+	if got := d.ScanNS(0, 1); got != m.SeekNS {
+		t.Fatalf("zero-byte scan should cost exactly one seek, got %d", got)
+	}
+}
+
+func TestContentionScalesLinearly(t *testing.T) {
+	m := Default1997()
+	d := New(m)
+	base := d.ScanNS(16<<20, 1) - m.SeekNS
+	four := d.ScanNS(16<<20, 4) - m.SeekNS
+	// With ContentionFactor 1.0, four concurrent scanners see 1/4 the
+	// bandwidth: transfer time x4.
+	if four != 4*base {
+		t.Fatalf("contention: solo=%d x4=%d, want exactly 4x", base, four)
+	}
+	if d.ScanNS(1<<20, 0) != d.ScanNS(1<<20, 1) {
+		t.Fatal("concurrent < 1 should clamp to 1")
+	}
+}
+
+func TestPartialContentionFactor(t *testing.T) {
+	m := Default1997()
+	m.ContentionFactor = 0.5
+	d := New(m)
+	base := d.ScanNS(16<<20, 1) - m.SeekNS
+	two := d.ScanNS(16<<20, 2) - m.SeekNS
+	if two != base+base/2 {
+		t.Fatalf("factor 0.5 with 2 scanners should be 1.5x: %d vs %d", two, base)
+	}
+}
+
+func TestWriteMatchesScanModel(t *testing.T) {
+	d := New(Default1997())
+	if d.WriteNS(1<<20, 2) != d.ScanNS(1<<20, 2) {
+		t.Fatal("writes use the same cost model")
+	}
+}
+
+func TestInvalidModelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Model{SeekNS: 1, BytesPerSecond: 0})
+}

@@ -1,0 +1,162 @@
+package eclat
+
+import (
+	"sort"
+
+	"repro/internal/db"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+	"repro/internal/tidlist"
+)
+
+// CharmStats counts the work of a CHARM run.
+type CharmStats struct {
+	Scans         int
+	Intersections int64
+	Merges        int64 // itemset extensions via the tid-set containment properties
+	Subsumptions  int64 // candidates discarded by the closed-set check
+}
+
+// MineClosedCHARM discovers the closed frequent itemsets with the CHARM
+// search (Zaki & Hsiao) — the successor algorithm that prunes the search
+// space itself rather than filtering afterwards like MineClosed. Its four
+// tid-set properties fold equal-support extensions into their generators:
+// when t(X) = t(Y) the two itemsets always co-occur and collapse into one
+// node; when t(X) ⊂ t(Y), X's closure absorbs Y's items; only
+// incomparable tid-sets spawn new search nodes. A candidate enters the
+// closed set only if no equal-support superset is already there.
+//
+// The result equals MineClosed's (tested property); the work profile
+// differs — CHARM never enumerates the non-closed lattice.
+func MineClosedCHARM(d *db.Database, minsup int) (*mining.Result, CharmStats) {
+	if minsup < 1 {
+		minsup = 1
+	}
+	var st CharmStats
+	res := &mining.Result{MinSup: minsup, NumTransactions: d.Len()}
+
+	// One scan: per-item tid-lists (CHARM starts from 1-itemsets; unlike
+	// Eclat it needs their tid-lists, trading the triangular-array pass
+	// for a simpler lattice root).
+	st.Scans++
+	itemLists := make([]tidlist.List, d.NumItems)
+	for _, tx := range d.Transactions {
+		for _, it := range tx.Items {
+			itemLists[it] = append(itemLists[it], tx.TID)
+		}
+	}
+	var roots []*charmNode
+	for it, l := range itemLists {
+		if len(l) >= minsup {
+			roots = append(roots, &charmNode{set: itemset.Itemset{itemset.Item(it)}, tids: l})
+		}
+	}
+
+	acc := &charmAcc{byHash: map[int64][]mining.FrequentItemset{}}
+	charmExtend(roots, minsup, acc, &st)
+
+	for _, bucket := range acc.byHash {
+		for _, f := range bucket {
+			res.Add(f.Set, f.Support)
+		}
+	}
+	res.Sort()
+	return res, st
+}
+
+// charmNode is one search node: an itemset (which may grow via the
+// containment properties) and its tid-set.
+type charmNode struct {
+	set  itemset.Itemset
+	tids tidlist.List
+}
+
+// charmChild defers itemset materialization: the parent's set may still
+// grow while its children are being generated, so a child records only
+// the partner's items and composes with the parent's final set.
+type charmChild struct {
+	extra itemset.Itemset
+	tids  tidlist.List
+}
+
+// charmExtend processes one level of sibling nodes, sorted by increasing
+// support (CHARM's ordering heuristic: low-support nodes merge into their
+// high-support partners most often).
+func charmExtend(nodes []*charmNode, minsup int, acc *charmAcc, st *CharmStats) {
+	sort.SliceStable(nodes, func(i, j int) bool {
+		if len(nodes[i].tids) != len(nodes[j].tids) {
+			return len(nodes[i].tids) < len(nodes[j].tids)
+		}
+		return nodes[i].set.Less(nodes[j].set)
+	})
+	for i := range nodes {
+		if nodes[i] == nil {
+			continue
+		}
+		var children []charmChild
+		for j := i + 1; j < len(nodes); j++ {
+			if nodes[j] == nil {
+				continue
+			}
+			st.Intersections++
+			y := tidlist.Intersect(nodes[i].tids, nodes[j].tids)
+			switch {
+			case len(y) == len(nodes[i].tids) && len(y) == len(nodes[j].tids):
+				// t(Xi) = t(Xj): Xj always co-occurs with Xi — fold it in.
+				st.Merges++
+				nodes[i].set = nodes[i].set.Union(nodes[j].set)
+				nodes[j] = nil
+			case len(y) == len(nodes[i].tids):
+				// t(Xi) ⊂ t(Xj): Xi implies Xj; Xi's closure absorbs it,
+				// Xj lives on (it occurs without Xi too).
+				st.Merges++
+				nodes[i].set = nodes[i].set.Union(nodes[j].set)
+			case len(y) == len(nodes[j].tids):
+				// t(Xi) ⊃ t(Xj): Xj implies Xi; the combination replaces
+				// Xj, growing under Xi.
+				if len(y) >= minsup {
+					children = append(children, charmChild{extra: nodes[j].set, tids: y})
+				}
+				nodes[j] = nil
+			default:
+				if len(y) >= minsup {
+					children = append(children, charmChild{extra: nodes[j].set, tids: y})
+				}
+			}
+		}
+		if len(children) > 0 {
+			level := make([]*charmNode, len(children))
+			for k, ch := range children {
+				level[k] = &charmNode{set: nodes[i].set.Union(ch.extra), tids: ch.tids}
+			}
+			charmExtend(level, minsup, acc, st)
+		}
+		acc.insert(nodes[i].set, len(nodes[i].tids), nodes[i].tids, st)
+	}
+}
+
+// charmAcc is the closed-set accumulator with the standard
+// tid-sum-hashed subsumption check: a candidate is dropped iff an
+// equal-support superset is already present.
+type charmAcc struct {
+	byHash map[int64][]mining.FrequentItemset
+}
+
+func tidHash(tids tidlist.List) int64 {
+	var h int64
+	for _, t := range tids {
+		h += int64(t)
+	}
+	return h
+}
+
+func (a *charmAcc) insert(set itemset.Itemset, sup int, tids tidlist.List, st *CharmStats) {
+	h := tidHash(tids)
+	for _, f := range a.byHash[h] {
+		if f.Support == sup && set.SubsetOf(f.Set) {
+			st.Subsumptions++
+			return
+		}
+	}
+	a.byHash[h] = append(a.byHash[h], mining.FrequentItemset{Set: set, Support: sup})
+}

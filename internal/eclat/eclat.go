@@ -1,0 +1,186 @@
+// Package eclat implements the paper's contribution: the Eclat
+// (Equivalence CLass Transformation) algorithm for frequent-itemset
+// mining, in a sequential form and in the four-phase parallel form of
+// section 5 (initialization, transformation, asynchronous, final
+// reduction), plus the hybrid host-level parallelization sketched as
+// future work in section 8.1.
+//
+// The mining core is Compute_Frequent (figure 3): within an equivalence
+// class, every pair of member tid-lists is intersected (short-circuited
+// on the minimum support); surviving itemsets form the next level, which
+// is recursively partitioned into classes by prefix. A class never needs
+// more than its own current level in memory, and candidate pruning is
+// deliberately absent — the paper found it "of little or no help" with
+// the vertical layout (section 5.3).
+package eclat
+
+import (
+	"sort"
+
+	"repro/internal/db"
+	"repro/internal/eqclass"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+	"repro/internal/paircount"
+	"repro/internal/tidlist"
+)
+
+// Options selects algorithm variants used by the ablation benchmarks.
+// The zero value is the paper's algorithm.
+type Options struct {
+	// NoShortCircuit disables the minimum-support short-circuiting of
+	// tid-list intersections (section 5.3).
+	NoShortCircuit bool
+	// RoundRobinSchedule replaces the greedy weighted class scheduling
+	// (section 5.2.1) with naive round-robin dealing.
+	RoundRobinSchedule bool
+	// SupportWeightedSchedule replaces the C(s,2) class weight with a
+	// support-aware estimate of the intersection work — sum over member
+	// pairs of min(support_i, support_j) — the refinement the paper
+	// suggests in section 5.2.1 ("We could also make use of the average
+	// support of the itemsets within a class to get better weight
+	// factors").
+	SupportWeightedSchedule bool
+	// ExternalTransform performs the vertical transformation through
+	// bounded disk buffers instead of anonymous memory-mapped regions —
+	// the improvement the paper reports as in progress ("we are currently
+	// implementing an external memory transformation, keeping only small
+	// buffers in main memory"). It trades one extra structured pass over
+	// the tid-list data for immunity to paging, so it wins exactly when
+	// the mapped regions would overflow host memory.
+	ExternalTransform bool
+}
+
+// Stats counts the work of a sequential run (the parallel form reports
+// through cluster.Report instead).
+type Stats struct {
+	Scans          int
+	Intersections  int64 // tid-list intersections attempted
+	ShortCircuited int64 // intersections aborted by the support bound
+	IntersectOps   int64 // element comparisons performed
+	Classes        int   // top-level equivalence classes mined
+}
+
+// member is one itemset of the current level within a class, with its
+// tid-list.
+type member struct {
+	set  itemset.Itemset
+	tids tidlist.List
+}
+
+// computeFrequent is figure 3: mine everything derivable from one
+// equivalence class. members must be lexicographically sorted and share a
+// common prefix of len(set)-1 items. emit is called for every frequent
+// itemset found (sets of size len(members[0].set)+1 and deeper).
+func computeFrequent(members []member, minsup int, st *Stats, opts Options, emit func(itemset.Itemset, int)) {
+	// Pairing member i with each j > i yields the class prefixed by
+	// members[i].set, so the recursion needs no separate partitioning
+	// pass: the i-loop enumerates the next level's classes directly.
+	var scratch tidlist.List
+	for i := 0; i < len(members)-1; i++ {
+		var next []member
+		for j := i + 1; j < len(members); j++ {
+			st.Intersections++
+			var tids tidlist.List
+			var ops int
+			var ok bool
+			if opts.NoShortCircuit {
+				tids = tidlist.IntersectInto(scratch, members[i].tids, members[j].tids)
+				ops = len(members[i].tids) + len(members[j].tids)
+				ok = len(tids) >= minsup
+			} else {
+				tids, ops, ok = tidlist.IntersectShortCircuit(scratch, members[i].tids, members[j].tids, minsup)
+			}
+			st.IntersectOps += int64(ops)
+			scratch = tids[:0]
+			if !ok {
+				st.ShortCircuited++
+				continue
+			}
+			next = append(next, member{
+				set:  members[i].set.Join(members[j].set),
+				tids: tids.Clone(),
+			})
+		}
+		for _, m := range next {
+			emit(m.set, m.tids.Support())
+		}
+		if len(next) > 1 {
+			computeFrequent(next, minsup, st, opts, emit)
+		}
+	}
+}
+
+// classMembers assembles the sorted member list of one L2 equivalence
+// class from the global pair tid-list map.
+func classMembers(class *eqclass.Class, lists map[tidlist.Pair]tidlist.List) []member {
+	out := make([]member, 0, len(class.Members))
+	for _, set := range class.Members {
+		out = append(out, member{set: set, tids: lists[tidlist.Pair{A: set[0], B: set[1]}]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].set.Less(out[j].set) })
+	return out
+}
+
+// MineSequential runs Eclat on a single processor: one pass for global
+// item and 2-itemset counts, one pass to invert the database into
+// per-pair tid-lists, then in-memory class-by-class mining. Like the
+// parallel form it reads the horizontal data twice; the third "scan" of
+// the paper (reading the inverted lists back from disk) has no in-memory
+// counterpart here.
+func MineSequential(d *db.Database, minsup int) (*mining.Result, Stats) {
+	return MineSequentialOpts(d, minsup, Options{})
+}
+
+// MineSequentialOpts is MineSequential with explicit variant options.
+func MineSequentialOpts(d *db.Database, minsup int, opts Options) (*mining.Result, Stats) {
+	if minsup < 1 {
+		minsup = 1
+	}
+	res := &mining.Result{MinSup: minsup, NumTransactions: d.Len()}
+	var st Stats
+
+	// Initialization: count 1-itemsets (for the result; Eclat itself never
+	// needs them) and all 2-itemsets via the triangular array.
+	st.Scans++
+	itemCounts := make([]int, d.NumItems)
+	pc := paircount.New(d.NumItems)
+	for _, tx := range d.Transactions {
+		for _, it := range tx.Items {
+			itemCounts[it]++
+		}
+		pc.AddTransaction(tx.Items)
+	}
+	for it, c := range itemCounts {
+		if c >= minsup {
+			res.Add(itemset.Itemset{itemset.Item(it)}, c)
+		}
+	}
+	freqPairs := pc.Frequent(minsup)
+	l2 := make([]itemset.Itemset, 0, len(freqPairs))
+	for _, fp := range freqPairs {
+		res.Add(fp.Pair.Itemset(), fp.Count)
+		l2 = append(l2, fp.Pair.Itemset())
+	}
+
+	// Transformation: build tid-lists for every 2-itemset in a class with
+	// at least two members (singleton classes generate no candidates).
+	classes := eqclass.PruneSingletons(eqclass.Partition(l2))
+	st.Classes = len(classes)
+	want := make(map[tidlist.Pair]bool)
+	for _, c := range classes {
+		for _, m := range c.Members {
+			want[tidlist.Pair{A: m[0], B: m[1]}] = true
+		}
+	}
+	st.Scans++
+	lists := tidlist.BuildPairs(d, want)
+
+	// Asynchronous phase: mine class by class.
+	for i := range classes {
+		computeFrequent(classMembers(&classes[i], lists), minsup, &st, opts, res.Add)
+	}
+
+	res.Sort()
+	return res, st
+}

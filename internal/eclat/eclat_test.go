@@ -1,0 +1,174 @@
+package eclat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/apriori"
+	"repro/internal/cluster"
+	"repro/internal/db"
+	"repro/internal/gen"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+	"repro/internal/testutil"
+)
+
+func TestSequentialTinyKnownAnswer(t *testing.T) {
+	d := &db.Database{NumItems: 4, Transactions: []db.Transaction{
+		{TID: 0, Items: itemset.New(0, 1, 2)},
+		{TID: 1, Items: itemset.New(0, 1, 2)},
+		{TID: 2, Items: itemset.New(0, 1, 3)},
+		{TID: 3, Items: itemset.New(0, 2)},
+	}}
+	res, st := MineSequential(d, 2)
+	m := res.SupportMap()
+	if m[itemset.New(0, 1, 2).Key()] != 2 {
+		t.Fatalf("sup({0,1,2}) = %d, want 2", m[itemset.New(0, 1, 2).Key()])
+	}
+	if m[itemset.New(0, 1).Key()] != 3 || m[itemset.New(0, 2).Key()] != 3 {
+		t.Fatalf("2-itemset supports wrong: %v", m)
+	}
+	if st.Scans != 2 {
+		t.Fatalf("sequential Eclat should scan twice, got %d", st.Scans)
+	}
+	if err := res.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		d := testutil.RandomDB(rng, 60, 12, 6)
+		for _, minsup := range []int{1, 2, 3, 5, 10} {
+			got, _ := MineSequential(d, minsup)
+			want := testutil.BruteForce(d, minsup)
+			if !mining.Equal(got, want) {
+				t.Fatalf("trial %d minsup %d:\n%s", trial, minsup, mining.Diff(got, want))
+			}
+		}
+	}
+}
+
+func TestSequentialMatchesApriori(t *testing.T) {
+	d := gen.MustGenerate(gen.T10I6(1500))
+	minsup := d.MinSupCount(1.0)
+	ecl, _ := MineSequential(d, minsup)
+	apr, _ := apriori.Mine(d, minsup)
+	if !mining.Equal(ecl, apr) {
+		t.Fatalf("Eclat and Apriori disagree on %s:\n%s", gen.T10I6(1500).Name(), mining.Diff(ecl, apr))
+	}
+	if ecl.Len() == 0 {
+		t.Fatal("expected some frequent itemsets at 1% support")
+	}
+}
+
+func TestShortCircuitCountersAdvance(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	d := testutil.RandomDB(rng, 200, 15, 8)
+	_, st := MineSequential(d, 20)
+	if st.Intersections == 0 {
+		t.Skip("no intersections at this support; adjust test data")
+	}
+	if st.IntersectOps == 0 {
+		t.Fatal("IntersectOps should be positive when intersections happen")
+	}
+}
+
+func TestParallelMatchesSequentialAcrossConfigs(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	d := testutil.RandomDB(rng, 300, 14, 7)
+	minsup := 6
+	want, _ := MineSequential(d, minsup)
+	configs := [][2]int{{1, 1}, {1, 2}, {2, 1}, {2, 2}, {4, 2}, {1, 8}, {3, 3}}
+	for _, hp := range configs {
+		cl := cluster.New(cluster.Default(hp[0], hp[1]))
+		got, rep := Mine(cl, d, minsup)
+		if !mining.Equal(got, want) {
+			t.Fatalf("H=%d P=%d: parallel result differs:\n%s", hp[0], hp[1], mining.Diff(got, want))
+		}
+		if rep.ElapsedNS <= 0 {
+			t.Fatalf("H=%d P=%d: elapsed %d", hp[0], hp[1], rep.ElapsedNS)
+		}
+		if err := got.Verify(); err != nil {
+			t.Fatalf("H=%d P=%d: %v", hp[0], hp[1], err)
+		}
+	}
+}
+
+func TestParallelThreeLocalScans(t *testing.T) {
+	// "the algorithm scans the local database partition only three times":
+	// two horizontal scans plus reading the inverted lists back.
+	d := gen.MustGenerate(gen.T10I6(800))
+	cl := cluster.New(cluster.Default(2, 2))
+	_, rep := Mine(cl, d, d.MinSupCount(1.0))
+	for i, st := range rep.PerProc {
+		if st.Scans != 3 {
+			t.Fatalf("proc %d performed %d scans, want 3", i, st.Scans)
+		}
+	}
+}
+
+func TestParallelNoBarriersInAsyncPhase(t *testing.T) {
+	// The barrier count must be a fixed constant of the SPMD program,
+	// independent of how deep the mining recursion goes — Eclat
+	// synchronizes only during set-up and the final reduction.
+	d := gen.MustGenerate(gen.T10I6(800))
+	cl1 := cluster.New(cluster.Default(2, 2))
+	Mine(cl1, d, d.MinSupCount(2.0)) // shallow mining
+	cl2 := cluster.New(cluster.Default(2, 2))
+	Mine(cl2, d, d.MinSupCount(0.5)) // much deeper mining
+	b1 := cl1.Report().PerProc[0].Barriers
+	b2 := cl2.Report().PerProc[0].Barriers
+	if b1 != b2 {
+		t.Fatalf("barrier count depends on mining depth (%d vs %d); asynchronous phase must not synchronize", b1, b2)
+	}
+}
+
+func TestParallelDeterministicVirtualTime(t *testing.T) {
+	d := gen.MustGenerate(gen.T10I6(600))
+	run := func() int64 {
+		cl := cluster.New(cluster.Default(2, 2))
+		_, rep := Mine(cl, d, d.MinSupCount(1.0))
+		return rep.ElapsedNS
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("virtual time nondeterministic: %d vs %d", a, b)
+	}
+}
+
+func TestParallelPhaseBreakdownPresent(t *testing.T) {
+	d := gen.MustGenerate(gen.T10I6(600))
+	cl := cluster.New(cluster.Default(2, 2))
+	_, rep := Mine(cl, d, d.MinSupCount(1.0))
+	for _, ph := range []string{PhaseInit, PhaseTransform, PhaseAsync, PhaseReduce} {
+		if rep.PhaseMaxNS(ph) <= 0 {
+			t.Fatalf("phase %q has no time recorded", ph)
+		}
+	}
+	setup := rep.PhaseMaxNS(PhaseInit) + rep.PhaseMaxNS(PhaseTransform)
+	if setup >= rep.ElapsedNS {
+		t.Fatalf("setup (%d) should be below total (%d)", setup, rep.ElapsedNS)
+	}
+}
+
+func TestParallelEmptyDatabase(t *testing.T) {
+	d := &db.Database{NumItems: 10}
+	cl := cluster.New(cluster.Default(2, 2))
+	res, _ := Mine(cl, d, 1)
+	if res.Len() != 0 {
+		t.Fatalf("empty database mined %d itemsets", res.Len())
+	}
+}
+
+func TestParallelMoreProcsThanTransactions(t *testing.T) {
+	d := &db.Database{NumItems: 5, Transactions: []db.Transaction{
+		{TID: 0, Items: itemset.New(0, 1)},
+		{TID: 1, Items: itemset.New(0, 1)},
+	}}
+	cl := cluster.New(cluster.Default(2, 4)) // 8 procs, 2 transactions
+	res, _ := Mine(cl, d, 2)
+	if res.SupportMap()[itemset.New(0, 1).Key()] != 2 {
+		t.Fatalf("result wrong with empty partitions: %v", res.SupportMap())
+	}
+}

@@ -1,0 +1,198 @@
+package eclat
+
+import (
+	"sort"
+
+	"repro/internal/db"
+	"repro/internal/eqclass"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+	"repro/internal/paircount"
+	"repro/internal/tidlist"
+)
+
+// MaxStats extends Stats with the lookahead counters of the maximal
+// search.
+type MaxStats struct {
+	Stats
+	Lookaheads    int64 // class-collapse attempts
+	LookaheadHits int64 // classes whose full union was frequent
+	Candidates    int   // locally-maximal sets before global subsumption filtering
+}
+
+// MineMaximal discovers only the maximal frequent itemsets (those with no
+// frequent superset) using the MaxEclat hybrid search of the authors'
+// companion report [18] ("New algorithms for fast discovery of
+// association rules"): the usual bottom-up class recursion is augmented
+// with a top-down lookahead that first intersects an entire class's
+// tid-lists — if the class's top itemset is frequent, the whole sub-
+// lattice collapses into one maximal set without enumerating it.
+//
+// Supports in the result are exact. The union of the subsets of the
+// returned sets equals the full frequent-itemset collection mined by
+// MineSequential at the same threshold (tested property).
+func MineMaximal(d *db.Database, minsup int) (*mining.Result, MaxStats) {
+	if minsup < 1 {
+		minsup = 1
+	}
+	var st MaxStats
+	res := &mining.Result{MinSup: minsup, NumTransactions: d.Len()}
+
+	// Initialization scan, as in MineSequential.
+	st.Scans++
+	itemCounts := make([]int, d.NumItems)
+	pc := paircount.New(d.NumItems)
+	for _, tx := range d.Transactions {
+		for _, it := range tx.Items {
+			itemCounts[it]++
+		}
+		pc.AddTransaction(tx.Items)
+	}
+	freqPairs := pc.Frequent(minsup)
+	l2 := make([]itemset.Itemset, 0, len(freqPairs))
+	pairSup := map[tidlist.Pair]int{}
+	for _, fp := range freqPairs {
+		l2 = append(l2, fp.Pair.Itemset())
+		pairSup[fp.Pair] = fp.Count
+	}
+
+	// Candidate maximal sets: start with frequent singletons and pairs
+	// (they survive the final filter only if nothing subsumes them).
+	var cands []mining.FrequentItemset
+	for it, c := range itemCounts {
+		if c >= minsup {
+			cands = append(cands, mining.FrequentItemset{Set: itemset.Itemset{itemset.Item(it)}, Support: c})
+		}
+	}
+	for _, fp := range freqPairs {
+		cands = append(cands, mining.FrequentItemset{Set: fp.Pair.Itemset(), Support: fp.Count})
+	}
+
+	classes := eqclass.PruneSingletons(eqclass.Partition(l2))
+	st.Classes = len(classes)
+	want := make(map[tidlist.Pair]bool)
+	for _, c := range classes {
+		for _, m := range c.Members {
+			want[tidlist.Pair{A: m[0], B: m[1]}] = true
+		}
+	}
+	st.Scans++
+	lists := tidlist.BuildPairs(d, want)
+
+	emit := func(set itemset.Itemset, sup int) {
+		cands = append(cands, mining.FrequentItemset{Set: set, Support: sup})
+	}
+	for i := range classes {
+		computeMaximal(classMembers(&classes[i], lists), minsup, &st, emit)
+	}
+	st.Candidates = len(cands)
+
+	for _, f := range filterMaximal(cands) {
+		res.Add(f.Set, f.Support)
+	}
+	res.Sort()
+	return res, st
+}
+
+// computeMaximal mines one class, emitting locally-maximal frequent sets
+// (a superset of the globally maximal ones; the caller filters).
+func computeMaximal(members []member, minsup int, st *MaxStats, emit func(itemset.Itemset, int)) {
+	if len(members) == 0 {
+		return
+	}
+	if len(members) == 1 {
+		emit(members[0].set, members[0].tids.Support())
+		return
+	}
+
+	// Top-down lookahead: the class's top itemset is the union of all
+	// members; its tid-list is the intersection of all member lists.
+	st.Lookaheads++
+	top := members[0].tids
+	feasible := true
+	for i := 1; i < len(members) && feasible; i++ {
+		st.Intersections++
+		tids, ops, ok := tidlist.IntersectShortCircuit(nil, top, members[i].tids, minsup)
+		st.IntersectOps += int64(ops)
+		if !ok {
+			st.ShortCircuited++
+			feasible = false
+			break
+		}
+		top = tids
+	}
+	if feasible {
+		st.LookaheadHits++
+		union := members[0].set
+		for _, m := range members[1:] {
+			union = union.Union(m.set)
+		}
+		emit(union, top.Support())
+		return
+	}
+
+	// Bottom-up expansion, emitting members with no frequent extension.
+	var scratch tidlist.List
+	for i := 0; i < len(members); i++ {
+		var next []member
+		for j := i + 1; j < len(members); j++ {
+			st.Intersections++
+			tids, ops, ok := tidlist.IntersectShortCircuit(scratch, members[i].tids, members[j].tids, minsup)
+			st.IntersectOps += int64(ops)
+			scratch = tids[:0]
+			if !ok {
+				st.ShortCircuited++
+				continue
+			}
+			next = append(next, member{
+				set:  members[i].set.Join(members[j].set),
+				tids: tids.Clone(),
+			})
+		}
+		if len(next) == 0 {
+			emit(members[i].set, members[i].tids.Support())
+		} else {
+			computeMaximal(next, minsup, st, emit)
+		}
+	}
+}
+
+// filterMaximal removes every candidate subsumed by another candidate,
+// returning the true maximal sets (deduplicated).
+func filterMaximal(cands []mining.FrequentItemset) []mining.FrequentItemset {
+	// Sort by size descending so keepers accumulate largest-first, and
+	// dedupe identical sets.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Set.K() != cands[j].Set.K() {
+			return cands[i].Set.K() > cands[j].Set.K()
+		}
+		return cands[i].Set.Less(cands[j].Set)
+	})
+	var out []mining.FrequentItemset
+	seen := map[string]bool{}
+	// byItem indexes kept sets by their first item: a subsuming superset
+	// of c must contain c[0], so only those keepers need a subset check.
+	byItem := map[itemset.Item][]int{}
+	for _, c := range cands {
+		if seen[c.Set.Key()] {
+			continue
+		}
+		seen[c.Set.Key()] = true
+		subsumed := false
+		for _, ki := range byItem[c.Set[0]] {
+			kept := out[ki]
+			if c.Set.K() < kept.Set.K() && c.Set.SubsetOf(kept.Set) {
+				subsumed = true
+				break
+			}
+		}
+		if !subsumed {
+			idx := len(out)
+			out = append(out, c)
+			for _, it := range c.Set {
+				byItem[it] = append(byItem[it], idx)
+			}
+		}
+	}
+	return out
+}

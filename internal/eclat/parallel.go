@@ -1,0 +1,237 @@
+package eclat
+
+import (
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/db"
+	"repro/internal/eqclass"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+	"repro/internal/paircount"
+	"repro/internal/tidlist"
+)
+
+// Phase names used in the per-processor time break-up (Table 2 reports
+// "Setup" = PhaseInit + PhaseTransform).
+const (
+	PhaseInit      = "init"
+	PhaseTransform = "transform"
+	PhaseAsync     = "async"
+	PhaseReduce    = "reduce"
+)
+
+// pairList is the unit of the transformation-phase exchange: a partial
+// tid-list for one frequent 2-itemset, tagged with its pair.
+type pairList struct {
+	pair tidlist.Pair
+	tids tidlist.List
+}
+
+// Mine runs four-phase parallel Eclat (figure 2) on the simulated
+// cluster. The database is block-partitioned across all T processors;
+// each processor executes the SPMD program. The returned result is the
+// globally assembled set of frequent itemsets, identical to
+// MineSequential's on the same inputs.
+func Mine(cl *cluster.Cluster, d *db.Database, minsup int) (*mining.Result, cluster.Report) {
+	return MineOpts(cl, d, minsup, Options{})
+}
+
+// MineOpts is Mine with explicit variant options.
+func MineOpts(cl *cluster.Cluster, d *db.Database, minsup int, opts Options) (*mining.Result, cluster.Report) {
+	if minsup < 1 {
+		minsup = 1
+	}
+	t := cl.NumProcs()
+	parts := d.Partition(t)
+
+	// Per-processor outputs of the asynchronous phase, assembled after the
+	// run (the final reduction charges the gather cost inside the run).
+	locals := make([]*mining.Result, t)
+	var globalPairs []paircount.FrequentPair
+	var globalItems []int
+
+	cl.Run(func(p *cluster.Proc) {
+		part := parts[p.ID()]
+		local := &mining.Result{MinSup: minsup, NumTransactions: d.Len()}
+		locals[p.ID()] = local
+
+		// ---- Initialization phase (section 5.1) -------------------------
+		p.SetPhase(PhaseInit)
+		p.ChargeScan(part.SizeBytes(), p.HostProcs())
+		itemCounts := make([]int, d.NumItems)
+		pc := paircount.New(d.NumItems)
+		var itemOps int64
+		for _, tx := range part.Transactions {
+			for _, it := range tx.Items {
+				itemCounts[it]++
+			}
+			itemOps += int64(len(tx.Items))
+		}
+		p.ChargeCPU(itemOps)
+		p.ChargeOps(cluster.OpPairCount, pc.AddPartition(part))
+		gItems := cluster.SumReduceInt(p, itemCounts)
+		gPairVec := cluster.SumReduceInt32(p, pc.Counts())
+		gpc := paircount.FromCounts(d.NumItems, gPairVec)
+		freqPairs := gpc.Frequent(minsup)
+		p.ChargeCPU(int64(gpc.NumCells())) // threshold sweep over the triangular array
+		if p.ID() == 0 {
+			globalItems = gItems
+			globalPairs = freqPairs
+		}
+
+		// ---- Transformation phase (section 5.2) -------------------------
+		p.SetPhase(PhaseTransform)
+		l2 := make([]itemset.Itemset, len(freqPairs))
+		for i, fp := range freqPairs {
+			l2[i] = fp.Pair.Itemset()
+		}
+		classes := eqclass.PruneSingletons(eqclass.Partition(l2))
+		var sched eqclass.Assignment
+		switch {
+		case opts.RoundRobinSchedule:
+			sched = eqclass.ScheduleRoundRobin(classes, t)
+		case opts.SupportWeightedSchedule:
+			pairSup := make(map[tidlist.Pair]int, len(freqPairs))
+			for _, fp := range freqPairs {
+				pairSup[fp.Pair] = fp.Count
+			}
+			weights := make([]int64, len(classes))
+			for ci := range classes {
+				ms := classes[ci].Members
+				for i := 0; i < len(ms); i++ {
+					for j := i + 1; j < len(ms); j++ {
+						si := pairSup[tidlist.Pair{A: ms[i][0], B: ms[i][1]}]
+						sj := pairSup[tidlist.Pair{A: ms[j][0], B: ms[j][1]}]
+						if sj < si {
+							si = sj
+						}
+						weights[ci] += int64(si)
+					}
+				}
+			}
+			sched = eqclass.ScheduleByWeight(weights, t)
+		default:
+			sched = eqclass.Schedule(classes, t)
+		}
+		p.ChargeCPU(int64(len(classes))) // scheduling sweep
+
+		// Which pairs exist, and who owns each.
+		owner := make(map[tidlist.Pair]int)
+		want := make(map[tidlist.Pair]bool)
+		for ci := range classes {
+			for _, m := range classes[ci].Members {
+				pr := tidlist.Pair{A: m[0], B: m[1]}
+				owner[pr] = sched.Owner[ci]
+				want[pr] = true
+			}
+		}
+
+		// Second local scan: partial tid-lists for all frequent pairs.
+		p.ChargeScan(part.SizeBytes(), p.HostProcs())
+		partials := tidlist.BuildPairs(part, want)
+		var buildOps int64
+		for _, tx := range part.Transactions {
+			l := int64(len(tx.Items))
+			buildOps += l * (l - 1) / 2
+		}
+		p.ChargeOps(cluster.OpPairCount, buildOps)
+
+		// Exchange: route each partial list to its owner. Payload for
+		// ourselves stays local (G at its offset); the rest is R,
+		// transmitted over the Memory Channel.
+		out := make([][]pairList, t)
+		var sentBytes int64
+		for pr, tids := range partials {
+			dst := owner[pr]
+			out[dst] = append(out[dst], pairList{pair: pr, tids: tids})
+			if dst != p.ID() {
+				sentBytes += tids.SizeBytes()
+			}
+		}
+		// Deterministic order within each destination payload.
+		for dst := range out {
+			sort.Slice(out[dst], func(i, j int) bool {
+				a, b := out[dst][i].pair, out[dst][j].pair
+				if a.A != b.A {
+					return a.A < b.A
+				}
+				return a.B < b.B
+			})
+		}
+		in := cluster.Exchange(p, out, sentBytes)
+
+		// Assemble global tid-lists for owned pairs: concatenate the
+		// per-source partials in processor order — block partitions carry
+		// increasing TID ranges, so the result is sorted without sorting.
+		lists := make(map[tidlist.Pair]tidlist.List)
+		var ownedBytes, partialBytes int64
+		for _, pl := range partials {
+			partialBytes += pl.SizeBytes()
+		}
+		for src := 0; src < t; src++ {
+			for _, pl := range in[src] {
+				lists[pl.pair] = append(lists[pl.pair], pl.tids...)
+			}
+		}
+		for _, l := range lists {
+			ownedBytes += l.SizeBytes()
+		}
+		// The inverted local database is written out to disk and read back
+		// at the start of the asynchronous phase (the third and last scan).
+		// The transformation works in anonymous memory-mapped regions — the
+		// algorithm's one acknowledged weakness ("the one disadvantage of
+		// our algorithm is the virtual memory it requires to perform the
+		// transformation"): each of the host's processors holds its partial
+		// and assembled lists, and overflowing physical memory turns the
+		// region traffic into swap traffic.
+		if opts.ExternalTransform {
+			// External-memory transformation: spill the partial lists to
+			// disk as they are built, then merge them into the owned
+			// global lists in one more sequential pass. No paging — only
+			// bounded buffers live in memory — at the price of writing and
+			// re-reading the partials once.
+			p.ChargeDiskWrite(partialBytes, p.HostProcs())
+			p.ChargeScan(partialBytes, p.HostProcs())
+			p.ChargeDiskWrite(ownedBytes, p.HostProcs())
+		} else {
+			resident := int64(p.HostProcs()) * (ownedBytes + partialBytes)
+			factor := p.PageFactor(resident)
+			p.ChargeDiskWrite(ownedBytes*factor, p.HostProcs())
+		}
+
+		// ---- Asynchronous phase (section 5.3) ---------------------------
+		p.SetPhase(PhaseAsync)
+		p.ChargeScan(ownedBytes, p.HostProcs())
+		var st Stats
+		for _, ci := range sched.ClassesOf(p.ID()) {
+			computeFrequent(classMembers(&classes[ci], lists), minsup, &st, opts, local.Add)
+		}
+		p.ChargeOps(cluster.OpIntersect, st.IntersectOps)
+		p.ChargeCPU(st.Intersections)
+
+		// ---- Final reduction phase (section 5.4) ------------------------
+		p.SetPhase(PhaseReduce)
+		var localBytes int64
+		for _, f := range local.Itemsets {
+			localBytes += 4*int64(f.Set.K()) + 4
+		}
+		cluster.Gather(p, localBytes, localBytes)
+	})
+
+	// Assemble the global result exactly as processor 0 prints it.
+	res := &mining.Result{MinSup: minsup, NumTransactions: d.Len()}
+	for it, c := range globalItems {
+		if c >= minsup {
+			res.Add(itemset.Itemset{itemset.Item(it)}, c)
+		}
+	}
+	for _, fp := range globalPairs {
+		res.Add(fp.Pair.Itemset(), fp.Count)
+	}
+	for _, local := range locals {
+		res.Itemsets = append(res.Itemsets, local.Itemsets...)
+	}
+	res.Sort()
+	return res, cl.Report()
+}

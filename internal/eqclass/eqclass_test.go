@@ -1,0 +1,277 @@
+package eqclass
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/itemset"
+)
+
+// The paper's running example: L2 = {AB, AC, AD, AE, BC, BD, BE, DE}
+// partitions into S_A = {AB,AC,AD,AE}, S_B = {BC,BD,BE}, S_D = {DE}.
+func TestPartitionPaperExample(t *testing.T) {
+	const A, B, C, D, E = 0, 1, 2, 3, 4
+	l2 := []itemset.Itemset{
+		itemset.New(A, B), itemset.New(A, C), itemset.New(A, D), itemset.New(A, E),
+		itemset.New(B, C), itemset.New(B, D), itemset.New(B, E), itemset.New(D, E),
+	}
+	classes := Partition(l2)
+	if len(classes) != 3 {
+		t.Fatalf("got %d classes, want 3", len(classes))
+	}
+	if !classes[0].Prefix.Equal(itemset.New(A)) || len(classes[0].Members) != 4 {
+		t.Fatalf("S_A wrong: %+v", classes[0])
+	}
+	if !classes[1].Prefix.Equal(itemset.New(B)) || len(classes[1].Members) != 3 {
+		t.Fatalf("S_B wrong: %+v", classes[1])
+	}
+	if !classes[2].Prefix.Equal(itemset.New(D)) || len(classes[2].Members) != 1 {
+		t.Fatalf("S_D wrong: %+v", classes[2])
+	}
+	// Weights: C(4,2)=6, C(3,2)=3, C(1,2)=0.
+	if classes[0].Weight() != 6 || classes[1].Weight() != 3 || classes[2].Weight() != 0 {
+		t.Fatalf("weights wrong: %d %d %d", classes[0].Weight(), classes[1].Weight(), classes[2].Weight())
+	}
+	pruned := PruneSingletons(classes)
+	if len(pruned) != 2 {
+		t.Fatalf("PruneSingletons: %d classes left, want 2 (S_D eliminated)", len(pruned))
+	}
+}
+
+func TestPartitionDeeperPrefix(t *testing.T) {
+	sets := []itemset.Itemset{
+		itemset.New(1, 2, 3), itemset.New(1, 2, 5), itemset.New(1, 3, 5), itemset.New(2, 3, 4),
+	}
+	classes := Partition(sets)
+	if len(classes) != 3 {
+		t.Fatalf("got %d classes, want 3", len(classes))
+	}
+	if !classes[0].Prefix.Equal(itemset.New(1, 2)) {
+		t.Fatalf("first class prefix %v", classes[0].Prefix)
+	}
+}
+
+func TestPartitionEmptyAndPanics(t *testing.T) {
+	if Partition(nil) != nil {
+		t.Fatal("empty input should give no classes")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("1-itemsets should panic")
+		}
+	}()
+	Partition([]itemset.Itemset{itemset.New(1)})
+}
+
+func TestScheduleGreedy(t *testing.T) {
+	// Weights 6, 3, 1, 1 onto 2 procs: 6 -> p0; 3 -> p1; 1 -> p1 (load 4);
+	// 1 -> p1 (load 5).
+	classes := []Class{
+		mkClass(t, 0, 4),  // weight 6
+		mkClass(t, 10, 3), // weight 3
+		mkClass(t, 20, 2), // weight 1
+		mkClass(t, 30, 2), // weight 1
+	}
+	a := Schedule(classes, 2)
+	if a.Owner[0] != 0 || a.Owner[1] != 1 || a.Owner[2] != 1 || a.Owner[3] != 1 {
+		t.Fatalf("owners = %v", a.Owner)
+	}
+	if a.Load[0] != 6 || a.Load[1] != 5 {
+		t.Fatalf("loads = %v", a.Load)
+	}
+	if got := a.ClassesOf(1); len(got) != 3 {
+		t.Fatalf("ClassesOf(1) = %v", got)
+	}
+}
+
+func TestScheduleTieBreaksSmallerProc(t *testing.T) {
+	classes := []Class{mkClass(t, 0, 3), mkClass(t, 10, 3)}
+	a := Schedule(classes, 4)
+	// Equal weights: first (lexicographically smaller prefix) goes to proc
+	// 0, second to proc 1 (both empty; smaller id wins).
+	if a.Owner[0] != 0 || a.Owner[1] != 1 {
+		t.Fatalf("owners = %v", a.Owner)
+	}
+}
+
+func TestScheduleSingleProc(t *testing.T) {
+	classes := []Class{mkClass(t, 0, 5), mkClass(t, 10, 2)}
+	a := Schedule(classes, 1)
+	for _, o := range a.Owner {
+		if o != 0 {
+			t.Fatal("everything should go to proc 0")
+		}
+	}
+	if a.Imbalance() != 1 {
+		t.Fatalf("single proc imbalance = %v", a.Imbalance())
+	}
+}
+
+func TestScheduleInvalidProcsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Schedule(nil, 0)
+}
+
+func TestImbalanceNoLoad(t *testing.T) {
+	a := Schedule([]Class{mkClass(t, 0, 1)}, 3)
+	if a.Imbalance() != 1 {
+		t.Fatalf("no-load imbalance = %v", a.Imbalance())
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var classes []Class
+	for i := 0; i < 40; i++ {
+		classes = append(classes, mkClass(t, itemset.Item(i*10), 1+rng.Intn(6)))
+	}
+	a1 := Schedule(classes, 8)
+	a2 := Schedule(classes, 8)
+	for i := range a1.Owner {
+		if a1.Owner[i] != a2.Owner[i] {
+			t.Fatal("schedule nondeterministic")
+		}
+	}
+}
+
+// Property: partition covers every input exactly once, members share the
+// class prefix, and class prefixes are distinct.
+func TestPartitionQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		seen := map[string]bool{}
+		var sets []itemset.Itemset
+		for i := 0; i < 60; i++ {
+			a := itemset.Item(rng.Intn(10))
+			b := a + 1 + itemset.Item(rng.Intn(10))
+			s := itemset.New(a, b)
+			if seen[s.Key()] {
+				continue
+			}
+			seen[s.Key()] = true
+			sets = append(sets, s)
+		}
+		itemset.Sort(sets)
+		classes := Partition(sets)
+		total := 0
+		prefixes := map[string]bool{}
+		for _, c := range classes {
+			if prefixes[c.Prefix.Key()] {
+				return false // duplicate class
+			}
+			prefixes[c.Prefix.Key()] = true
+			for _, m := range c.Members {
+				if !m.HasPrefix(c.Prefix) {
+					return false
+				}
+				total++
+			}
+		}
+		return total == len(sets)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: greedy schedule load accounting is exact and near-balanced
+// (max load <= min load + max single weight).
+func TestScheduleQuick(t *testing.T) {
+	f := func(seed int64, np uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numProcs := 1 + int(np%8)
+		var classes []Class
+		var maxW int64
+		for i := 0; i < 30; i++ {
+			c := mkClassSafe(itemset.Item(i*20), 1+rng.Intn(7))
+			if c.Weight() > maxW {
+				maxW = c.Weight()
+			}
+			classes = append(classes, c)
+		}
+		a := Schedule(classes, numProcs)
+		want := make([]int64, numProcs)
+		for i, o := range a.Owner {
+			if o < 0 || o >= numProcs {
+				return false
+			}
+			want[o] += classes[i].Weight()
+		}
+		var min, max int64 = 1 << 62, 0
+		for p := range want {
+			if want[p] != a.Load[p] {
+				return false
+			}
+			if want[p] < min {
+				min = want[p]
+			}
+			if want[p] > max {
+				max = want[p]
+			}
+		}
+		return max <= min+maxW
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleByWeight(t *testing.T) {
+	// Weights 10, 9, 1, 1 on 2 procs: 10 -> p0; 9 -> p1; 1 -> p1 (10); 1 -> p0 (11).
+	a := ScheduleByWeight([]int64{10, 9, 1, 1}, 2)
+	if a.Owner[0] != 0 || a.Owner[1] != 1 || a.Owner[2] != 1 || a.Owner[3] != 0 {
+		t.Fatalf("owners = %v", a.Owner)
+	}
+	if a.Load[0] != 11 || a.Load[1] != 10 {
+		t.Fatalf("loads = %v", a.Load)
+	}
+	// Equal weights break ties by input index.
+	b := ScheduleByWeight([]int64{5, 5, 5}, 3)
+	if b.Owner[0] != 0 || b.Owner[1] != 1 || b.Owner[2] != 2 {
+		t.Fatalf("tie-break owners = %v", b.Owner)
+	}
+}
+
+func TestScheduleByWeightPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ScheduleByWeight(nil, 0)
+}
+
+func TestScheduleRoundRobin(t *testing.T) {
+	classes := []Class{mkClassSafe(0, 3), mkClassSafe(10, 2), mkClassSafe(20, 4)}
+	a := ScheduleRoundRobin(classes, 2)
+	if a.Owner[0] != 0 || a.Owner[1] != 1 || a.Owner[2] != 0 {
+		t.Fatalf("owners = %v", a.Owner)
+	}
+	if a.Load[0] != classes[0].Weight()+classes[2].Weight() || a.Load[1] != classes[1].Weight() {
+		t.Fatalf("loads = %v", a.Load)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 0 procs")
+		}
+	}()
+	ScheduleRoundRobin(classes, 0)
+}
+
+func mkClass(t *testing.T, first itemset.Item, members int) Class {
+	t.Helper()
+	return mkClassSafe(first, members)
+}
+
+func mkClassSafe(first itemset.Item, members int) Class {
+	c := Class{Prefix: itemset.New(first)}
+	for i := 0; i < members; i++ {
+		c.Members = append(c.Members, itemset.New(first, first+1+itemset.Item(i)))
+	}
+	return c
+}

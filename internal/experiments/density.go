@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/countdist"
+	"repro/internal/db"
+	"repro/internal/eclat"
+	"repro/internal/gen"
+)
+
+// Density compares Eclat and Count Distribution across the
+// Agrawal-Srikant workload families (T5.I2, T10.I6, T20.I6) at a fixed
+// |D| and support: transaction length drives the horizontal algorithms'
+// subset-enumeration cost combinatorially (each transaction of length l
+// spawns C(l,k) probes per pass) while Eclat's intersection cost grows
+// only with the tid-list volume — so the Eclat advantage should widen
+// with density. Not part of All(): the dense family is expensive for CD
+// by design.
+func (s *Suite) Density(w io.Writer, numTx int) {
+	if numTx <= 0 {
+		numTx = 10_000
+	}
+	fmt.Fprintf(w, "Density sweep: CD vs Eclat across workload families (|D|=%d, support %.2f%%)\n",
+		numTx, s.cfg.SupportPct)
+	fmt.Fprintf(w, "%-12s %8s %10s %10s %8s\n", "workload", "avg|T|", "CD", "Eclat", "CD/E")
+	families := []gen.Config{gen.T5I2(numTx), gen.T10I6(numTx), gen.T20I6(numTx)}
+	for _, cfg := range families {
+		d := gen.MustGenerate(cfg)
+		minsup := d.MinSupCount(s.cfg.SupportPct)
+		run := func(mine func(*cluster.Cluster, *db.Database, int) cluster.Report) cluster.Report {
+			cl := cluster.New(s.clusterConfig(HP{P: 1, H: 2}))
+			return mine(cl, d, minsup)
+		}
+		repE := run(func(cl *cluster.Cluster, d *db.Database, ms int) cluster.Report {
+			_, rep := eclat.Mine(cl, d, ms)
+			return rep
+		})
+		repC := run(func(cl *cluster.Cluster, d *db.Database, ms int) cluster.Report {
+			_, rep := countdist.Mine(cl, d, ms)
+			return rep
+		})
+		fmt.Fprintf(w, "%-12s %8.1f %9.1fs %9.1fs %8.1f\n",
+			cfg.Name(), d.AvgLen(), secs(repC.ElapsedNS), secs(repE.ElapsedNS),
+			float64(repC.ElapsedNS)/float64(repE.ElapsedNS))
+	}
+}

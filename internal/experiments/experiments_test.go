@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tiny returns a micro-suite that exercises every experiment in well
+// under a second of real time.
+func tiny() *Suite {
+	return New(Config{
+		Sizes: []SizeSpec{
+			{Analog: "D800K", NumTx: 1500, Seed: 999},
+			{Analog: "D1600K", NumTx: 3000, Seed: 1997},
+		},
+		SupportPct:   1.0,
+		Rows:         []HP{{1, 1}, {2, 2}},
+		HostMemBytes: 16 << 20,
+	})
+}
+
+func TestTable1Shape(t *testing.T) {
+	var buf bytes.Buffer
+	tiny().Table1(&buf)
+	out := buf.String()
+	for _, want := range []string{"Table 1", "T10.I6.D1500", "D800K", "MB"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	var buf bytes.Buffer
+	tiny().Figure6(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "Figure 6") || !strings.Contains(out, "k") {
+		t.Fatalf("Figure6 malformed:\n%s", out)
+	}
+	// At least k=1 and k=2 rows.
+	if len(strings.Split(strings.TrimSpace(out), "\n")) < 4 {
+		t.Fatalf("Figure6 too short:\n%s", out)
+	}
+}
+
+func TestTable2AndCaching(t *testing.T) {
+	s := tiny()
+	var buf bytes.Buffer
+	s.Table2(&buf)
+	if !strings.Contains(buf.String(), "CD/E") {
+		t.Fatalf("Table2 missing ratio column:\n%s", buf.String())
+	}
+	// A second render must reuse cached runs and produce identical output.
+	var buf2 bytes.Buffer
+	s.Table2(&buf2)
+	if buf.String() != buf2.String() {
+		t.Fatal("Table2 not deterministic across renders")
+	}
+}
+
+func TestFigure7Speedups(t *testing.T) {
+	s := tiny()
+	var buf bytes.Buffer
+	s.Figure7(&buf)
+	if !strings.Contains(buf.String(), "speedup") {
+		t.Fatalf("Figure7 malformed:\n%s", buf.String())
+	}
+}
+
+func TestPhasesAndInversionAndHybrid(t *testing.T) {
+	s := tiny()
+	var buf bytes.Buffer
+	s.Phases(&buf)
+	if !strings.Contains(buf.String(), "transform") {
+		t.Fatalf("Phases malformed:\n%s", buf.String())
+	}
+	buf.Reset()
+	s.Inversion(&buf)
+	if !strings.Contains(buf.String(), "Eclat tracks database size") {
+		t.Fatalf("Inversion malformed:\n%s", buf.String())
+	}
+	buf.Reset()
+	s.Hybrid(&buf)
+	if !strings.Contains(buf.String(), "hybrid") {
+		t.Fatalf("Hybrid malformed:\n%s", buf.String())
+	}
+}
+
+func TestInversionNeedsTwoSizes(t *testing.T) {
+	s := New(Config{
+		Sizes:        []SizeSpec{{Analog: "D800K", NumTx: 500, Seed: 1}},
+		SupportPct:   2,
+		Rows:         []HP{{1, 1}},
+		HostMemBytes: 1 << 20,
+	})
+	var buf bytes.Buffer
+	s.Inversion(&buf)
+	if !strings.Contains(buf.String(), "needs at least two") {
+		t.Fatalf("expected graceful message, got:\n%s", buf.String())
+	}
+}
+
+func TestUnknownAlgoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tiny().Run("bogus", SizeSpec{Analog: "x", NumTx: 100, Seed: 1}, HP{1, 1})
+}
+
+func TestPlots(t *testing.T) {
+	s := tiny()
+	var buf bytes.Buffer
+	s.Figure6Plot(&buf)
+	if !strings.Contains(buf.String(), "Figure 6") || !strings.Contains(buf.String(), "*") {
+		t.Fatalf("Figure6Plot malformed:\n%s", buf.String())
+	}
+	buf.Reset()
+	s.Figure7Plot(&buf)
+	if !strings.Contains(buf.String(), "speedup") || !strings.Contains(buf.String(), "D800K") {
+		t.Fatalf("Figure7Plot malformed:\n%s", buf.String())
+	}
+}
+
+func TestAllRunsEverything(t *testing.T) {
+	var buf bytes.Buffer
+	tiny().All(&buf)
+	out := buf.String()
+	for _, want := range []string{"Table 1", "Figure 6", "Table 2", "Figure 7", "Inversion", "hybrid", "regenerated in"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("All() missing %q", want)
+		}
+	}
+}
+
+func TestDensity(t *testing.T) {
+	s := tiny()
+	var buf bytes.Buffer
+	s.Density(&buf, 800)
+	out := buf.String()
+	for _, want := range []string{"T5.I2", "T10.I6", "T20.I6", "CD/E"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Density missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	s := tiny()
+	dir := t.TempDir()
+	if err := s.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"figure6.csv", "table2.csv", "figure7.csv", "phases.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+		if len(lines) < 2 {
+			t.Fatalf("%s: no data rows:\n%s", name, data)
+		}
+		if !strings.Contains(lines[0], ",") {
+			t.Fatalf("%s: header not CSV: %q", name, lines[0])
+		}
+	}
+	if err := s.WriteCSV("/dev/null/not-a-dir"); err == nil {
+		t.Fatal("unwritable directory should error")
+	}
+}
+
+func TestDefaultAndQuickConfigs(t *testing.T) {
+	d := Default()
+	if len(d.Sizes) != 3 || len(d.Rows) != 10 {
+		t.Fatalf("Default suite shape wrong: %d sizes, %d rows", len(d.Sizes), len(d.Rows))
+	}
+	q := Quick()
+	if len(q.Sizes) >= len(d.Sizes) && len(q.Rows) >= len(d.Rows) {
+		t.Fatal("Quick should be smaller than Default")
+	}
+	if (HP{3, 8}).T() != 24 {
+		t.Fatal("HP.T wrong")
+	}
+}

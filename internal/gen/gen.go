@@ -1,0 +1,321 @@
+// Package gen implements the IBM Quest synthetic basket-data generator of
+// Agrawal & Srikant (VLDB'94, section 2.4.3), the procedure the paper uses
+// for all its databases ("We used different synthetic databases ... which
+// were generated using the procedure described in [4]").
+//
+// The generator first draws |L| "maximal potentially large itemsets"
+// (patterns): pattern sizes are Poisson with mean |I|, successive patterns
+// share an exponentially-sized fraction of items with their predecessor to
+// model correlated purchases, each pattern carries an exponential weight
+// (normalized to sum 1) and a corruption level drawn from N(0.5, 0.1^2).
+// Transactions then have Poisson(|T|) sizes and are filled by repeatedly
+// picking a pattern with probability proportional to its weight, dropping
+// items from it while a uniform draw stays below its corruption level, and
+// assigning itemsets that no longer fit to the next transaction half of
+// the time.
+//
+// Everything is driven by a single seeded PRNG, so a Config generates the
+// identical database on every run and platform.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/db"
+	"repro/internal/itemset"
+)
+
+// Config holds the generator parameters in the paper's notation.
+type Config struct {
+	NumTransactions int     // |D|
+	AvgTxLen        float64 // |T|: average transaction size
+	AvgPatternLen   float64 // |I|: average size of maximal potentially frequent itemsets
+	NumPatterns     int     // |L|: number of maximal potentially frequent itemsets (paper: 2000)
+	NumItems        int     // N: number of items (paper: 1000)
+
+	// CorruptionMean/Dev parameterize the per-pattern corruption level;
+	// Correlation is the mean fraction of items a pattern inherits from its
+	// predecessor. Zero values select the published defaults (0.5, 0.1, 0.5).
+	CorruptionMean float64
+	CorruptionDev  float64
+	Correlation    float64
+
+	Seed int64
+}
+
+// T10I6 returns the configuration family used throughout the paper's
+// evaluation: |T|=10, |I|=6, |L|=2000, N=1000, varying only |D|.
+func T10I6(numTransactions int) Config {
+	return family(numTransactions, 10, 6)
+}
+
+// T5I2 returns the sparsest workload of the Agrawal-Srikant benchmark
+// family (|T|=5, |I|=2): short baskets, short patterns.
+func T5I2(numTransactions int) Config {
+	return family(numTransactions, 5, 2)
+}
+
+// T20I6 returns the densest standard workload (|T|=20, |I|=6): long
+// baskets with the paper's pattern length — the regime where vertical
+// representations and diffsets pay off most.
+func T20I6(numTransactions int) Config {
+	return family(numTransactions, 20, 6)
+}
+
+func family(numTransactions int, t, i float64) Config {
+	return Config{
+		NumTransactions: numTransactions,
+		AvgTxLen:        t,
+		AvgPatternLen:   i,
+		NumPatterns:     2000,
+		NumItems:        1000,
+		Seed:            1997, // SPAA'97
+	}
+}
+
+// Name renders the configuration in the paper's naming scheme,
+// e.g. "T10.I6.D800K".
+func (c Config) Name() string {
+	d := c.NumTransactions
+	switch {
+	case d >= 1_000_000 && d%1_000_000 == 0:
+		return fmt.Sprintf("T%d.I%d.D%dM", int(c.AvgTxLen), int(c.AvgPatternLen), d/1_000_000)
+	case d >= 1000 && d%1000 == 0:
+		return fmt.Sprintf("T%d.I%d.D%dK", int(c.AvgTxLen), int(c.AvgPatternLen), d/1000)
+	default:
+		return fmt.Sprintf("T%d.I%d.D%d", int(c.AvgTxLen), int(c.AvgPatternLen), d)
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.CorruptionMean == 0 {
+		c.CorruptionMean = 0.5
+	}
+	if c.CorruptionDev == 0 {
+		c.CorruptionDev = 0.1
+	}
+	if c.Correlation == 0 {
+		c.Correlation = 0.5
+	}
+	if c.NumPatterns == 0 {
+		c.NumPatterns = 2000
+	}
+	if c.NumItems == 0 {
+		c.NumItems = 1000
+	}
+	return c
+}
+
+// Validate reports configuration errors before generation.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	switch {
+	case c.NumTransactions < 0:
+		return fmt.Errorf("gen: negative NumTransactions %d", c.NumTransactions)
+	case c.NumItems < 1:
+		return fmt.Errorf("gen: NumItems %d < 1", c.NumItems)
+	case c.AvgTxLen <= 0:
+		return fmt.Errorf("gen: AvgTxLen %v <= 0", c.AvgTxLen)
+	case c.AvgPatternLen <= 0:
+		return fmt.Errorf("gen: AvgPatternLen %v <= 0", c.AvgPatternLen)
+	case c.NumPatterns < 1:
+		return fmt.Errorf("gen: NumPatterns %d < 1", c.NumPatterns)
+	}
+	return nil
+}
+
+// pattern is one maximal potentially large itemset.
+type pattern struct {
+	items      itemset.Itemset
+	cumWeight  float64 // cumulative normalized weight, for coin tossing
+	corruption float64
+}
+
+// poisson draws from a Poisson distribution with the given mean using
+// Knuth's product method (means here are ~10, so this is fine).
+func poisson(rng *rand.Rand, mean float64) int {
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Generate produces the synthetic database described by c.
+func Generate(c Config) (*db.Database, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	c = c.withDefaults()
+	rng := rand.New(rand.NewSource(c.Seed))
+
+	patterns := makePatterns(c, rng)
+
+	d := &db.Database{NumItems: c.NumItems}
+	d.Transactions = make([]db.Transaction, 0, c.NumTransactions)
+
+	// Itemsets that did not fit in the previous transaction and were
+	// deferred to the next one (the "assigned to the next transaction"
+	// overflow rule).
+	var carry []itemset.Itemset
+
+	for tid := 0; tid < c.NumTransactions; tid++ {
+		size := poisson(rng, c.AvgTxLen)
+		if size < 1 {
+			size = 1
+		}
+		if size > c.NumItems {
+			size = c.NumItems
+		}
+		tx := make(map[itemset.Item]bool, size)
+
+		add := func(set itemset.Itemset) bool {
+			// If the itemset overflows the transaction, keep it anyway half
+			// the time; otherwise defer it.
+			if len(tx)+len(set) > size && len(tx) > 0 {
+				if rng.Float64() < 0.5 {
+					carry = append(carry, set)
+					return false
+				}
+			}
+			for _, it := range set {
+				tx[it] = true
+			}
+			return true
+		}
+
+		// Drain deferred itemsets first.
+		pending := carry
+		carry = nil
+		for _, set := range pending {
+			add(set)
+		}
+
+		for len(tx) < size {
+			p := pickPattern(patterns, rng)
+			set := corrupt(p, rng)
+			if len(set) == 0 {
+				continue
+			}
+			add(set)
+		}
+
+		items := make([]itemset.Item, 0, len(tx))
+		for it := range tx {
+			items = append(items, it)
+		}
+		sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+		d.Transactions = append(d.Transactions, db.Transaction{
+			TID:   itemset.TID(tid),
+			Items: itemset.Itemset(items),
+		})
+	}
+	return d, nil
+}
+
+// MustGenerate is Generate for known-good configs (panics on error); used
+// by tests and benchmarks.
+func MustGenerate(c Config) *db.Database {
+	d, err := Generate(c)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func makePatterns(c Config, rng *rand.Rand) []pattern {
+	patterns := make([]pattern, c.NumPatterns)
+	weights := make([]float64, c.NumPatterns)
+	var totalWeight float64
+	var prev itemset.Itemset
+
+	for i := range patterns {
+		size := poisson(rng, c.AvgPatternLen)
+		if size < 1 {
+			size = 1
+		}
+		if size > c.NumItems {
+			size = c.NumItems
+		}
+		picked := make(map[itemset.Item]bool, size)
+
+		// Fraction of items inherited from the previous pattern, drawn from
+		// an exponential with mean Correlation and clamped to [0,1].
+		if prev != nil {
+			frac := rng.ExpFloat64() * c.Correlation
+			if frac > 1 {
+				frac = 1
+			}
+			inherit := int(frac * float64(size))
+			for j := 0; j < inherit && j < len(prev); j++ {
+				picked[prev[rng.Intn(len(prev))]] = true
+			}
+		}
+		for len(picked) < size {
+			picked[itemset.Item(rng.Intn(c.NumItems))] = true
+		}
+
+		items := make([]itemset.Item, 0, len(picked))
+		for it := range picked {
+			items = append(items, it)
+		}
+		sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+		patterns[i].items = itemset.Itemset(items)
+		prev = patterns[i].items
+
+		weights[i] = rng.ExpFloat64()
+		totalWeight += weights[i]
+
+		corr := c.CorruptionMean + rng.NormFloat64()*c.CorruptionDev
+		if corr < 0 {
+			corr = 0
+		}
+		if corr > 0.95 {
+			corr = 0.95
+		}
+		patterns[i].corruption = corr
+	}
+
+	// Normalize weights into a cumulative distribution.
+	var cum float64
+	for i := range patterns {
+		cum += weights[i] / totalWeight
+		patterns[i].cumWeight = cum
+	}
+	patterns[len(patterns)-1].cumWeight = 1 // guard against float drift
+	return patterns
+}
+
+// pickPattern tosses the |L|-sided weighted coin.
+func pickPattern(patterns []pattern, rng *rand.Rand) *pattern {
+	x := rng.Float64()
+	lo, hi := 0, len(patterns)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if patterns[mid].cumWeight < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return &patterns[lo]
+}
+
+// corrupt drops items from p while successive uniform draws stay below the
+// pattern's corruption level, modelling customers who buy only part of a
+// frequent pattern.
+func corrupt(p *pattern, rng *rand.Rand) itemset.Itemset {
+	set := p.items.Clone()
+	for len(set) > 0 && rng.Float64() < p.corruption {
+		i := rng.Intn(len(set))
+		set = append(set[:i], set[i+1:]...)
+	}
+	return set
+}

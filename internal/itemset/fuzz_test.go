@@ -1,0 +1,58 @@
+package itemset
+
+import "testing"
+
+// FuzzParseKey: arbitrary strings must never panic the parser, and every
+// canonical key (produced by Key) must round-trip.
+func FuzzParseKey(f *testing.F) {
+	f.Add("")
+	f.Add("1,2,3")
+	f.Add(New(5, 900, 12).Key())
+	f.Add(",,,")
+	f.Add("zz@!")
+
+	f.Fuzz(func(t *testing.T, key string) {
+		set, err := ParseKey(key)
+		if err != nil {
+			return
+		}
+		// The parse may produce an unsorted "itemset" from a non-canonical
+		// key; canonicalize and check that canonical keys are stable.
+		canon := New(set...)
+		back, err := ParseKey(canon.Key())
+		if err != nil {
+			t.Fatalf("canonical key failed to parse: %v", err)
+		}
+		if !back.Equal(canon) {
+			t.Fatalf("canonical round trip: %v != %v", back, canon)
+		}
+	})
+}
+
+// FuzzSubsetAlgebra cross-checks SubsetOf / Union / Minus on arbitrary
+// byte-derived itemsets.
+func FuzzSubsetAlgebra(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{2, 3, 4})
+	f.Add([]byte{}, []byte{9})
+
+	f.Fuzz(func(t *testing.T, ra, rb []byte) {
+		var ai, bi []Item
+		for _, x := range ra {
+			ai = append(ai, Item(x))
+		}
+		for _, x := range rb {
+			bi = append(bi, Item(x))
+		}
+		a, b := New(ai...), New(bi...)
+		u := a.Union(b)
+		if !a.SubsetOf(u) || !b.SubsetOf(u) {
+			t.Fatal("operands must be subsets of their union")
+		}
+		if d := u.Minus(b); !d.SubsetOf(a) {
+			t.Fatal("(a ∪ b) \\ b must be within a")
+		}
+		if a.SubsetOf(b) && b.SubsetOf(a) && !a.Equal(b) {
+			t.Fatal("mutual subsets must be equal")
+		}
+	})
+}

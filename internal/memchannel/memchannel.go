@@ -1,0 +1,138 @@
+// Package memchannel models the DEC Memory Channel interconnect of the
+// paper's testbed (section 6.1): a global address space of mapped regions
+// where "unicast and multicast process-to-process writes have a latency
+// of 5.2 us, with per-link transfer bandwidths of 30 MB/s. MC peak
+// aggregate bandwidth is also about 32 MB/s."
+//
+// The model is purely a deterministic virtual-time calculator; actual data
+// movement in the simulation happens through Go memory, which preserves
+// the Memory Channel's semantics (reliable, ordered, shared regions)
+// exactly. Three cost shapes cover everything the algorithms do:
+//
+//   - point-to-point / broadcast writes (sum-reductions, result gathers);
+//   - mutually exclusive updates of a shared region (the paper's O(P)
+//     reduction in section 6.2);
+//   - the lock-step buffered all-to-all tid-list exchange with 2 MB
+//     transmit/receive buffers (section 6.3), whose round count the buffer
+//     size controls and whose throughput the aggregate hub bandwidth caps.
+//
+// Write-doubling (section 6.1: each processor writes to its receive
+// region and then its transmit region so same-host processes see the
+// update without hub loop-back) doubles the charged write volume.
+package memchannel
+
+import "fmt"
+
+// Model holds the interconnect parameters.
+type Model struct {
+	LatencyNS          int64 // per message (5.2 us on the DEC MC)
+	LinkBytesPerSecond int64 // per-link bandwidth (30 MB/s)
+	AggBytesPerSecond  int64 // hub aggregate bandwidth (32 MB/s)
+	BufferBytes        int64 // transmit/receive region size (2 MB in the paper)
+	WriteDoubling      bool  // double write volume instead of loop-back
+}
+
+// DefaultDEC returns the published Memory Channel figures.
+func DefaultDEC() Model {
+	return Model{
+		LatencyNS:          5200,
+		LinkBytesPerSecond: 30 << 20,
+		AggBytesPerSecond:  32 << 20,
+		BufferBytes:        2 << 20,
+		WriteDoubling:      true,
+	}
+}
+
+// Network is a cost calculator for one cluster's interconnect.
+type Network struct {
+	model Model
+}
+
+// New validates the model and returns a Network.
+func New(m Model) *Network {
+	if m.LinkBytesPerSecond <= 0 || m.AggBytesPerSecond <= 0 || m.BufferBytes <= 0 {
+		panic(fmt.Sprintf("memchannel: invalid model %+v", m))
+	}
+	return &Network{model: m}
+}
+
+// Model returns the configured parameters.
+func (n *Network) Model() Model { return n.model }
+
+func (n *Network) writeFactor() int64 {
+	if n.model.WriteDoubling {
+		return 2
+	}
+	return 1
+}
+
+// SendNS returns the cost of one point-to-point (or multicast: the MC hub
+// forwards a single write to all mapped receivers) write of `bytes`.
+func (n *Network) SendNS(bytes int64) int64 {
+	return n.model.LatencyNS + n.writeFactor()*bytes*1e9/n.model.LinkBytesPerSecond
+}
+
+// ExclusiveReduceNS returns the per-processor cost of the paper's simple
+// O(P) sum-reduction: each of `procs` processors in turn acquires the
+// shared region and adds its `bytes`-sized partial vector. Every
+// participant effectively waits for the whole sequence, so the charge is
+// the full serialized time.
+func (n *Network) ExclusiveReduceNS(bytes int64, procs int) int64 {
+	if procs < 1 {
+		procs = 1
+	}
+	return int64(procs) * n.SendNS(bytes)
+}
+
+// ExchangeNS returns the per-processor virtual time of the lock-step
+// all-to-all exchange in which processor i contributes sent[i] bytes. The
+// protocol alternates write and read phases over fixed-size buffers
+// (section 6.3), so processor i performs ceil(sent[i]/buffer) write
+// rounds; every processor also rescans all receive regions each round, and
+// the hub's aggregate bandwidth bounds total progress. The returned slice
+// is indexed like sent.
+func (n *Network) ExchangeNS(sent []int64) []int64 {
+	out := make([]int64, len(sent))
+	if len(sent) == 0 {
+		return out
+	}
+	var total, maxSent int64
+	for _, b := range sent {
+		total += b
+		if b > maxSent {
+			maxSent = b
+		}
+	}
+	// The exchange proceeds in global lock-step rounds; the number of
+	// rounds is set by the largest sender.
+	rounds := (maxSent + n.model.BufferBytes - 1) / n.model.BufferBytes
+	if rounds < 1 {
+		rounds = 1
+	}
+	// Aggregate-bandwidth floor: the hub moves `total` bytes once
+	// (multiplied by write-doubling on the sender side).
+	aggNS := n.writeFactor() * total * 1e9 / n.model.AggBytesPerSecond
+	for i, b := range sent {
+		// Own link time for writes plus per-round latency for the
+		// alternating write/read phases (2 messages per round).
+		own := 2*rounds*n.model.LatencyNS + n.writeFactor()*b*1e9/n.model.LinkBytesPerSecond
+		if own < aggNS {
+			own = aggNS
+		}
+		out[i] = own
+	}
+	return out
+}
+
+// BarrierNS returns the synchronization cost of one barrier among `procs`
+// processors: a log-depth combining tree of MC writes.
+func (n *Network) BarrierNS(procs int) int64 {
+	depth := int64(0)
+	for p := int64(1); p < int64(procs); p *= 2 {
+		depth++
+	}
+	if depth == 0 {
+		depth = 1
+	}
+	return depth * n.model.LatencyNS
+}

@@ -1,0 +1,114 @@
+package memchannel
+
+import "testing"
+
+func TestDefaultDECFigures(t *testing.T) {
+	m := DefaultDEC()
+	if m.LatencyNS != 5200 {
+		t.Fatalf("latency = %d, paper says 5.2us", m.LatencyNS)
+	}
+	if m.LinkBytesPerSecond != 30<<20 || m.AggBytesPerSecond != 32<<20 {
+		t.Fatal("bandwidths should match the published 30/32 MB/s")
+	}
+	if m.BufferBytes != 2<<20 {
+		t.Fatal("exchange buffer should be the paper's 2MB")
+	}
+}
+
+func TestSendCost(t *testing.T) {
+	n := New(DefaultDEC())
+	zero := n.SendNS(0)
+	if zero != 5200 {
+		t.Fatalf("zero-byte send should cost one latency, got %d", zero)
+	}
+	mb := n.SendNS(30 << 20)
+	// 30MB at 30MB/s is 1s of link time, doubled by write-doubling.
+	wantLow, wantHigh := int64(1.9e9), int64(2.1e9)
+	if mb < wantLow || mb > wantHigh {
+		t.Fatalf("30MB send = %dns, want ~2s with write-doubling", mb)
+	}
+	m := DefaultDEC()
+	m.WriteDoubling = false
+	single := New(m).SendNS(30 << 20)
+	if single >= mb {
+		t.Fatal("write-doubling should double transfer cost")
+	}
+}
+
+func TestExclusiveReduceSerializes(t *testing.T) {
+	n := New(DefaultDEC())
+	one := n.ExclusiveReduceNS(1024, 1)
+	eight := n.ExclusiveReduceNS(1024, 8)
+	if eight != 8*one {
+		t.Fatalf("O(P) reduction: P=8 should be 8x P=1 (%d vs %d)", eight, one)
+	}
+	if n.ExclusiveReduceNS(1024, 0) != one {
+		t.Fatal("procs < 1 should clamp")
+	}
+}
+
+func TestExchangeCostShape(t *testing.T) {
+	n := New(DefaultDEC())
+	// Balanced exchange.
+	costs := n.ExchangeNS([]int64{1 << 20, 1 << 20, 1 << 20, 1 << 20})
+	for i := 1; i < len(costs); i++ {
+		if costs[i] != costs[0] {
+			t.Fatalf("balanced exchange should cost the same everywhere: %v", costs)
+		}
+	}
+	// The aggregate-bandwidth floor binds: 4MB total (8MB written with
+	// doubling) at 32MB/s aggregate is 250ms; a single link could do its
+	// 1MB much faster.
+	if costs[0] < 200e6 {
+		t.Fatalf("aggregate bandwidth floor not applied: %v", costs)
+	}
+	// More total volume costs more.
+	bigger := n.ExchangeNS([]int64{8 << 20, 8 << 20, 8 << 20, 8 << 20})
+	if bigger[0] <= costs[0] {
+		t.Fatal("larger exchange should cost more")
+	}
+	if got := n.ExchangeNS(nil); len(got) != 0 {
+		t.Fatal("empty exchange")
+	}
+	// Zero-byte participants still pay the lock-step round latencies.
+	z := n.ExchangeNS([]int64{0, 0})
+	if z[0] < 2*5200 {
+		t.Fatalf("zero exchange should still cost round latency, got %d", z[0])
+	}
+}
+
+func TestExchangeRoundsGrowWithBuffer(t *testing.T) {
+	small := DefaultDEC()
+	small.BufferBytes = 64 << 10
+	small.AggBytesPerSecond = 1 << 40 // disable the aggregate floor
+	small.LinkBytesPerSecond = 1 << 40
+	nSmall := New(small)
+	big := small
+	big.BufferBytes = 8 << 20
+	nBig := New(big)
+	sent := []int64{4 << 20, 4 << 20}
+	if nSmall.ExchangeNS(sent)[0] <= nBig.ExchangeNS(sent)[0] {
+		t.Fatal("smaller buffers mean more lock-step rounds and more latency")
+	}
+}
+
+func TestBarrierCostLogDepth(t *testing.T) {
+	n := New(DefaultDEC())
+	b2 := n.BarrierNS(2)
+	b32 := n.BarrierNS(32)
+	if b32 != 5*b2 {
+		t.Fatalf("barrier(32) should be log2(32)=5 levels: %d vs %d", b32, b2)
+	}
+	if n.BarrierNS(1) != 5200 {
+		t.Fatal("single-proc barrier costs one latency minimum")
+	}
+}
+
+func TestInvalidModelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Model{LatencyNS: 1})
+}

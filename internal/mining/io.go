@@ -1,0 +1,98 @@
+package mining
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/itemset"
+)
+
+// Write serializes a result as a line-oriented text format that external
+// tools (and the cmd pipelines) can consume:
+//
+//	# eclat-result minsup=<K> transactions=<N>
+//	<support>\t<item> <item> ...
+//
+// Itemsets appear in the result's current order.
+func Write(w io.Writer, res *Result) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# eclat-result minsup=%d transactions=%d\n",
+		res.MinSup, res.NumTransactions); err != nil {
+		return err
+	}
+	for _, f := range res.Itemsets {
+		if _, err := fmt.Fprintf(bw, "%d\t", f.Support); err != nil {
+			return err
+		}
+		for i, it := range f.Set {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.Itoa(int(it))); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the format written by Write.
+func Read(r io.Reader) (*Result, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("mining: empty result stream")
+	}
+	header := sc.Text()
+	res := &Result{}
+	if _, err := fmt.Sscanf(header, "# eclat-result minsup=%d transactions=%d",
+		&res.MinSup, &res.NumTransactions); err != nil {
+		return nil, fmt.Errorf("mining: bad header %q: %w", header, err)
+	}
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		supStr, itemsStr, ok := strings.Cut(text, "\t")
+		if !ok {
+			return nil, fmt.Errorf("mining: line %d: missing tab separator", line)
+		}
+		sup, err := strconv.Atoi(supStr)
+		if err != nil {
+			return nil, fmt.Errorf("mining: line %d: bad support: %w", line, err)
+		}
+		fields := strings.Fields(itemsStr)
+		set := make(itemset.Itemset, 0, len(fields))
+		for _, f := range fields {
+			v, err := strconv.ParseInt(f, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("mining: line %d: bad item %q: %w", line, f, err)
+			}
+			set = append(set, itemset.Item(v))
+		}
+		if len(set) == 0 {
+			return nil, fmt.Errorf("mining: line %d: empty itemset", line)
+		}
+		for i := 1; i < len(set); i++ {
+			if set[i-1] >= set[i] {
+				return nil, fmt.Errorf("mining: line %d: items not strictly increasing", line)
+			}
+		}
+		res.Add(set, sup)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("mining: %w", err)
+	}
+	return res, nil
+}

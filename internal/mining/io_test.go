@@ -1,0 +1,68 @@
+package mining
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/itemset"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	res := sample()
+	res.Sort()
+	var buf bytes.Buffer
+	if err := Write(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.MinSup != res.MinSup || back.NumTransactions != res.NumTransactions {
+		t.Fatalf("header lost: %+v", back)
+	}
+	if !Equal(back, res) {
+		t.Fatal(Diff(back, res))
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not a header\n",
+		"# eclat-result minsup=2 transactions=5\nnot-a-support\t1 2\n",
+		"# eclat-result minsup=2 transactions=5\n3 1 2\n",    // missing tab
+		"# eclat-result minsup=2 transactions=5\n3\t2 1\n",   // unsorted
+		"# eclat-result minsup=2 transactions=5\n3\t1 one\n", // bad item
+		"# eclat-result minsup=2 transactions=5\n3\t\n",      // empty itemset
+		"# eclat-result minsup=2 transactions=5\n3\t1 1\n",   // duplicate
+	}
+	for i, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should be rejected: %q", i, c)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# eclat-result minsup=1 transactions=9\n\n# comment\n4\t1 2\n"
+	res, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || !res.Itemsets[0].Set.Equal(itemset.New(1, 2)) {
+		t.Fatalf("parsed %v", res.Itemsets)
+	}
+}
+
+func TestWriteEmptyResult(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &Result{MinSup: 3, NumTransactions: 7}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil || back.Len() != 0 || back.MinSup != 3 {
+		t.Fatalf("empty round trip: %v %v", back, err)
+	}
+}

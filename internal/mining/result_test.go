@@ -1,0 +1,124 @@
+package mining
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/itemset"
+)
+
+func sample() *Result {
+	r := &Result{MinSup: 2, NumTransactions: 10}
+	r.Add(itemset.New(1), 5)
+	r.Add(itemset.New(2), 4)
+	r.Add(itemset.New(1, 2), 3)
+	return r
+}
+
+func TestSortAndLen(t *testing.T) {
+	r := &Result{}
+	r.Add(itemset.New(2, 3), 1)
+	r.Add(itemset.New(1), 2)
+	r.Add(itemset.New(1, 2), 1)
+	r.Sort()
+	if !r.Itemsets[0].Set.Equal(itemset.New(1)) ||
+		!r.Itemsets[1].Set.Equal(itemset.New(1, 2)) ||
+		!r.Itemsets[2].Set.Equal(itemset.New(2, 3)) {
+		t.Fatalf("sort order wrong: %v", r.Itemsets)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestMaxKAndCountsByK(t *testing.T) {
+	r := sample()
+	if r.MaxK() != 2 {
+		t.Fatalf("MaxK = %d", r.MaxK())
+	}
+	byK := r.CountsByK()
+	if byK[1] != 2 || byK[2] != 1 {
+		t.Fatalf("CountsByK = %v", byK)
+	}
+	if (&Result{}).MaxK() != 0 {
+		t.Fatal("empty MaxK should be 0")
+	}
+}
+
+func TestSupportMapAndOf(t *testing.T) {
+	r := sample()
+	m := r.SupportMap()
+	if m[itemset.New(1, 2).Key()] != 3 {
+		t.Fatalf("SupportMap = %v", m)
+	}
+	if r.SupportOf(itemset.New(2)) != 4 || r.SupportOf(itemset.New(9)) != 0 {
+		t.Fatal("SupportOf wrong")
+	}
+}
+
+func TestEqualAndDiff(t *testing.T) {
+	a, b := sample(), sample()
+	if !Equal(a, b) {
+		t.Fatal("identical results should be equal")
+	}
+	b.Itemsets[0].Support = 99
+	if Equal(a, b) {
+		t.Fatal("different supports should not be equal")
+	}
+	if d := Diff(a, b); !strings.Contains(d, "a=5") {
+		t.Fatalf("Diff should describe the discrepancy: %q", d)
+	}
+	if Diff(a, a) != "results identical" {
+		t.Fatal("Diff of equal results")
+	}
+	c := sample()
+	c.Add(itemset.New(7), 3)
+	if Equal(a, c) {
+		t.Fatal("extra itemset should not be equal")
+	}
+	if d := Diff(a, c); !strings.Contains(d, "{7}") {
+		t.Fatalf("Diff should mention the extra itemset: %q", d)
+	}
+}
+
+func TestVerifyAcceptsConsistent(t *testing.T) {
+	if err := sample().Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyRejections(t *testing.T) {
+	// Support below minsup.
+	r := &Result{MinSup: 5}
+	r.Add(itemset.New(1), 3)
+	if err := r.Verify(); err == nil {
+		t.Fatal("support below minsup should fail")
+	}
+	// Missing subset.
+	r = &Result{MinSup: 1}
+	r.Add(itemset.New(1, 2), 3)
+	if err := r.Verify(); err == nil || !strings.Contains(err.Error(), "closure") {
+		t.Fatalf("closure violation should fail: %v", err)
+	}
+	// Anti-monotonicity violation.
+	r = &Result{MinSup: 1}
+	r.Add(itemset.New(1), 2)
+	r.Add(itemset.New(2), 5)
+	r.Add(itemset.New(1, 2), 4)
+	if err := r.Verify(); err == nil || !strings.Contains(err.Error(), "anti-monotonicity") {
+		t.Fatalf("anti-monotonicity should fail: %v", err)
+	}
+	// Duplicates.
+	r = &Result{MinSup: 1}
+	r.Add(itemset.New(1), 2)
+	r.Add(itemset.New(1), 2)
+	if err := r.Verify(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicates should fail: %v", err)
+	}
+	// Empty itemset.
+	r = &Result{MinSup: 1}
+	r.Add(itemset.Itemset{}, 2)
+	if err := r.Verify(); err == nil {
+		t.Fatal("empty itemset should fail")
+	}
+}

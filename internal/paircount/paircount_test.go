@@ -1,0 +1,200 @@
+package paircount
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/db"
+	"repro/internal/itemset"
+)
+
+func TestIndexBijective(t *testing.T) {
+	c := New(20)
+	seen := map[int]bool{}
+	for a := itemset.Item(0); a < 20; a++ {
+		for b := a + 1; b < 20; b++ {
+			i := c.index(a, b)
+			if i < 0 || i >= c.NumCells() {
+				t.Fatalf("index(%d,%d) = %d out of range [0,%d)", a, b, i, c.NumCells())
+			}
+			if seen[i] {
+				t.Fatalf("index collision at (%d,%d)", a, b)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != c.NumCells() {
+		t.Fatalf("covered %d cells of %d", len(seen), c.NumCells())
+	}
+}
+
+func TestCountBasics(t *testing.T) {
+	c := New(5)
+	c.AddTransaction(itemset.New(0, 1, 2))
+	c.AddTransaction(itemset.New(1, 2, 4))
+	if c.Count(1, 2) != 2 || c.Count(2, 1) != 2 {
+		t.Fatalf("Count(1,2) = %d", c.Count(1, 2))
+	}
+	if c.Count(0, 4) != 0 {
+		t.Fatal("Count(0,4) should be 0")
+	}
+	if c.Count(0, 1) != 1 {
+		t.Fatal("Count(0,1) should be 1")
+	}
+}
+
+func TestSelfPairPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(3).Count(1, 1)
+}
+
+func TestMergeEqualsWholeScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := &db.Database{NumItems: 15}
+	for i := 0; i < 300; i++ {
+		items := make([]itemset.Item, 1+rng.Intn(6))
+		for j := range items {
+			items[j] = itemset.Item(rng.Intn(15))
+		}
+		d.Transactions = append(d.Transactions, db.Transaction{TID: itemset.TID(i), Items: itemset.New(items...)})
+	}
+	whole := New(15)
+	whole.AddPartition(d)
+	for _, np := range []int{2, 3, 7} {
+		merged := New(15)
+		for _, p := range d.Partition(np) {
+			local := New(15)
+			local.AddPartition(p)
+			merged.Merge(local)
+		}
+		for a := itemset.Item(0); a < 15; a++ {
+			for b := a + 1; b < 15; b++ {
+				if merged.Count(a, b) != whole.Count(a, b) {
+					t.Fatalf("np=%d: merged(%d,%d)=%d whole=%d", np, a, b, merged.Count(a, b), whole.Count(a, b))
+				}
+			}
+		}
+	}
+}
+
+func TestMergeUniverseMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(3).Merge(New(4))
+}
+
+func TestFrequentSortedAndThresholded(t *testing.T) {
+	c := New(4)
+	c.AddTransaction(itemset.New(0, 1))
+	c.AddTransaction(itemset.New(0, 1))
+	c.AddTransaction(itemset.New(0, 2))
+	freq := c.Frequent(2)
+	if len(freq) != 1 || freq[0].Pair.A != 0 || freq[0].Pair.B != 1 || freq[0].Count != 2 {
+		t.Fatalf("Frequent = %v", freq)
+	}
+	all := c.Frequent(1)
+	for i := 1; i < len(all); i++ {
+		prev, cur := all[i-1].Pair, all[i].Pair
+		if prev.A > cur.A || (prev.A == cur.A && prev.B >= cur.B) {
+			t.Fatalf("Frequent not lexicographically sorted: %v", all)
+		}
+	}
+	if len(c.Frequent(0)) != c.NumCells() {
+		t.Fatal("minsup 0 should return every pair")
+	}
+}
+
+func TestOpsAccounting(t *testing.T) {
+	d := &db.Database{NumItems: 10, Transactions: []db.Transaction{
+		{TID: 0, Items: itemset.New(1, 2, 3, 4)}, // C(4,2)=6
+		{TID: 1, Items: itemset.New(5)},          // 0
+	}}
+	c := New(10)
+	if ops := c.AddPartition(d); ops != 6 {
+		t.Fatalf("ops = %d, want 6", ops)
+	}
+}
+
+// Property: counts match a map-based oracle for random transactions.
+func TestCounterQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const m = 12
+		c := New(m)
+		oracle := map[[2]itemset.Item]int{}
+		for i := 0; i < 50; i++ {
+			items := make([]itemset.Item, rng.Intn(6))
+			for j := range items {
+				items[j] = itemset.Item(rng.Intn(m))
+			}
+			tx := itemset.New(items...)
+			c.AddTransaction(tx)
+			for x := 0; x < len(tx); x++ {
+				for y := x + 1; y < len(tx); y++ {
+					oracle[[2]itemset.Item{tx[x], tx[y]}]++
+				}
+			}
+		}
+		for a := itemset.Item(0); a < m; a++ {
+			for b := a + 1; b < m; b++ {
+				if c.Count(a, b) != oracle[[2]itemset.Item{a, b}] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessorsAndFromCounts(t *testing.T) {
+	c := New(4)
+	if c.NumItems() != 4 {
+		t.Fatalf("NumItems = %d", c.NumItems())
+	}
+	if c.SizeBytes() != 4*int64(c.NumCells()) {
+		t.Fatalf("SizeBytes = %d", c.SizeBytes())
+	}
+	c.AddTransaction(itemset.New(0, 1))
+	back := FromCounts(4, c.Counts())
+	if back.Count(0, 1) != 1 {
+		t.Fatal("FromCounts lost data")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromCounts with wrong length should panic")
+		}
+	}()
+	FromCounts(4, []int32{1, 2})
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestZeroAndOneItemUniverse(t *testing.T) {
+	if New(0).NumCells() != 0 {
+		t.Fatal("0-item universe should have no cells")
+	}
+	if New(1).NumCells() != 0 {
+		t.Fatal("1-item universe should have no cells")
+	}
+	if New(1000).NumCells() != 499500 {
+		t.Fatal("paper's N=1000 should give C(1000,2)=499500 cells")
+	}
+}

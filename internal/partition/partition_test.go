@@ -1,0 +1,106 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/apriori"
+	"repro/internal/db"
+	"repro/internal/gen"
+	"repro/internal/mining"
+	"repro/internal/testutil"
+)
+
+func TestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 10; trial++ {
+		d := testutil.RandomDB(rng, 100+trial*30, 12, 6)
+		for _, chunks := range []int{1, 2, 3, 7} {
+			for _, minsup := range []int{2, 4, 8} {
+				got, st := Mine(d, minsup, chunks)
+				want := testutil.BruteForce(d, minsup)
+				if !mining.Equal(got, want) {
+					t.Fatalf("trial %d chunks %d minsup %d:\n%s", trial, chunks, minsup, mining.Diff(got, want))
+				}
+				if st.Scans != 2 {
+					t.Fatalf("Partition must scan exactly twice, got %d", st.Scans)
+				}
+			}
+		}
+	}
+}
+
+func TestMatchesAprioriOnGeneratedData(t *testing.T) {
+	d := gen.MustGenerate(gen.T10I6(2000))
+	minsup := d.MinSupCount(1.0)
+	want, _ := apriori.Mine(d, minsup)
+	got, st := Mine(d, minsup, 5)
+	if !mining.Equal(got, want) {
+		t.Fatal(mining.Diff(got, want))
+	}
+	if st.Candidates < want.Len() {
+		t.Fatalf("candidate union (%d) must be a superset of the answer (%d)", st.Candidates, want.Len())
+	}
+	if st.Candidates != want.Len()+st.FalseCandidates {
+		t.Fatalf("accounting: %d candidates != %d frequent + %d false",
+			st.Candidates, want.Len(), st.FalseCandidates)
+	}
+}
+
+func TestLocalThreshold(t *testing.T) {
+	cases := []struct {
+		minsup, part, total, want int
+	}{
+		{10, 100, 1000, 1}, // 1% of 100
+		{10, 105, 1000, 2}, // ceil(1.05)
+		{10, 1000, 1000, 10},
+		{1, 1, 1000, 1},
+		{3, 10, 100, 1}, // ceil(0.3) = 1
+	}
+	for _, c := range cases {
+		if got := localThreshold(c.minsup, c.part, c.total); got != c.want {
+			t.Errorf("localThreshold(%d,%d,%d) = %d, want %d", c.minsup, c.part, c.total, got, c.want)
+		}
+	}
+}
+
+// Property: the superset guarantee — every globally frequent itemset is
+// locally frequent in at least one chunk (via the final equality with the
+// oracle, exercised over random chunkings).
+func TestSupersetPropertyQuick(t *testing.T) {
+	f := func(seed int64, nc uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := testutil.RandomDB(rng, 80, 10, 5)
+		chunks := 1 + int(nc%9)
+		got, _ := Mine(d, 4, chunks)
+		want := testutil.BruteForce(d, 4)
+		return mining.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	empty := &db.Database{NumItems: 5}
+	res, _ := Mine(empty, 1, 4)
+	if res.Len() != 0 {
+		t.Fatal("empty database should mine nothing")
+	}
+	// More chunks than transactions.
+	rng := rand.New(rand.NewSource(3))
+	d := testutil.RandomDB(rng, 5, 8, 4)
+	got, st := Mine(d, 2, 100)
+	want := testutil.BruteForce(d, 2)
+	if !mining.Equal(got, want) {
+		t.Fatal(mining.Diff(got, want))
+	}
+	if st.Chunks > 5 {
+		t.Fatalf("chunks should clamp to |D|, got %d", st.Chunks)
+	}
+	// Degenerate thresholds.
+	if res, _ := Mine(d, 0, 0); res.MinSup != 1 {
+		t.Fatal("minsup and chunks should clamp to 1")
+	}
+}

@@ -1,0 +1,55 @@
+package rules
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/mining"
+)
+
+// GenerateParallel derives rules on the simulated cluster: the frequent
+// itemsets are dealt round-robin to the processors (rule generation from
+// one itemset is independent of every other itemset, so the step
+// parallelizes embarrassingly — the paper calls it "relatively
+// straightforward"), each processor runs ap-genrules over its share
+// against the shared support table, and a final gather concatenates the
+// rule lists. Output equals Generate's.
+func GenerateParallel(cl *cluster.Cluster, res *mining.Result, minConf float64) []Rule {
+	if minConf <= 0 || minConf > 1 {
+		minConf = 1
+	}
+	t := cl.NumProcs()
+	perProc := make([][]Rule, t)
+
+	cl.Run(func(p *cluster.Proc) {
+		p.SetPhase("rules")
+		// Every processor already holds the mining output (the final
+		// reduction distributed it), so the support table is local.
+		sup := res.SupportMap()
+		p.ChargeCPU(int64(len(res.Itemsets)) / int64(t)) // table build share
+
+		var local []Rule
+		var ops int64
+		for i, f := range res.Itemsets {
+			if i%t != p.ID() {
+				continue
+			}
+			rs := generateFrom(f, sup, res.NumTransactions, minConf)
+			ops += int64(f.Set.K())*int64(f.Set.K()) + int64(len(rs))
+			local = append(local, rs...)
+		}
+		p.ChargeCPU(ops)
+		perProc[p.ID()] = local
+
+		var bytes int64
+		for _, r := range local {
+			bytes += 4 * int64(r.Antecedent.K()+r.Consequent.K()+4)
+		}
+		cluster.Gather(p, bytes, bytes)
+	})
+
+	var out []Rule
+	for _, rs := range perProc {
+		out = append(out, rs...)
+	}
+	Sort(out)
+	return out
+}

@@ -1,0 +1,57 @@
+package rules
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/apriori"
+	"repro/internal/cluster"
+	"repro/internal/testutil"
+)
+
+func TestGenerateParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(161))
+	d := testutil.RandomDB(rng, 200, 12, 6)
+	res, _ := apriori.Mine(d, 4)
+	for _, minConf := range []float64{0.4, 0.8, 1.0} {
+		want := Generate(res, minConf)
+		for _, hp := range [][2]int{{1, 1}, {2, 2}, {4, 1}, {1, 8}} {
+			cl := cluster.New(cluster.Default(hp[0], hp[1]))
+			got := GenerateParallel(cl, res, minConf)
+			if len(got) != len(want) {
+				t.Fatalf("H=%d P=%d minConf %v: %d rules, want %d",
+					hp[0], hp[1], minConf, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].String() != want[i].String() {
+					t.Fatalf("H=%d P=%d rule %d: %v != %v", hp[0], hp[1], i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateParallelChargesWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(163))
+	d := testutil.RandomDB(rng, 200, 12, 6)
+	res, _ := apriori.Mine(d, 4)
+	cl := cluster.New(cluster.Default(2, 2))
+	GenerateParallel(cl, res, 0.5)
+	rep := cl.Report()
+	if rep.ElapsedNS <= 0 {
+		t.Fatal("no virtual time charged")
+	}
+	if rep.PhaseMaxNS("rules") <= 0 {
+		t.Fatal("rules phase missing")
+	}
+}
+
+func TestGenerateParallelBadMinConf(t *testing.T) {
+	res := fixture()
+	cl := cluster.New(cluster.Default(1, 2))
+	got := GenerateParallel(cl, res, 0) // clamps to 1.0
+	want := Generate(res, 1.0)
+	if len(got) != len(want) {
+		t.Fatalf("clamped minConf: %d rules, want %d", len(got), len(want))
+	}
+}

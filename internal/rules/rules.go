@@ -1,0 +1,155 @@
+// Package rules implements the second step of the association mining task
+// (paper section 1.1): generating implication rules X - Y => Y from the
+// frequent itemsets, keeping those whose confidence
+// support(X) / support(X - Y) meets a user threshold.
+//
+// The generator follows the ap-genrules structure of Agrawal & Srikant
+// [4]: consequents are grown level-wise, and the anti-monotonicity of
+// confidence (if X-Y => Y fails, every rule with a superset of Y as
+// consequent fails too) prunes the search.
+package rules
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/itemset"
+	"repro/internal/mining"
+)
+
+// Rule is an association rule Antecedent => Consequent.
+type Rule struct {
+	Antecedent itemset.Itemset
+	Consequent itemset.Itemset
+	// Support is the absolute support of Antecedent ∪ Consequent.
+	Support int
+	// Confidence is support(A ∪ C) / support(A), in (0, 1].
+	Confidence float64
+	// Lift is confidence / P(C); values above 1 indicate positive
+	// correlation. Zero when the consequent's support is unknown.
+	Lift float64
+}
+
+// String renders "{1 2} => {3} (sup=10, conf=0.83, lift=1.9)".
+func (r Rule) String() string {
+	return fmt.Sprintf("%v => %v (sup=%d, conf=%.3f, lift=%.2f)",
+		r.Antecedent, r.Consequent, r.Support, r.Confidence, r.Lift)
+}
+
+// Generate derives all rules with confidence >= minConf from the mined
+// result. The result must include the supports of all frequent itemsets
+// (as every miner in this repository produces); minConf is in (0, 1].
+func Generate(res *mining.Result, minConf float64) []Rule {
+	if minConf <= 0 || minConf > 1 {
+		minConf = 1
+	}
+	sup := res.SupportMap()
+	var out []Rule
+	for _, f := range res.Itemsets {
+		out = append(out, generateFrom(f, sup, res.NumTransactions, minConf)...)
+	}
+	Sort(out)
+	return out
+}
+
+// generateFrom runs the ap-genrules consequent growth for one frequent
+// itemset against a complete support table: level-1 consequents first,
+// then Apriori-joined growth of the survivors (confidence
+// anti-monotonicity prunes the rest).
+func generateFrom(f mining.FrequentItemset, sup map[string]int, numTx int, minConf float64) []Rule {
+	if f.Set.K() < 2 {
+		return nil
+	}
+	var out []Rule
+	emit := func(consequent itemset.Itemset) bool {
+		ante := f.Set.Minus(consequent)
+		anteSup, ok := sup[ante.Key()]
+		if !ok || anteSup == 0 {
+			// The antecedent must itself be frequent (downward closure);
+			// a miss means the result is incomplete for rule generation.
+			return false
+		}
+		conf := float64(f.Support) / float64(anteSup)
+		if conf < minConf {
+			return false
+		}
+		r := Rule{Antecedent: ante, Consequent: consequent, Support: f.Support, Confidence: conf}
+		if cSup, ok := sup[consequent.Key()]; ok && cSup > 0 && numTx > 0 {
+			r.Lift = conf / (float64(cSup) / float64(numTx))
+		}
+		out = append(out, r)
+		return true
+	}
+
+	// Level 1 consequents.
+	var h []itemset.Itemset
+	for i := range f.Set {
+		c := itemset.Itemset{f.Set[i]}
+		if emit(c) {
+			h = append(h, c)
+		}
+	}
+	// Grow consequents: a consequent of size m+1 is viable only if all its
+	// size-m subsets produced valid rules.
+	for m := 1; m < f.Set.K()-1 && len(h) > 1; m++ {
+		itemset.Sort(h)
+		inH := make(map[string]bool, len(h))
+		for _, c := range h {
+			inH[c.Key()] = true
+		}
+		var next []itemset.Itemset
+		for i := 0; i < len(h); i++ {
+			for j := i + 1; j < len(h); j++ {
+				if !h[i].SharesPrefix(h[j]) {
+					continue
+				}
+				cand := h[i].Join(h[j])
+				if !allSubsetsIn(cand, inH) {
+					continue
+				}
+				if emit(cand) {
+					next = append(next, cand)
+				}
+			}
+		}
+		h = next
+	}
+	return out
+}
+
+// allSubsetsIn checks that every (len-1)-subset of cand is in the
+// surviving consequent set.
+func allSubsetsIn(cand itemset.Itemset, in map[string]bool) bool {
+	for i := range cand {
+		if !in[cand.Without(i).Key()] {
+			return false
+		}
+	}
+	return true
+}
+
+// Sort orders rules by descending confidence, then descending support,
+// then lexicographically — the presentation order of the cmd tools.
+func Sort(rs []Rule) {
+	sort.Slice(rs, func(i, j int) bool {
+		a, b := rs[i], rs[j]
+		if a.Confidence != b.Confidence {
+			return a.Confidence > b.Confidence
+		}
+		if a.Support != b.Support {
+			return a.Support > b.Support
+		}
+		if !a.Antecedent.Equal(b.Antecedent) {
+			return a.Antecedent.Less(b.Antecedent)
+		}
+		return a.Consequent.Less(b.Consequent)
+	})
+}
+
+// TopN returns the first n rules of a sorted slice (all if fewer).
+func TopN(rs []Rule, n int) []Rule {
+	if n > len(rs) {
+		n = len(rs)
+	}
+	return rs[:n]
+}

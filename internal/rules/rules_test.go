@@ -1,0 +1,171 @@
+package rules
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/apriori"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+	"repro/internal/testutil"
+)
+
+// Hand-built result: sup(A)=4, sup(B)=3, sup(AB)=3, numTx=5.
+// A => B: conf 3/4 = 0.75, lift = 0.75/(3/5) = 1.25.
+// B => A: conf 3/3 = 1.00, lift = 1/(4/5) = 1.25.
+func fixture() *mining.Result {
+	r := &mining.Result{MinSup: 2, NumTransactions: 5}
+	r.Add(itemset.New(0), 4)
+	r.Add(itemset.New(1), 3)
+	r.Add(itemset.New(0, 1), 3)
+	r.Sort()
+	return r
+}
+
+func TestGenerateBasic(t *testing.T) {
+	rs := Generate(fixture(), 0.7)
+	if len(rs) != 2 {
+		t.Fatalf("got %d rules: %v", len(rs), rs)
+	}
+	// Sorted by descending confidence: B => A first.
+	first := rs[0]
+	if !first.Antecedent.Equal(itemset.New(1)) || !first.Consequent.Equal(itemset.New(0)) {
+		t.Fatalf("first rule = %v", first)
+	}
+	if first.Confidence != 1.0 || math.Abs(first.Lift-1.25) > 1e-9 {
+		t.Fatalf("B=>A conf=%v lift=%v", first.Confidence, first.Lift)
+	}
+	second := rs[1]
+	if second.Confidence != 0.75 {
+		t.Fatalf("A=>B conf=%v", second.Confidence)
+	}
+}
+
+func TestConfidenceThreshold(t *testing.T) {
+	if rs := Generate(fixture(), 0.8); len(rs) != 1 {
+		t.Fatalf("minconf 0.8 should keep only B=>A, got %v", rs)
+	}
+	if rs := Generate(fixture(), 1.0); len(rs) != 1 {
+		t.Fatalf("minconf 1.0 should keep only the exact rule, got %v", rs)
+	}
+}
+
+func TestBadMinConfClampsToOne(t *testing.T) {
+	if rs := Generate(fixture(), 0); len(rs) != 1 {
+		t.Fatalf("minconf 0 clamps to 1: %v", rs)
+	}
+	if rs := Generate(fixture(), 1.5); len(rs) != 1 {
+		t.Fatalf("minconf > 1 clamps to 1: %v", rs)
+	}
+}
+
+func TestMultiItemConsequents(t *testing.T) {
+	// sup(ABC)=4 with all subsets at 4: every rule has confidence 1,
+	// including the 2-item consequents A => BC etc.
+	r := &mining.Result{MinSup: 4, NumTransactions: 4}
+	for _, s := range []itemset.Itemset{
+		itemset.New(0), itemset.New(1), itemset.New(2),
+		itemset.New(0, 1), itemset.New(0, 2), itemset.New(1, 2),
+		itemset.New(0, 1, 2),
+	} {
+		r.Add(s, 4)
+	}
+	r.Sort()
+	rs := Generate(r, 1.0)
+	// From ABC: 3 one-item + 3 two-item consequents; from each 2-itemset:
+	// 2 rules. Total 6 + 6 = 12.
+	if len(rs) != 12 {
+		t.Fatalf("got %d rules, want 12: %v", len(rs), rs)
+	}
+}
+
+// Oracle: exhaustively enumerate all (antecedent, consequent) splits and
+// compare with the pruned generator.
+func TestGenerateMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 10; trial++ {
+		d := testutil.RandomDB(rng, 60, 10, 6)
+		res, _ := apriori.Mine(d, 3)
+		sup := res.SupportMap()
+		for _, minConf := range []float64{0.3, 0.6, 0.9, 1.0} {
+			want := map[string]float64{}
+			for _, f := range res.Itemsets {
+				k := f.Set.K()
+				if k < 2 {
+					continue
+				}
+				for mask := 1; mask < (1 << k); mask++ {
+					if mask == (1<<k)-1 {
+						continue // consequent must be a proper subset
+					}
+					var cons itemset.Itemset
+					for b := 0; b < k; b++ {
+						if mask&(1<<b) != 0 {
+							cons = append(cons, f.Set[b])
+						}
+					}
+					ante := f.Set.Minus(cons)
+					conf := float64(f.Support) / float64(sup[ante.Key()])
+					if conf >= minConf {
+						want[ante.Key()+"=>"+cons.Key()] = conf
+					}
+				}
+			}
+			got := Generate(res, minConf)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d minconf %v: %d rules, want %d", trial, minConf, len(got), len(want))
+			}
+			for _, r := range got {
+				key := r.Antecedent.Key() + "=>" + r.Consequent.Key()
+				if w, ok := want[key]; !ok || math.Abs(w-r.Confidence) > 1e-12 {
+					t.Fatalf("trial %d: unexpected or wrong rule %v", trial, r)
+				}
+			}
+		}
+	}
+}
+
+func TestRuleInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	d := testutil.RandomDB(rng, 80, 12, 6)
+	res, _ := apriori.Mine(d, 3)
+	rs := Generate(res, 0.5)
+	for _, r := range rs {
+		if r.Confidence < 0.5 || r.Confidence > 1+1e-12 {
+			t.Fatalf("confidence out of range: %v", r)
+		}
+		if len(r.Antecedent) == 0 || len(r.Consequent) == 0 {
+			t.Fatalf("empty side: %v", r)
+		}
+		for _, c := range r.Consequent {
+			if r.Antecedent.Contains(c) {
+				t.Fatalf("antecedent and consequent overlap: %v", r)
+			}
+		}
+		if r.Support < res.MinSup {
+			t.Fatalf("rule support below minsup: %v", r)
+		}
+	}
+	// Sorted by descending confidence.
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Confidence > rs[i-1].Confidence {
+			t.Fatal("rules not sorted by confidence")
+		}
+	}
+}
+
+func TestTopN(t *testing.T) {
+	rs := Generate(fixture(), 0.5)
+	if len(TopN(rs, 1)) != 1 || len(TopN(rs, 100)) != len(rs) || len(TopN(rs, 0)) != 0 {
+		t.Fatal("TopN bounds wrong")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	r := Rule{Antecedent: itemset.New(1), Consequent: itemset.New(2), Support: 3, Confidence: 0.5, Lift: 2}
+	want := "{1} => {2} (sup=3, conf=0.500, lift=2.00)"
+	if r.String() != want {
+		t.Fatalf("String = %q, want %q", r.String(), want)
+	}
+}

@@ -1,0 +1,118 @@
+package sampling
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/apriori"
+	"repro/internal/db"
+	"repro/internal/gen"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+	"repro/internal/testutil"
+)
+
+func TestExactRegardlessOfSampleLuck(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	d := testutil.RandomDB(rng, 300, 12, 6)
+	want := testutil.BruteForce(d, 6)
+	// Across wildly different samples — tiny, huge, adversarial seeds —
+	// the result must always be exact; only Stats may differ.
+	for _, opts := range []Options{
+		{},
+		{SampleSize: 10, Seed: 1},
+		{SampleSize: 10, Seed: 2, LowerBy: 1.0},
+		{SampleSize: 250, Seed: 3},
+		{SampleSize: 300, Seed: 4}, // the whole database
+		{SampleSize: 30, Seed: 5, LowerBy: 0.5},
+	} {
+		got, st := Mine(d, 6, opts)
+		if !mining.Equal(got, want) {
+			t.Fatalf("opts %+v: inexact result:\n%s", opts, mining.Diff(got, want))
+		}
+		if st.FullScans < 1 {
+			t.Fatalf("opts %+v: at least one full scan required", opts)
+		}
+	}
+}
+
+func TestTypicallyOneScan(t *testing.T) {
+	// With a healthy sample and the default safety margin, the border
+	// should hold and a single full scan suffice.
+	d := gen.MustGenerate(gen.T10I6(4000))
+	minsup := d.MinSupCount(1.0)
+	// A generous safety margin (count borderline itemsets as sample-
+	// frequent) is what buys the single-scan guarantee in practice.
+	_, st := Mine(d, minsup, Options{SampleSize: 2000, Seed: 7, LowerBy: 0.6})
+	if st.FullScans != 1 {
+		t.Fatalf("expected the common 1-scan case, got %d scans (%d misses)", st.FullScans, st.Misses)
+	}
+	if st.BorderSize == 0 {
+		t.Fatal("negative border should not be empty (infrequent singletons exist)")
+	}
+}
+
+func TestMatchesApriori(t *testing.T) {
+	d := gen.MustGenerate(gen.T10I6(2000))
+	minsup := d.MinSupCount(1.5)
+	want, _ := apriori.Mine(d, minsup)
+	got, _ := Mine(d, minsup, Options{SampleSize: 500, Seed: 9})
+	if !mining.Equal(got, want) {
+		t.Fatal(mining.Diff(got, want))
+	}
+}
+
+func TestAdversarialTinySamplesQuick(t *testing.T) {
+	// Tiny samples at no safety margin maximize misses; exactness must
+	// survive the fixpoint loop.
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 15; trial++ {
+		d := testutil.RandomDB(rng, 120, 10, 5)
+		want := testutil.BruteForce(d, 4)
+		got, _ := Mine(d, 4, Options{SampleSize: 5, Seed: int64(trial), LowerBy: 1.0})
+		if !mining.Equal(got, want) {
+			t.Fatalf("trial %d: inexact:\n%s", trial, mining.Diff(got, want))
+		}
+	}
+}
+
+func TestNegativeBorder(t *testing.T) {
+	// F = {a, b, ab} over a 3-item universe. Border: {c} (singleton not in
+	// F). No 2-itemsets: ac/bc need c in F; abc needs... ab in F but ac
+	// not, so nothing deeper.
+	a, b := itemset.New(0), itemset.New(1)
+	ab := itemset.New(0, 1)
+	inF := map[string]itemset.Itemset{a.Key(): a, b.Key(): b, ab.Key(): ab}
+	border := negativeBorder(inF, 3)
+	if len(border) != 1 || !border[0].Equal(itemset.New(2)) {
+		t.Fatalf("border = %v, want [{2}]", border)
+	}
+	// Now F = {a,b,c,ab,ac,bc}: border = {abc}.
+	c := itemset.New(2)
+	ac, bc := itemset.New(0, 2), itemset.New(1, 2)
+	inF[c.Key()], inF[ac.Key()], inF[bc.Key()] = c, ac, bc
+	border = negativeBorder(inF, 3)
+	if len(border) != 1 || !border[0].Equal(itemset.New(0, 1, 2)) {
+		t.Fatalf("border = %v, want [{0 1 2}]", border)
+	}
+}
+
+func TestEmptyDatabase(t *testing.T) {
+	res, st := Mine(&db.Database{NumItems: 4}, 1, Options{})
+	if res.Len() != 0 || st.FullScans != 0 {
+		t.Fatalf("empty database: %d itemsets, %d scans", res.Len(), st.FullScans)
+	}
+}
+
+func TestOptionClamping(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := testutil.RandomDB(rng, 50, 8, 4)
+	want := testutil.BruteForce(d, 3)
+	got, st := Mine(d, 3, Options{SampleSize: 10_000, LowerBy: 5})
+	if !mining.Equal(got, want) {
+		t.Fatal(mining.Diff(got, want))
+	}
+	if st.SampleSize != 50 {
+		t.Fatalf("sample should clamp to |D|: %d", st.SampleSize)
+	}
+}

@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTotals(t *testing.T) {
+	b := Breakdown{CPUNS: 10, DiskNS: 20, NetNS: 30, WaitNS: 40}
+	if b.TotalNS() != 100 {
+		t.Fatalf("TotalNS = %d", b.TotalNS())
+	}
+	if b.Total() != 100*time.Nanosecond {
+		t.Fatalf("Total = %v", b.Total())
+	}
+}
+
+func TestAddPhase(t *testing.T) {
+	var b Breakdown
+	b.AddPhase("init", 5)
+	b.AddPhase("init", 7)
+	b.AddPhase("async", 1)
+	if b.Phases["init"] != 12 || b.Phases["async"] != 1 {
+		t.Fatalf("Phases = %v", b.Phases)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Breakdown{CPUNS: 1, DiskBytesRead: 100, Scans: 2}
+	a.AddPhase("x", 3)
+	b := Breakdown{CPUNS: 2, DiskBytesRead: 50, Scans: 1, NetMsgs: 4}
+	b.AddPhase("x", 4)
+	b.AddPhase("y", 1)
+	a.Merge(&b)
+	if a.CPUNS != 3 || a.DiskBytesRead != 150 || a.Scans != 3 || a.NetMsgs != 4 {
+		t.Fatalf("merge wrong: %+v", a)
+	}
+	if a.Phases["x"] != 7 || a.Phases["y"] != 1 {
+		t.Fatalf("phase merge wrong: %v", a.Phases)
+	}
+}
+
+func TestStringMentionsKeyFields(t *testing.T) {
+	b := Breakdown{CPUNS: 1e9, DiskBytesRead: 3 << 20, Scans: 3, Barriers: 7}
+	b.AddPhase("init", 12)
+	s := b.String()
+	for _, want := range []string{"cpu=1s", "scans=3", "barriers=7", "3.0MiB", "init="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestByteFormatting(t *testing.T) {
+	cases := map[int64]string{
+		512:     "512B",
+		2 << 10: "2.0KiB",
+		3 << 20: "3.0MiB",
+		5 << 30: "5.0GiB",
+	}
+	for n, want := range cases {
+		if got := fmtBytes(n); got != want {
+			t.Fatalf("fmtBytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

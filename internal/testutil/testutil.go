@@ -1,0 +1,75 @@
+// Package testutil provides the brute-force mining oracle and random
+// database builders shared by the test suites of every algorithm package.
+// The oracle enumerates every subset of every transaction, so it is
+// exponential in transaction length and only suitable for the small random
+// databases the tests construct — which is exactly what makes it a
+// trustworthy independent check.
+package testutil
+
+import (
+	"math/rand"
+
+	"repro/internal/db"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+)
+
+// BruteForce mines d exhaustively: the support of every itemset that
+// appears as a subset of some transaction is counted via full subset
+// enumeration, then thresholded at minsup.
+func BruteForce(d *db.Database, minsup int) *mining.Result {
+	if minsup < 1 {
+		minsup = 1
+	}
+	counts := map[string]int{}
+	for _, tx := range d.Transactions {
+		n := len(tx.Items)
+		if n > 20 {
+			panic("testutil: transaction too long for brute force")
+		}
+		for mask := 1; mask < 1<<n; mask++ {
+			var sub itemset.Itemset
+			for b := 0; b < n; b++ {
+				if mask&(1<<b) != 0 {
+					sub = append(sub, tx.Items[b])
+				}
+			}
+			counts[sub.Key()]++
+		}
+	}
+	res := &mining.Result{MinSup: minsup, NumTransactions: d.Len()}
+	for key, c := range counts {
+		if c < minsup {
+			continue
+		}
+		set, err := itemset.ParseKey(key)
+		if err != nil {
+			panic(err)
+		}
+		res.Add(set, c)
+	}
+	res.Sort()
+	return res
+}
+
+// RandomDB builds a random database of numTx transactions over numItems
+// items with transaction sizes in [1, maxLen]. Item draws are skewed
+// (favouring small item ids) so that frequent itemsets of size >= 3
+// actually occur, as in real basket data.
+func RandomDB(rng *rand.Rand, numTx, numItems, maxLen int) *db.Database {
+	d := &db.Database{NumItems: numItems}
+	for i := 0; i < numTx; i++ {
+		n := 1 + rng.Intn(maxLen)
+		items := make([]itemset.Item, n)
+		for j := range items {
+			// Square the uniform draw to skew towards low item ids.
+			u := rng.Float64()
+			items[j] = itemset.Item(int(u * u * float64(numItems)))
+		}
+		d.Transactions = append(d.Transactions, db.Transaction{
+			TID:   itemset.TID(i),
+			Items: itemset.New(items...),
+		})
+	}
+	return d
+}

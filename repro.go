@@ -1,0 +1,317 @@
+// Package repro is a Go reproduction of "A Localized Algorithm for
+// Parallel Association Mining" (Zaki, Parthasarathy, Li — SPAA 1997), the
+// paper that introduced the Eclat algorithm.
+//
+// It provides:
+//
+//   - the IBM Quest synthetic basket-data generator the paper's
+//     evaluation uses (Generate, StandardConfig);
+//   - sequential miners (Eclat and Apriori) and the paper's four parallel
+//     algorithms (Eclat, Count Distribution, Data Distribution, Candidate
+//     Distribution) plus the hybrid Eclat from the paper's future work,
+//     all returning identical frequent-itemset results (Mine);
+//   - association-rule generation from mined itemsets (Rules);
+//   - a deterministic simulation of the paper's testbed — an H-host,
+//     P-processors-per-host DEC Alpha cluster with per-host disks and a
+//     Memory Channel interconnect — whose virtual-time reports regenerate
+//     the paper's tables and figures (see cmd/experiments and
+//     bench_test.go).
+//
+// Quick start:
+//
+//	d, _ := repro.Generate(repro.StandardConfig(10000))
+//	res, info, _ := repro.Mine(d, repro.MineOptions{SupportPct: 0.25})
+//	rules := repro.Rules(res, 0.9)
+package repro
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apriori"
+	"repro/internal/canddist"
+	"repro/internal/cluster"
+	"repro/internal/countdist"
+	"repro/internal/datadist"
+	"repro/internal/db"
+	"repro/internal/dhp"
+	"repro/internal/eclat"
+	"repro/internal/gen"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+	"repro/internal/partition"
+	"repro/internal/rules"
+	"repro/internal/sampling"
+	"repro/internal/stats"
+)
+
+// Core value types.
+type (
+	// Item identifies one attribute of the basket data.
+	Item = itemset.Item
+	// TID identifies one transaction.
+	TID = itemset.TID
+	// Itemset is a sorted set of items.
+	Itemset = itemset.Itemset
+	// Transaction is one database row.
+	Transaction = db.Transaction
+	// Database is a horizontal transaction database.
+	Database = db.Database
+	// Result is the outcome of a mining run: frequent itemsets with
+	// supports.
+	Result = mining.Result
+	// FrequentItemset pairs an itemset with its support count.
+	FrequentItemset = mining.FrequentItemset
+	// Rule is an association rule with confidence and lift.
+	Rule = rules.Rule
+	// GeneratorConfig parameterizes the synthetic data generator.
+	GeneratorConfig = gen.Config
+	// ClusterConfig describes the simulated cluster (hosts, processors
+	// per host, disk/network/CPU cost models).
+	ClusterConfig = cluster.Config
+	// Report is the virtual-time accounting of a parallel run.
+	Report = cluster.Report
+	// Breakdown is one processor's resource accounting.
+	Breakdown = stats.Breakdown
+)
+
+// NewItemset builds a sorted, deduplicated itemset.
+func NewItemset(items ...Item) Itemset { return itemset.New(items...) }
+
+// StandardConfig returns the paper's T10.I6 generator family (|T|=10,
+// |I|=6, |L|=2000, N=1000) for the given number of transactions.
+func StandardConfig(numTransactions int) GeneratorConfig { return gen.T10I6(numTransactions) }
+
+// Generate produces a synthetic database; it is deterministic in
+// cfg.Seed.
+func Generate(cfg GeneratorConfig) (*Database, error) { return gen.Generate(cfg) }
+
+// ReadFIMI loads a database in the FIMI text format (one transaction per
+// line, space-separated integer items) — the de-facto interchange format
+// of public association-mining datasets. numItems 0 infers the universe.
+func ReadFIMI(r io.Reader, numItems int) (*Database, error) { return db.DecodeFIMI(r, numItems) }
+
+// WriteResult serializes a mining result as line-oriented text
+// ("support<TAB>items"); ReadResult parses it back.
+func WriteResult(w io.Writer, res *Result) error { return mining.Write(w, res) }
+
+// ReadResult parses a result previously written with WriteResult.
+func ReadResult(r io.Reader) (*Result, error) { return mining.Read(r) }
+
+// DefaultCluster returns the paper-calibrated configuration for an
+// H-host, P-processors-per-host cluster.
+func DefaultCluster(hosts, procsPerHost int) ClusterConfig {
+	return cluster.Default(hosts, procsPerHost)
+}
+
+// Algorithm selects a mining algorithm.
+type Algorithm int
+
+// The available algorithms. AlgoEclat and AlgoApriori run sequentially
+// when no cluster is configured; the rest require one.
+const (
+	AlgoEclat Algorithm = iota
+	AlgoApriori
+	AlgoCountDistribution
+	AlgoDataDistribution
+	AlgoCandidateDistribution
+	AlgoEclatHybrid
+	// AlgoPartition is the two-scan Partition algorithm (Savasere et
+	// al.), a sequential related-work baseline.
+	AlgoPartition
+	// AlgoSampling is Toivonen's exact sampling algorithm, typically one
+	// full scan.
+	AlgoSampling
+	// AlgoDHP is the hash-filtered Apriori of Park, Chen & Yu (the
+	// sequential core of the PDM baseline).
+	AlgoDHP
+)
+
+// String names the algorithm as the paper does.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoEclat:
+		return "Eclat"
+	case AlgoApriori:
+		return "Apriori"
+	case AlgoCountDistribution:
+		return "CountDistribution"
+	case AlgoDataDistribution:
+		return "DataDistribution"
+	case AlgoCandidateDistribution:
+		return "CandidateDistribution"
+	case AlgoEclatHybrid:
+		return "EclatHybrid"
+	case AlgoPartition:
+		return "Partition"
+	case AlgoSampling:
+		return "Sampling"
+	case AlgoDHP:
+		return "DHP"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// MineOptions configures a mining run.
+type MineOptions struct {
+	// Algorithm defaults to AlgoEclat.
+	Algorithm Algorithm
+	// SupportPct is the minimum support as a percentage of |D| (the
+	// paper's experiments use 0.1). Ignored when SupportCount is set.
+	SupportPct float64
+	// SupportCount is the absolute minimum support; overrides SupportPct.
+	SupportCount int
+	// Hosts and ProcsPerHost select a simulated cluster for the parallel
+	// algorithms; both default to 1. Sequential algorithms ignore them.
+	Hosts        int
+	ProcsPerHost int
+	// Cluster overrides the whole cluster configuration (cost models,
+	// memory). When nil, DefaultCluster(Hosts, ProcsPerHost) is used.
+	Cluster *ClusterConfig
+	// PartitionChunks is the number of in-memory chunks AlgoPartition
+	// divides the database into (default 10).
+	PartitionChunks int
+	// SampleSize and SampleSeed drive AlgoSampling (defaults: 10% of the
+	// database, seed 0); SampleLowerBy is Toivonen's safety margin in
+	// (0, 1] (default 0.8 — lower means fewer misses but more candidates).
+	SampleSize    int
+	SampleSeed    int64
+	SampleLowerBy float64
+}
+
+// RunInfo reports how a mining run went.
+type RunInfo struct {
+	// Algorithm that ran.
+	Algorithm Algorithm
+	// MinSup is the absolute support threshold used.
+	MinSup int
+	// Report is the cluster accounting for parallel algorithms (nil for
+	// sequential runs).
+	Report *Report
+	// Scans is the number of database passes (sequential runs).
+	Scans int
+}
+
+func (o MineOptions) minsup(d *Database) int {
+	if o.SupportCount > 0 {
+		return o.SupportCount
+	}
+	if o.SupportPct > 0 {
+		return d.MinSupCount(o.SupportPct)
+	}
+	return d.MinSupCount(0.1) // the paper's default support
+}
+
+func (o MineOptions) clusterConfig() ClusterConfig {
+	if o.Cluster != nil {
+		return *o.Cluster
+	}
+	h, p := o.Hosts, o.ProcsPerHost
+	if h < 1 {
+		h = 1
+	}
+	if p < 1 {
+		p = 1
+	}
+	return cluster.Default(h, p)
+}
+
+// Mine discovers all frequent itemsets of d under the given options. All
+// algorithms return identical results; they differ in the simulated
+// execution profile captured by RunInfo.Report.
+func Mine(d *Database, opts MineOptions) (*Result, *RunInfo, error) {
+	if d == nil {
+		return nil, nil, fmt.Errorf("repro: nil database")
+	}
+	minsup := opts.minsup(d)
+	info := &RunInfo{Algorithm: opts.Algorithm, MinSup: minsup}
+
+	switch opts.Algorithm {
+	case AlgoEclat:
+		if opts.Hosts > 1 || opts.ProcsPerHost > 1 || opts.Cluster != nil {
+			cl := cluster.New(opts.clusterConfig())
+			res, rep := eclat.Mine(cl, d, minsup)
+			info.Report = &rep
+			return res, info, nil
+		}
+		res, st := eclat.MineSequential(d, minsup)
+		info.Scans = st.Scans
+		return res, info, nil
+	case AlgoApriori:
+		res, st := apriori.Mine(d, minsup)
+		info.Scans = st.Scans
+		return res, info, nil
+	case AlgoCountDistribution:
+		cl := cluster.New(opts.clusterConfig())
+		res, rep := countdist.Mine(cl, d, minsup)
+		info.Report = &rep
+		return res, info, nil
+	case AlgoDataDistribution:
+		cl := cluster.New(opts.clusterConfig())
+		res, rep := datadist.Mine(cl, d, minsup)
+		info.Report = &rep
+		return res, info, nil
+	case AlgoCandidateDistribution:
+		cl := cluster.New(opts.clusterConfig())
+		res, rep := canddist.Mine(cl, d, minsup)
+		info.Report = &rep
+		return res, info, nil
+	case AlgoEclatHybrid:
+		cl := cluster.New(opts.clusterConfig())
+		res, rep := eclat.MineHybrid(cl, d, minsup)
+		info.Report = &rep
+		return res, info, nil
+	case AlgoPartition:
+		chunks := opts.PartitionChunks
+		if chunks <= 0 {
+			chunks = 10
+		}
+		res, st := partition.Mine(d, minsup, chunks)
+		info.Scans = st.Scans
+		return res, info, nil
+	case AlgoSampling:
+		res, st := sampling.Mine(d, minsup, sampling.Options{
+			SampleSize: opts.SampleSize,
+			Seed:       opts.SampleSeed,
+			LowerBy:    opts.SampleLowerBy,
+		})
+		info.Scans = st.FullScans
+		return res, info, nil
+	case AlgoDHP:
+		res, st := dhp.Mine(d, minsup, dhp.Options{})
+		info.Scans = st.Scans
+		return res, info, nil
+	default:
+		return nil, nil, fmt.Errorf("repro: unknown algorithm %v", opts.Algorithm)
+	}
+}
+
+// MineMaximal discovers only the maximal frequent itemsets (those with no
+// frequent superset) with the MaxEclat hybrid lookahead search. The
+// subsets of the returned sets are exactly the full frequent collection.
+func MineMaximal(d *Database, opts MineOptions) (*Result, error) {
+	if d == nil {
+		return nil, fmt.Errorf("repro: nil database")
+	}
+	res, _ := eclat.MineMaximal(d, opts.minsup(d))
+	return res, nil
+}
+
+// MineClosed discovers the closed frequent itemsets — those with no
+// strict superset of equal support, the lossless compressed form of the
+// frequent collection.
+func MineClosed(d *Database, opts MineOptions) (*Result, error) {
+	if d == nil {
+		return nil, fmt.Errorf("repro: nil database")
+	}
+	res, _ := eclat.MineClosed(d, opts.minsup(d))
+	return res, nil
+}
+
+// Rules derives all association rules with confidence >= minConf from a
+// mined result.
+func Rules(res *Result, minConf float64) []Rule { return rules.Generate(res, minConf) }
+
+// TopRules returns the n strongest rules (by confidence, then support).
+func TopRules(rs []Rule, n int) []Rule { return rules.TopN(rs, n) }

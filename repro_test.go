@@ -1,0 +1,200 @@
+package repro
+
+import (
+	"testing"
+)
+
+func smallDB(t testing.TB) *Database {
+	t.Helper()
+	d, err := Generate(StandardConfig(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestGenerateAndMineDefaults(t *testing.T) {
+	d := smallDB(t)
+	res, info, err := Mine(d, MineOptions{SupportPct: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() == 0 {
+		t.Fatal("expected frequent itemsets at 1% support")
+	}
+	if info.Algorithm != AlgoEclat || info.Scans != 2 {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.MinSup != 10 {
+		t.Fatalf("1%% of 1000 should be 10, got %d", info.MinSup)
+	}
+}
+
+func TestAllAlgorithmsAgree(t *testing.T) {
+	d := smallDB(t)
+	opts := MineOptions{SupportPct: 2.0}
+	want, _, err := Mine(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algos := []Algorithm{AlgoApriori, AlgoCountDistribution, AlgoDataDistribution,
+		AlgoCandidateDistribution, AlgoEclatHybrid}
+	for _, a := range algos {
+		got, info, err := Mine(d, MineOptions{Algorithm: a, SupportPct: 2.0, Hosts: 2, ProcsPerHost: 2})
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		if got.Len() != want.Len() {
+			t.Fatalf("%v disagrees: %d vs %d itemsets", a, got.Len(), want.Len())
+		}
+		if a != AlgoApriori && info.Report == nil {
+			t.Fatalf("%v should produce a cluster report", a)
+		}
+	}
+}
+
+func TestParallelEclatViaOptions(t *testing.T) {
+	d := smallDB(t)
+	res, info, err := Mine(d, MineOptions{SupportPct: 1.0, Hosts: 4, ProcsPerHost: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Report == nil || info.Report.Config.Hosts != 4 {
+		t.Fatalf("expected a 4-host report, got %+v", info.Report)
+	}
+	if res.Len() == 0 {
+		t.Fatal("no itemsets")
+	}
+}
+
+func TestSupportCountOverridesPct(t *testing.T) {
+	d := smallDB(t)
+	_, info, err := Mine(d, MineOptions{SupportPct: 1.0, SupportCount: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.MinSup != 42 {
+		t.Fatalf("MinSup = %d, want 42", info.MinSup)
+	}
+}
+
+func TestDefaultSupportIsPaper(t *testing.T) {
+	// 0.1% of 10000 transactions = 10; a 1000-transaction database would
+	// drive the default threshold to 1 and blow up the itemset lattice.
+	d, err := Generate(StandardConfig(10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, info, err := Mine(d, MineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.MinSup != 10 {
+		t.Fatalf("default support should be the paper's 0.1%% (= 10), got %d", info.MinSup)
+	}
+}
+
+func TestRulesEndToEnd(t *testing.T) {
+	d := smallDB(t)
+	res, _, err := Mine(d, MineOptions{SupportPct: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := Rules(res, 0.8)
+	for _, r := range rs {
+		if r.Confidence < 0.8 {
+			t.Fatalf("rule below threshold: %v", r)
+		}
+	}
+	top := TopRules(rs, 5)
+	if len(top) > 5 {
+		t.Fatal("TopRules did not truncate")
+	}
+}
+
+func TestRelatedWorkAlgorithmsAgree(t *testing.T) {
+	d := smallDB(t)
+	want, _, err := Mine(d, MineOptions{SupportPct: 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []Algorithm{AlgoPartition, AlgoSampling, AlgoDHP} {
+		got, info, err := Mine(d, MineOptions{Algorithm: a, SupportPct: 2.0, PartitionChunks: 4, SampleSize: 300})
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		if got.Len() != want.Len() {
+			t.Fatalf("%v disagrees: %d vs %d", a, got.Len(), want.Len())
+		}
+		if info.Scans < 1 {
+			t.Fatalf("%v: scans = %d", a, info.Scans)
+		}
+	}
+	if AlgoPartition.String() != "Partition" || AlgoSampling.String() != "Sampling" || AlgoDHP.String() != "DHP" {
+		t.Fatal("algorithm names wrong")
+	}
+}
+
+func TestMineMaximalFacade(t *testing.T) {
+	d := smallDB(t)
+	// 0.5% support is deep enough that multi-item sets exist and subsume
+	// their subsets.
+	full, _, err := Mine(d, MineOptions{SupportPct: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maximal, err := MineMaximal(d, MineOptions{SupportPct: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maximal.Len() == 0 || maximal.Len() >= full.Len() {
+		t.Fatalf("maximal (%d) should be a nonempty strict reduction of full (%d)",
+			maximal.Len(), full.Len())
+	}
+	if _, err := MineMaximal(nil, MineOptions{}); err == nil {
+		t.Fatal("nil database should error")
+	}
+	closed, err := MineClosed(d, MineOptions{SupportPct: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closed.Len() < maximal.Len() || closed.Len() > full.Len() {
+		t.Fatalf("|closed|=%d must sit between |maximal|=%d and |full|=%d",
+			closed.Len(), maximal.Len(), full.Len())
+	}
+	if _, err := MineClosed(nil, MineOptions{}); err == nil {
+		t.Fatal("nil database should error")
+	}
+}
+
+func TestMineNilDatabase(t *testing.T) {
+	if _, _, err := Mine(nil, MineOptions{}); err == nil {
+		t.Fatal("nil database should error")
+	}
+}
+
+func TestUnknownAlgorithm(t *testing.T) {
+	d := smallDB(t)
+	if _, _, err := Mine(d, MineOptions{Algorithm: Algorithm(99)}); err == nil {
+		t.Fatal("unknown algorithm should error")
+	}
+	if Algorithm(99).String() == "" {
+		t.Fatal("String should render unknowns")
+	}
+}
+
+func TestAlgorithmNames(t *testing.T) {
+	names := map[Algorithm]string{
+		AlgoEclat:                 "Eclat",
+		AlgoApriori:               "Apriori",
+		AlgoCountDistribution:     "CountDistribution",
+		AlgoDataDistribution:      "DataDistribution",
+		AlgoCandidateDistribution: "CandidateDistribution",
+		AlgoEclatHybrid:           "EclatHybrid",
+	}
+	for a, want := range names {
+		if a.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", a, a.String(), want)
+		}
+	}
+}
