@@ -47,6 +47,24 @@ func run(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *hosts < 1 {
+		return fmt.Errorf("-hosts must be positive, got %d", *hosts)
+	}
+	if *procs < 1 {
+		return fmt.Errorf("-procs must be positive, got %d", *procs)
+	}
+	if *top < 1 {
+		return fmt.Errorf("-top must be positive, got %d", *top)
+	}
+	if *support < 0 {
+		return fmt.Errorf("-support must not be negative, got %v", *support)
+	}
+	if *format != "binary" && *format != "fimi" {
+		return fmt.Errorf("unknown format %q (want binary or fimi)", *format)
+	}
+	if *genTx < 0 {
+		return fmt.Errorf("-gen must not be negative, got %d", *genTx)
+	}
 
 	d, err := loadDatabase(*dbPath, *format, *genTx)
 	if err != nil {

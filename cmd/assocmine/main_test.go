@@ -92,3 +92,28 @@ func TestRunErrors(t *testing.T) {
 		t.Fatal("bad format should fail")
 	}
 }
+
+func TestRunRejectsInvalidFlags(t *testing.T) {
+	path := writeFIMI(t, "1 2\n1 2\n")
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-db", path, "-format", "fimi", "-hosts", "0"}, "-hosts"},
+		{[]string{"-db", path, "-format", "fimi", "-hosts", "-3"}, "-hosts"},
+		{[]string{"-db", path, "-format", "fimi", "-procs", "0"}, "-procs"},
+		{[]string{"-db", path, "-format", "fimi", "-top", "0"}, "-top"},
+		{[]string{"-db", path, "-format", "fimi", "-support", "-0.5"}, "-support"},
+		{[]string{"-db", path, "-format", "csv"}, "format"},
+		{[]string{"-gen", "-1"}, "-gen"},
+	} {
+		var out bytes.Buffer
+		err := run(tc.args, &out)
+		if err == nil {
+			t.Fatalf("run(%v) succeeded, want error about %s", tc.args, tc.want)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("run(%v) error %q does not mention %s", tc.args, err, tc.want)
+		}
+	}
+}

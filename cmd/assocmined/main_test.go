@@ -1,0 +1,432 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/service"
+)
+
+// newServer starts an httptest server over a fresh service with the
+// given pool shape and datasets registered.
+func newServer(t *testing.T, cfg service.Config, datasets map[string]int) (*httptest.Server, *service.Service) {
+	t.Helper()
+	svc := service.New(cfg)
+	for name, tx := range datasets {
+		d, err := repro.Generate(repro.StandardConfig(tx))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := svc.Registry().Add(name, "generated", d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(service.NewHandler(svc))
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Shutdown(context.Background())
+	})
+	return ts, svc
+}
+
+func postJob(t *testing.T, ts *httptest.Server, body string) (service.View, *http.Response) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v service.View
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return v, resp
+}
+
+func getJob(t *testing.T, ts *httptest.Server, id string) service.View {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET job %s: %d", id, resp.StatusCode)
+	}
+	var v service.View
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func pollUntil(t *testing.T, ts *httptest.Server, id string, pred func(service.View) bool) service.View {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		v := getJob(t, ts, id)
+		if pred(v) {
+			return v
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached the wanted state (last: %+v)", id, getJob(t, ts, id))
+	return service.View{}
+}
+
+func getStats(t *testing.T, ts *httptest.Server) service.Stats {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st service.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestEndToEndJobLifecycle is the acceptance flow: submit an Eclat job
+// on a generated T10.I6 database, poll to completion, verify the result
+// is byte-identical to a direct repro.Mine call, and verify a second
+// identical submission is served from the cache.
+func TestEndToEndJobLifecycle(t *testing.T) {
+	ts, svc := newServer(t, service.Config{Workers: 2, QueueDepth: 8}, map[string]int{"t10": 2000})
+
+	body := `{"dataset":"t10","algorithm":"eclat","supportPct":1.0}`
+	v, resp := postJob(t, ts, body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs: %d", resp.StatusCode)
+	}
+	done := pollUntil(t, ts, v.ID, func(v service.View) bool { return v.Status.Terminal() })
+	if done.Status != service.StatusDone || done.Cached {
+		t.Fatalf("first job finished as %+v, want uncached done", done)
+	}
+
+	res, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil || res.StatusCode != http.StatusOK {
+		t.Fatalf("result fetch: %d %v", res.StatusCode, err)
+	}
+
+	ds, err := svc.Registry().Get("t10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _, err := repro.Mine(ds.DB, repro.MineOptions{SupportPct: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := repro.WriteResult(&want, direct); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("HTTP result (%d bytes) differs from direct repro.Mine result (%d bytes)",
+			len(got), want.Len())
+	}
+
+	// Second identical submission: served from the cache, no new mine.
+	v2, resp2 := postJob(t, ts, body)
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("second POST: %d", resp2.StatusCode)
+	}
+	if v2.Status != service.StatusDone || !v2.Cached {
+		t.Fatalf("second submission %+v, want cached done", v2)
+	}
+	if st := getStats(t, ts); st.Cache.Hits != 1 {
+		t.Fatalf("/statsz cache hits = %d, want 1", st.Cache.Hits)
+	}
+
+	// The cached job serves the identical bytes too.
+	res2, err := http.Get(ts.URL + "/v1/jobs/" + v2.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, _ := io.ReadAll(res2.Body)
+	res2.Body.Close()
+	if !bytes.Equal(got2, want.Bytes()) {
+		t.Fatal("cached result differs from the mined result")
+	}
+}
+
+// TestCancelAndBackpressure drives a single-worker, single-slot queue:
+// the running job keeps the worker busy, the queued job is canceled, and
+// a third submission overflows with 429.
+func TestCancelAndBackpressure(t *testing.T) {
+	ts, _ := newServer(t, service.Config{Workers: 1, QueueDepth: 1},
+		map[string]int{"t10": 2000, "big": 30000})
+
+	// Low support on the big dataset keeps the worker busy long enough
+	// for the rest of the test's requests (each a few microseconds).
+	slow := `{"dataset":"big","algorithm":"eclat","supportPct":0.1}`
+	v1, resp := postJob(t, ts, slow)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("slow job: %d", resp.StatusCode)
+	}
+	pollUntil(t, ts, v1.ID, func(v service.View) bool { return v.Status == service.StatusRunning })
+
+	v2, resp := postJob(t, ts, slow2(t))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("queued job: %d", resp.StatusCode)
+	}
+
+	_, resp = postJob(t, ts, `{"dataset":"t10","supportPct":1.0}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submission: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	// Cancel the queued job; whether it is still queued or has just
+	// started, it must end canceled, not done.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+v2.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, dresp.Body)
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE job: %d", dresp.StatusCode)
+	}
+	final := pollUntil(t, ts, v2.ID, func(v service.View) bool { return v.Status.Terminal() })
+	if final.Status != service.StatusCanceled {
+		t.Fatalf("canceled job ended as %s, want canceled", final.Status)
+	}
+
+	// Its result is not servable.
+	rresp, err := http.Get(ts.URL + "/v1/jobs/" + v2.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, rresp.Body)
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusConflict {
+		t.Fatalf("result of canceled job: %d, want 409", rresp.StatusCode)
+	}
+
+	// The slow job still completes normally.
+	if v := pollUntil(t, ts, v1.ID, func(v service.View) bool { return v.Status.Terminal() }); v.Status != service.StatusDone {
+		t.Fatalf("slow job ended as %s, want done", v.Status)
+	}
+	if st := getStats(t, ts); st.Rejected != 1 || st.Canceled != 1 {
+		t.Fatalf("stats rejected=%d canceled=%d, want 1/1", st.Rejected, st.Canceled)
+	}
+}
+
+// slow2 is a second distinct slow request (different minsup so it cannot
+// be a cache hit of the first).
+func slow2(t *testing.T) string {
+	t.Helper()
+	return `{"dataset":"big","algorithm":"eclat","supportPct":0.12}`
+}
+
+func TestHTTPErrorsAndEndpoints(t *testing.T) {
+	ts, _ := newServer(t, service.Config{Workers: 1, QueueDepth: 4}, map[string]int{"t10": 500})
+
+	for _, tc := range []struct {
+		body string
+		want int
+	}{
+		{`not json`, http.StatusBadRequest},
+		{`{"dataset":"missing"}`, http.StatusNotFound},
+		{`{"dataset":"t10","algorithm":"quantum"}`, http.StatusBadRequest},
+		{`{"dataset":"t10","variant":"weird"}`, http.StatusBadRequest},
+		{`{"dataset":"t10","supportPct":-2}`, http.StatusBadRequest},
+	} {
+		_, resp := postJob(t, ts, tc.body)
+		if resp.StatusCode != tc.want {
+			t.Fatalf("body %q: status %d, want %d", tc.body, resp.StatusCode, tc.want)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/job-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: %d, want 404", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(b), "ok") {
+		t.Fatalf("/healthz: %d %q", resp.StatusCode, b)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []service.DatasetInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(infos) != 1 || infos[0].Name != "t10" || infos[0].Transactions != 500 {
+		t.Fatalf("/v1/datasets: %+v", infos)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/datasets/t10?top=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var detail struct {
+		service.DatasetInfo
+		TopItems []service.ItemSupport `json:"topItems"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&detail); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(detail.TopItems) != 3 || detail.TopItems[0].Support < detail.TopItems[2].Support {
+		t.Fatalf("dataset detail top items: %+v", detail.TopItems)
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing daemon logs.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestDaemonRunLifecycle boots the real daemon on an ephemeral port,
+// hits it over TCP, then shuts it down via context cancellation (the
+// SIGINT/SIGTERM path) and expects a clean drain.
+func TestDaemonRunLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, []string{"-addr", "127.0.0.1:0", "-gen", "mini=300", "-workers", "2"}, &out)
+	}()
+
+	addrRe := regexp.MustCompile(`listening on (\S+)`)
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never reported its address; output:\n%s", out.String())
+		}
+		select {
+		case err := <-errCh:
+			t.Fatalf("daemon exited early: %v\n%s", err, out.String())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+
+	base := "http://" + addr
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"dataset":"mini","supportPct":1.0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v service.View
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST: %d", resp.StatusCode)
+	}
+
+	cancel() // the SIGINT path: drain and exit
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("run returned %v\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not shut down; output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "drained cleanly") {
+		t.Fatalf("expected clean drain; output:\n%s", out.String())
+	}
+}
+
+func TestDaemonFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-workers", "0"},
+		{"-queue", "-1"},
+		{"-cache-mb", "0"},
+		{"-gen", "bad"},
+		{"-gen", "x=notanumber"},
+		{"-dataset", "nameonly"},
+		{"-dataset", "x=/definitely/not/here.db"},
+	} {
+		var out bytes.Buffer
+		ctx, cancel := context.WithCancel(context.Background())
+		err := run(ctx, args, &out)
+		cancel()
+		if err == nil {
+			t.Fatalf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestDaemonLoadsFIMIDataset(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/tiny.fimi"
+	if err := writeFile(path, "1 2 3\n1 2\n2 3\n"); err != nil {
+		t.Fatal(err)
+	}
+	svc := service.New(service.Config{Workers: 1, QueueDepth: 2})
+	defer svc.Shutdown(context.Background())
+	if err := registerDatasets(svc, []string{"tiny=" + path}, nil); err != nil {
+		t.Fatal(err)
+	}
+	infos := svc.Datasets()
+	if len(infos) != 1 || infos[0].Transactions != 3 {
+		t.Fatalf("datasets = %+v", infos)
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -12,6 +12,8 @@
 package apriori
 
 import (
+	"context"
+
 	"repro/internal/db"
 	"repro/internal/hashtree"
 	"repro/internal/itemset"
@@ -127,6 +129,15 @@ func CountItems(part *db.Database) []int {
 // returns all frequent itemsets (including 1-itemsets) with exact
 // supports.
 func Mine(d *db.Database, minsup int) (*mining.Result, Stats) {
+	res, st, _ := MineCtx(context.Background(), d, minsup)
+	return res, st
+}
+
+// MineCtx is Mine with cooperative cancellation: ctx is consulted between
+// candidate levels (once per database pass), so a cancel or deadline
+// stops the mine at the next level boundary without per-transaction
+// overhead. On cancellation it returns (nil, partial stats, ctx.Err()).
+func MineCtx(ctx context.Context, d *db.Database, minsup int) (*mining.Result, Stats, error) {
 	if minsup < 1 {
 		minsup = 1
 	}
@@ -155,6 +166,9 @@ func Mine(d *db.Database, minsup int) (*mining.Result, Stats) {
 
 	// Passes k >= 3.
 	for k := 3; len(prev) > 1; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, st, err
+		}
 		tree := GenerateCandidates(prev)
 		st.Iterations++
 		st.Candidates += tree.Len()
@@ -169,7 +183,10 @@ func Mine(d *db.Database, minsup int) (*mining.Result, Stats) {
 			prev = append(prev, c.Set)
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, st, err
+	}
 
 	res.Sort()
-	return res, st
+	return res, st, nil
 }

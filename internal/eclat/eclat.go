@@ -15,6 +15,7 @@
 package eclat
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/db"
@@ -72,12 +73,21 @@ type member struct {
 // equivalence class. members must be lexicographically sorted and share a
 // common prefix of len(set)-1 items. emit is called for every frequent
 // itemset found (sets of size len(members[0].set)+1 and deeper).
-func computeFrequent(members []member, minsup int, st *Stats, opts Options, emit func(itemset.Itemset, int)) {
+//
+// Cancellation is checked once per sub-class (each iteration of the
+// i-loop opens the class prefixed by members[i].set), never inside the
+// intersection inner loop, so an expired ctx stops the search promptly
+// without per-intersection overhead. On cancellation the walk simply
+// unwinds; the caller is responsible for reporting ctx.Err().
+func computeFrequent(ctx context.Context, members []member, minsup int, st *Stats, opts Options, emit func(itemset.Itemset, int)) {
 	// Pairing member i with each j > i yields the class prefixed by
 	// members[i].set, so the recursion needs no separate partitioning
 	// pass: the i-loop enumerates the next level's classes directly.
 	var scratch tidlist.List
 	for i := 0; i < len(members)-1; i++ {
+		if ctx.Err() != nil {
+			return
+		}
 		var next []member
 		for j := i + 1; j < len(members); j++ {
 			st.Intersections++
@@ -106,7 +116,7 @@ func computeFrequent(members []member, minsup int, st *Stats, opts Options, emit
 			emit(m.set, m.tids.Support())
 		}
 		if len(next) > 1 {
-			computeFrequent(next, minsup, st, opts, emit)
+			computeFrequent(ctx, next, minsup, st, opts, emit)
 		}
 	}
 }
@@ -134,6 +144,16 @@ func MineSequential(d *db.Database, minsup int) (*mining.Result, Stats) {
 
 // MineSequentialOpts is MineSequential with explicit variant options.
 func MineSequentialOpts(d *db.Database, minsup int, opts Options) (*mining.Result, Stats) {
+	res, st, _ := MineSequentialCtx(context.Background(), d, minsup, opts)
+	return res, st
+}
+
+// MineSequentialCtx is MineSequentialOpts with cooperative cancellation:
+// ctx is consulted between equivalence classes (see computeFrequent), so
+// a cancel or deadline stops the mine promptly without slowing the
+// intersection inner loop. On cancellation it returns (nil, partial
+// stats, ctx.Err()).
+func MineSequentialCtx(ctx context.Context, d *db.Database, minsup int, opts Options) (*mining.Result, Stats, error) {
 	if minsup < 1 {
 		minsup = 1
 	}
@@ -178,9 +198,15 @@ func MineSequentialOpts(d *db.Database, minsup int, opts Options) (*mining.Resul
 
 	// Asynchronous phase: mine class by class.
 	for i := range classes {
-		computeFrequent(classMembers(&classes[i], lists), minsup, &st, opts, res.Add)
+		if err := ctx.Err(); err != nil {
+			return nil, st, err
+		}
+		computeFrequent(ctx, classMembers(&classes[i], lists), minsup, &st, opts, res.Add)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, st, err
 	}
 
 	res.Sort()
-	return res, st
+	return res, st, nil
 }

@@ -1,6 +1,8 @@
 package eclat
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -170,5 +172,30 @@ func TestParallelMoreProcsThanTransactions(t *testing.T) {
 	res, _ := Mine(cl, d, 2)
 	if res.SupportMap()[itemset.New(0, 1).Key()] != 2 {
 		t.Fatalf("result wrong with empty partitions: %v", res.SupportMap())
+	}
+}
+
+func TestMineSequentialCtxCanceled(t *testing.T) {
+	d := gen.MustGenerate(gen.T10I6(1500))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, _, err := MineSequentialCtx(ctx, d, 10, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("canceled mine returned a result")
+	}
+}
+
+func TestMineSequentialCtxBackgroundMatchesPlain(t *testing.T) {
+	d := gen.MustGenerate(gen.T10I6(1500))
+	want, _ := MineSequential(d, 10)
+	got, _, err := MineSequentialCtx(context.Background(), d, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Itemsets) != len(got.Itemsets) {
+		t.Fatalf("ctx variant mined %d itemsets, plain mined %d", len(got.Itemsets), len(want.Itemsets))
 	}
 }

@@ -1,6 +1,8 @@
 package eclat
 
 import (
+	"context"
+
 	"sort"
 
 	"repro/internal/cluster"
@@ -174,7 +176,7 @@ func MineHybrid(cl *cluster.Cluster, d *db.Database, minsup int) (*mining.Result
 			for _, m := range members {
 				myBytes += m.tids.SizeBytes()
 			}
-			computeFrequent(members, minsup, &st, Options{}, local.Add)
+			computeFrequent(context.Background(), members, minsup, &st, Options{}, local.Add)
 		}
 		p.ChargeScan(myBytes, pp)
 		p.ChargeOps(cluster.OpIntersect, st.IntersectOps)

@@ -1,6 +1,8 @@
 package eclat
 
 import (
+	"context"
+
 	"sort"
 
 	"repro/internal/cluster"
@@ -205,7 +207,7 @@ func MineOpts(cl *cluster.Cluster, d *db.Database, minsup int, opts Options) (*m
 		p.ChargeScan(ownedBytes, p.HostProcs())
 		var st Stats
 		for _, ci := range sched.ClassesOf(p.ID()) {
-			computeFrequent(classMembers(&classes[ci], lists), minsup, &st, opts, local.Add)
+			computeFrequent(context.Background(), classMembers(&classes[ci], lists), minsup, &st, opts, local.Add)
 		}
 		p.ChargeOps(cluster.OpIntersect, st.IntersectOps)
 		p.ChargeCPU(st.Intersections)

@@ -1,0 +1,128 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/mining"
+)
+
+// CacheStats is a point-in-time view of the result cache counters.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	SizeBytes int64 `json:"sizeBytes"`
+	MaxBytes  int64 `json:"maxBytes"`
+}
+
+// Cache is a byte-bounded LRU of mining results keyed by
+// (dataset, algorithm, minsup, variant). Results are stored by pointer
+// and must be treated as immutable by all readers — the mining paths
+// never mutate a result after Sort, so sharing is safe.
+type Cache struct {
+	mu        sync.Mutex
+	maxBytes  int64
+	sizeBytes int64
+	ll        *list.List // front = most recently used
+	index     map[Key]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type cacheEntry struct {
+	key   Key
+	res   *mining.Result
+	bytes int64
+}
+
+// NewCache builds a cache bounded to maxBytes of estimated result
+// payload (default 64 MiB when maxBytes <= 0).
+func NewCache(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	return &Cache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		index:    make(map[Key]*list.Element),
+	}
+}
+
+// resultBytes estimates the heap footprint of a result: slice header plus
+// items for each itemset, plus the support int.
+func resultBytes(res *mining.Result) int64 {
+	var b int64 = 48 // Result struct itself
+	for _, f := range res.Itemsets {
+		b += 24 /* slice header */ + 8 /* support */ + 4*int64(len(f.Set))
+	}
+	return b
+}
+
+// Get returns the cached result for k, marking it most recently used.
+func (c *Cache) Get(k Key) (*mining.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.index[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put stores res under k, evicting least-recently-used entries until the
+// byte budget holds. A result larger than the whole budget is not cached.
+func (c *Cache) Put(k Key, res *mining.Result) {
+	bytes := resultBytes(res)
+	if bytes > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[k]; ok { // refresh existing entry
+		ent := el.Value.(*cacheEntry)
+		c.sizeBytes += bytes - ent.bytes
+		ent.res, ent.bytes = res, bytes
+		c.ll.MoveToFront(el)
+	} else {
+		c.index[k] = c.ll.PushFront(&cacheEntry{key: k, res: res, bytes: bytes})
+		c.sizeBytes += bytes
+	}
+	for c.sizeBytes > c.maxBytes {
+		oldest := c.ll.Back()
+		if oldest == nil {
+			break
+		}
+		ent := oldest.Value.(*cacheEntry)
+		c.ll.Remove(oldest)
+		delete(c.index, ent.key)
+		c.sizeBytes -= ent.bytes
+		c.evictions++
+	}
+}
+
+// Len is the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns the current counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+		SizeBytes: c.sizeBytes,
+		MaxBytes:  c.maxBytes,
+	}
+}

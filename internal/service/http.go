@@ -1,0 +1,191 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/mining"
+)
+
+// JobRequest is the JSON body of POST /v1/jobs.
+type JobRequest struct {
+	// Dataset is a registered dataset name (required).
+	Dataset string `json:"dataset"`
+	// Algorithm is a short algorithm name ("eclat", "apriori",
+	// "countdist", ...); empty means eclat.
+	Algorithm string `json:"algorithm"`
+	// Variant is "all" (default), "maximal" or "closed".
+	Variant string `json:"variant"`
+	// SupportPct / supportCount follow repro.MineOptions semantics.
+	SupportPct   float64 `json:"supportPct"`
+	SupportCount int     `json:"supportCount"`
+	// Hosts / procs select a simulated cluster for parallel algorithms.
+	Hosts int `json:"hosts"`
+	Procs int `json:"procs"`
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+// NewHandler exposes the service over HTTP:
+//
+//	POST   /v1/jobs           submit a job (202; 429 when the queue is full)
+//	GET    /v1/jobs           list jobs
+//	GET    /v1/jobs/{id}      job status
+//	GET    /v1/jobs/{id}/result  finished result in the WriteResult text format
+//	DELETE /v1/jobs/{id}      cancel a job
+//	GET    /v1/datasets       registered datasets
+//	GET    /v1/datasets/{name}  dataset detail with top items (memoized vertical transform)
+//	GET    /healthz           liveness
+//	GET    /statsz            queue/worker/cache counters
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var jr JobRequest
+		if err := json.NewDecoder(r.Body).Decode(&jr); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		algo, err := ParseAlgorithm(jr.Algorithm)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		variant, err := ParseVariant(jr.Variant)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		job, err := s.Submit(Request{
+			Dataset:      jr.Dataset,
+			Algorithm:    algo,
+			Variant:      variant,
+			SupportPct:   jr.SupportPct,
+			SupportCount: jr.SupportCount,
+			Hosts:        jr.Hosts,
+			ProcsPerHost: jr.Procs,
+		})
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusAccepted, job.Snapshot())
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrShuttingDown):
+			writeError(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, ErrUnknownDataset):
+			writeError(w, http.StatusNotFound, err)
+		default:
+			writeError(w, http.StatusBadRequest, err)
+		}
+	})
+
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Jobs())
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		v, err := s.Job(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		v, err := s.Job(id)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		res, err := s.Result(id)
+		if err != nil {
+			code := http.StatusConflict // not done yet (or failed/canceled)
+			if v.Status == StatusQueued || v.Status == StatusRunning {
+				w.Header().Set("Retry-After", "1")
+			}
+			writeError(w, code, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("X-Itemsets", strconv.Itoa(res.Len()))
+		if err := mining.Write(w, res); err != nil {
+			// Headers are gone; nothing to do but drop the connection.
+			return
+		}
+	})
+
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		v, err := s.Cancel(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	})
+
+	mux.HandleFunc("GET /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Datasets())
+	})
+
+	mux.HandleFunc("GET /v1/datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
+		ds, err := s.Dataset(r.PathValue("name"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		n := 10
+		if q := r.URL.Query().Get("top"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 1 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad top %q", q))
+				return
+			}
+			n = v
+		}
+		writeJSON(w, http.StatusOK, struct {
+			DatasetInfo
+			TopItems []ItemSupport `json:"topItems"`
+		}{
+			DatasetInfo: DatasetInfo{
+				Name:         ds.Name,
+				Source:       ds.Source,
+				Transactions: ds.DB.Len(),
+				NumItems:     ds.DB.NumItems,
+				AvgLen:       ds.DB.AvgLen(),
+				SizeBytes:    ds.DB.SizeBytes(),
+			},
+			TopItems: ds.TopItems(n),
+		})
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+
+	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+
+	return mux
+}

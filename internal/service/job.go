@@ -1,0 +1,200 @@
+// Package service is the serving layer that turns the repository's
+// batch miners into a long-running, concurrent, cancellable, cacheable
+// mining service: a dataset registry (load once, mine many), a bounded
+// job queue drained by a worker pool, and an LRU result cache keyed by
+// (dataset, algorithm, minsup, variant). cmd/assocmined exposes it over
+// HTTP with stdlib net/http only.
+package service
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/mining"
+)
+
+// Status is a job's lifecycle state. Transitions are strictly
+// queued → running → done|failed|canceled, except that a job canceled
+// while still queued goes straight to canceled without running.
+type Status string
+
+// The job lifecycle states.
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// Terminal reports whether the status is an end state.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// Variant selects which itemset collection a job mines.
+type Variant string
+
+// The mining variants.
+const (
+	VariantAll     Variant = "all"     // every frequent itemset
+	VariantMaximal Variant = "maximal" // MaxEclat maximal sets only
+	VariantClosed  Variant = "closed"  // closed sets only
+)
+
+// ParseVariant parses a variant name; "" means VariantAll.
+func ParseVariant(s string) (Variant, error) {
+	switch Variant(strings.ToLower(s)) {
+	case "", VariantAll:
+		return VariantAll, nil
+	case VariantMaximal:
+		return VariantMaximal, nil
+	case VariantClosed:
+		return VariantClosed, nil
+	default:
+		return "", fmt.Errorf("service: unknown variant %q (want all, maximal or closed)", s)
+	}
+}
+
+// ParseAlgorithm maps the short names used by the CLIs and the HTTP API
+// to algorithms; "" means Eclat.
+func ParseAlgorithm(s string) (repro.Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "", "eclat":
+		return repro.AlgoEclat, nil
+	case "apriori":
+		return repro.AlgoApriori, nil
+	case "countdist":
+		return repro.AlgoCountDistribution, nil
+	case "datadist":
+		return repro.AlgoDataDistribution, nil
+	case "canddist":
+		return repro.AlgoCandidateDistribution, nil
+	case "hybrid":
+		return repro.AlgoEclatHybrid, nil
+	case "partition":
+		return repro.AlgoPartition, nil
+	case "sampling":
+		return repro.AlgoSampling, nil
+	case "dhp":
+		return repro.AlgoDHP, nil
+	default:
+		return 0, fmt.Errorf("service: unknown algorithm %q (want eclat, apriori, countdist, datadist, canddist, hybrid, partition, sampling or dhp)", s)
+	}
+}
+
+// Request describes one mining job. MinSup is resolved against the
+// dataset at submission time, so two requests expressed as an absolute
+// count and as an equivalent percentage share a cache entry.
+type Request struct {
+	// Dataset is the registry name of the database to mine.
+	Dataset string
+	// Algorithm defaults to Eclat.
+	Algorithm repro.Algorithm
+	// Variant defaults to VariantAll.
+	Variant Variant
+	// SupportPct / SupportCount follow repro.MineOptions semantics.
+	SupportPct   float64
+	SupportCount int
+	// Hosts / ProcsPerHost select a simulated cluster for the parallel
+	// algorithms.
+	Hosts        int
+	ProcsPerHost int
+}
+
+// Key identifies a result in the cache. Hosts/ProcsPerHost are
+// deliberately absent: every algorithm returns identical itemsets
+// regardless of the simulated cluster shape, so all shapes share one
+// entry per (dataset, algorithm, minsup, variant).
+type Key struct {
+	Dataset   string
+	Algorithm string
+	MinSup    int
+	Variant   Variant
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("%s/%s/minsup=%d/%s", k.Dataset, k.Algorithm, k.MinSup, k.Variant)
+}
+
+// Job is one queued or executed mining run. All mutable state is guarded
+// by mu; readers use Snapshot.
+type Job struct {
+	// ID is the manager-assigned identifier ("job-1", "job-2", ...).
+	ID string
+	// Req is the submitted request, with Variant normalized.
+	Req Request
+	// Key is the cache identity of the job's result.
+	Key Key
+
+	ctx    context.Context // canceled by Cancel/Shutdown; honored by the run function
+	cancel context.CancelFunc
+	done   chan struct{} // closed on reaching a terminal status
+
+	mu       sync.Mutex
+	status   Status
+	err      string
+	result   *mining.Result
+	info     *repro.RunInfo
+	cached   bool // result came from the cache, no mine ran
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// View is an immutable snapshot of a job, the unit the HTTP layer
+// serializes.
+type View struct {
+	ID        string    `json:"id"`
+	Status    Status    `json:"status"`
+	Dataset   string    `json:"dataset"`
+	Algorithm string    `json:"algorithm"`
+	Variant   Variant   `json:"variant"`
+	MinSup    int       `json:"minsup"`
+	Cached    bool      `json:"cached"`
+	Error     string    `json:"error,omitempty"`
+	Itemsets  int       `json:"itemsets,omitempty"` // result size once done
+	Created   time.Time `json:"created"`
+	Started   time.Time `json:"started"`
+	Finished  time.Time `json:"finished"`
+}
+
+// Snapshot returns a consistent view of the job.
+func (j *Job) Snapshot() View {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := View{
+		ID:        j.ID,
+		Status:    j.status,
+		Dataset:   j.Req.Dataset,
+		Algorithm: j.Req.Algorithm.String(),
+		Variant:   j.Req.Variant,
+		MinSup:    j.Key.MinSup,
+		Cached:    j.cached,
+		Error:     j.err,
+		Created:   j.created,
+		Started:   j.started,
+		Finished:  j.finished,
+	}
+	if j.result != nil {
+		v.Itemsets = j.result.Len()
+	}
+	return v
+}
+
+// Result returns the job's result once done (nil otherwise).
+func (j *Job) Result() *mining.Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusDone {
+		return nil
+	}
+	return j.result
+}
+
+// Done returns a channel closed when the job reaches a terminal status.
+func (j *Job) Done() <-chan struct{} { return j.done }

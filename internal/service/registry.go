@@ -1,0 +1,149 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/db"
+	"repro/internal/itemset"
+	"repro/internal/tidlist"
+)
+
+// ErrUnknownDataset is returned for dataset names not in the registry.
+var ErrUnknownDataset = errors.New("service: unknown dataset")
+
+// Dataset is one registered database. The horizontal data is loaded once
+// and held immutably; the vertical tid-list transformation (one tid-list
+// per item) is computed lazily on first use and memoized, so repeated
+// item-level queries never rescan the horizontal data.
+type Dataset struct {
+	// Name is the registry key.
+	Name string
+	// Source describes where the data came from (file path, "generated",
+	// ...), for /v1/datasets.
+	Source string
+	// DB is the immutable horizontal database.
+	DB *db.Database
+
+	verticalOnce sync.Once
+	vertical     []tidlist.List // index = item; nil until first use
+}
+
+// Vertical returns the memoized per-item tid-lists of the dataset — the
+// paper's vertical layout at the 1-itemset level. The first call costs
+// one pass over the horizontal data; later calls are free. The returned
+// slice and its lists are shared and must not be mutated.
+func (ds *Dataset) Vertical() []tidlist.List {
+	ds.verticalOnce.Do(func() {
+		lists := make([]tidlist.List, ds.DB.NumItems)
+		for _, tx := range ds.DB.Transactions {
+			for _, it := range tx.Items {
+				lists[it] = append(lists[it], tx.TID)
+			}
+		}
+		ds.vertical = lists
+	})
+	return ds.vertical
+}
+
+// ItemSupport is one item with its support count.
+type ItemSupport struct {
+	Item    itemset.Item `json:"item"`
+	Support int          `json:"support"`
+}
+
+// TopItems returns the n most frequent items, by support descending then
+// item ascending, computed from the memoized vertical transform.
+func (ds *Dataset) TopItems(n int) []ItemSupport {
+	vert := ds.Vertical()
+	out := make([]ItemSupport, 0, len(vert))
+	for it, l := range vert {
+		if len(l) > 0 {
+			out = append(out, ItemSupport{Item: itemset.Item(it), Support: l.Support()})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return out[i].Item < out[j].Item
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// DatasetInfo is the /v1/datasets summary of one dataset.
+type DatasetInfo struct {
+	Name         string  `json:"name"`
+	Source       string  `json:"source"`
+	Transactions int     `json:"transactions"`
+	NumItems     int     `json:"numItems"`
+	AvgLen       float64 `json:"avgLen"`
+	SizeBytes    int64   `json:"sizeBytes"`
+}
+
+// Registry holds the registered datasets. Registration happens at daemon
+// startup (and in tests); lookups are concurrent.
+type Registry struct {
+	mu    sync.RWMutex
+	byKey map[string]*Dataset
+	names []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*Dataset)}
+}
+
+// Add registers d under name; duplicate names are an error.
+func (r *Registry) Add(name, source string, d *db.Database) (*Dataset, error) {
+	if name == "" {
+		return nil, fmt.Errorf("service: empty dataset name")
+	}
+	if d == nil || d.Len() == 0 {
+		return nil, fmt.Errorf("service: dataset %q is empty", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byKey[name]; ok {
+		return nil, fmt.Errorf("service: dataset %q already registered", name)
+	}
+	ds := &Dataset{Name: name, Source: source, DB: d}
+	r.byKey[name] = ds
+	r.names = append(r.names, name)
+	return ds, nil
+}
+
+// Get looks a dataset up by name.
+func (r *Registry) Get(name string) (*Dataset, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ds, ok := r.byKey[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	return ds, nil
+}
+
+// List returns summaries of all datasets in registration order.
+func (r *Registry) List() []DatasetInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]DatasetInfo, 0, len(r.names))
+	for _, name := range r.names {
+		ds := r.byKey[name]
+		out = append(out, DatasetInfo{
+			Name:         ds.Name,
+			Source:       ds.Source,
+			Transactions: ds.DB.Len(),
+			NumItems:     ds.DB.NumItems,
+			AvgLen:       ds.DB.AvgLen(),
+			SizeBytes:    ds.DB.SizeBytes(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro"
+	"repro/internal/mining"
+)
+
+// Config sizes a Service.
+type Config struct {
+	// Workers / QueueDepth size the job manager (see ManagerConfig).
+	Workers    int
+	QueueDepth int
+	// CacheBytes bounds the result cache (default 64 MiB).
+	CacheBytes int64
+}
+
+// Service wires the dataset registry, the job manager, and the result
+// cache into the serving layer behind cmd/assocmined.
+type Service struct {
+	reg     *Registry
+	cache   *Cache
+	mgr     *Manager
+	started time.Time
+}
+
+// New builds a Service and starts its worker pool.
+func New(cfg Config) *Service {
+	s := &Service{
+		reg:     NewRegistry(),
+		cache:   NewCache(cfg.CacheBytes),
+		started: time.Now(),
+	}
+	s.mgr = NewManager(ManagerConfig{Workers: cfg.Workers, QueueDepth: cfg.QueueDepth}, s.runJob)
+	return s
+}
+
+// Registry exposes the dataset registry for startup-time registration.
+func (s *Service) Registry() *Registry { return s.reg }
+
+// Manager exposes the job manager (tests and stats).
+func (s *Service) Manager() *Manager { return s.mgr }
+
+// Cache exposes the result cache (tests and stats).
+func (s *Service) Cache() *Cache { return s.cache }
+
+// normalize validates req against the registry and resolves its cache
+// key (which fixes the absolute minsup).
+func (s *Service) normalize(req Request) (Request, Key, error) {
+	ds, err := s.reg.Get(req.Dataset)
+	if err != nil {
+		return req, Key{}, err
+	}
+	if req.Variant == "" {
+		req.Variant = VariantAll
+	}
+	if req.SupportPct < 0 {
+		return req, Key{}, fmt.Errorf("service: negative supportPct %v", req.SupportPct)
+	}
+	if req.SupportCount < 0 {
+		return req, Key{}, fmt.Errorf("service: negative supportCount %d", req.SupportCount)
+	}
+	opts := repro.MineOptions{SupportPct: req.SupportPct, SupportCount: req.SupportCount}
+	minsup := opts.MinSup(ds.DB)
+	key := Key{
+		Dataset:   req.Dataset,
+		Algorithm: req.Algorithm.String(),
+		MinSup:    minsup,
+		Variant:   req.Variant,
+	}
+	return req, key, nil
+}
+
+// Submit validates req, serves it from the result cache when possible
+// (the returned job is already done, with View.Cached set), and
+// otherwise enqueues it. It fails with ErrQueueFull under backpressure.
+func (s *Service) Submit(req Request) (*Job, error) {
+	req, key, err := s.normalize(req)
+	if err != nil {
+		return nil, err
+	}
+	if res, ok := s.cache.Get(key); ok {
+		return s.mgr.Insert(req, key, res, true), nil
+	}
+	return s.mgr.Submit(req, key)
+}
+
+// runJob executes one job against the registry and stores a successful
+// result in the cache.
+func (s *Service) runJob(ctx context.Context, j *Job) (*mining.Result, *repro.RunInfo, error) {
+	ds, err := s.reg.Get(j.Req.Dataset)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts := repro.MineOptions{
+		Algorithm:    j.Req.Algorithm,
+		SupportCount: j.Key.MinSup, // resolved once at submit time
+		Hosts:        j.Req.Hosts,
+		ProcsPerHost: j.Req.ProcsPerHost,
+	}
+	var res *mining.Result
+	var info *repro.RunInfo
+	switch j.Req.Variant {
+	case VariantMaximal:
+		res, err = repro.MineMaximalContext(ctx, ds.DB, opts)
+	case VariantClosed:
+		res, err = repro.MineClosedContext(ctx, ds.DB, opts)
+	default:
+		res, info, err = repro.MineContext(ctx, ds.DB, opts)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	s.cache.Put(j.Key, res)
+	return res, info, nil
+}
+
+// Job returns a snapshot of the job with the given ID.
+func (s *Service) Job(id string) (View, error) {
+	j, err := s.mgr.Get(id)
+	if err != nil {
+		return View{}, err
+	}
+	return j.Snapshot(), nil
+}
+
+// Jobs lists all jobs.
+func (s *Service) Jobs() []View { return s.mgr.List() }
+
+// Result returns the finished result of a job, or an error naming the
+// job's current status when it is not done.
+func (s *Service) Result(id string) (*mining.Result, error) {
+	j, err := s.mgr.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if res := j.Result(); res != nil {
+		return res, nil
+	}
+	return nil, fmt.Errorf("service: job %s is %s, not done", id, j.Snapshot().Status)
+}
+
+// Cancel cancels a job (no-op if already terminal) and returns its
+// snapshot after the cancellation request.
+func (s *Service) Cancel(id string) (View, error) {
+	j, err := s.mgr.Cancel(id)
+	if err != nil {
+		return View{}, err
+	}
+	return j.Snapshot(), nil
+}
+
+// Wait blocks until the job is terminal or ctx expires.
+func (s *Service) Wait(ctx context.Context, id string) (View, error) {
+	return s.mgr.Wait(ctx, id)
+}
+
+// Datasets lists the registered datasets.
+func (s *Service) Datasets() []DatasetInfo { return s.reg.List() }
+
+// Dataset returns one dataset for detail queries.
+func (s *Service) Dataset(name string) (*Dataset, error) { return s.reg.Get(name) }
+
+// Shutdown drains the job queue and workers (see Manager.Shutdown).
+func (s *Service) Shutdown(ctx context.Context) error { return s.mgr.Shutdown(ctx) }
+
+// Stats is the /statsz payload.
+type Stats struct {
+	UptimeSeconds float64    `json:"uptimeSeconds"`
+	Workers       int        `json:"workers"`
+	QueueDepth    int        `json:"queueDepth"`
+	QueueLen      int        `json:"queueLen"`
+	Running       int64      `json:"running"`
+	Submitted     int64      `json:"submitted"`
+	Completed     int64      `json:"completed"`
+	Failed        int64      `json:"failed"`
+	Canceled      int64      `json:"canceled"`
+	Rejected      int64      `json:"rejected"`
+	Cache         CacheStats `json:"cache"`
+	Datasets      int        `json:"datasets"`
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	m := s.mgr
+	return Stats{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Workers:       m.cfg.Workers,
+		QueueDepth:    m.cfg.QueueDepth,
+		QueueLen:      m.QueueLen(),
+		Running:       m.running.Load(),
+		Submitted:     m.submitted.Load(),
+		Completed:     m.completed.Load(),
+		Failed:        m.failed.Load(),
+		Canceled:      m.canceled.Load(),
+		Rejected:      m.rejected.Load(),
+		Cache:         s.cache.Stats(),
+		Datasets:      len(s.reg.List()),
+	}
+}

@@ -1,0 +1,231 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro"
+	"repro/internal/db"
+	"repro/internal/itemset"
+)
+
+func genDataset(t testing.TB, tx int) *db.Database {
+	t.Helper()
+	d, err := repro.Generate(repro.StandardConfig(tx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func newTestService(t testing.TB, cfg Config, tx int) *Service {
+	t.Helper()
+	s := New(cfg)
+	t.Cleanup(func() { s.Shutdown(context.Background()) })
+	if _, err := s.Registry().Add("t10", "generated", genDataset(t, tx)); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestServiceMineMatchesDirectCall(t *testing.T) {
+	s := newTestService(t, Config{Workers: 2, QueueDepth: 8}, 1000)
+	req := Request{Dataset: "t10", Algorithm: repro.AlgoEclat, SupportPct: 1.0}
+	j, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Wait(context.Background(), j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != StatusDone || v.Cached {
+		t.Fatalf("first run: %+v, want uncached done", v)
+	}
+
+	got, err := s.Result(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, _ := s.Registry().Get("t10")
+	want, _, err := repro.Mine(ds.DB, repro.MineOptions{SupportPct: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotBuf, wantBuf bytes.Buffer
+	if err := repro.WriteResult(&gotBuf, got); err != nil {
+		t.Fatal(err)
+	}
+	if err := repro.WriteResult(&wantBuf, want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotBuf.Bytes(), wantBuf.Bytes()) {
+		t.Fatal("service result differs from direct repro.Mine result")
+	}
+}
+
+func TestServiceSecondSubmissionHitsCache(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, QueueDepth: 8}, 500)
+	req := Request{Dataset: "t10", Algorithm: repro.AlgoEclat, SupportPct: 2.0}
+
+	j1, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Wait(context.Background(), j1.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := j2.Snapshot()
+	if v2.Status != StatusDone || !v2.Cached {
+		t.Fatalf("second submission: %+v, want cached done", v2)
+	}
+	if s.Cache().Stats().Hits != 1 {
+		t.Fatalf("cache hits = %d, want 1", s.Cache().Stats().Hits)
+	}
+
+	// An equivalent request phrased as an absolute count shares the entry.
+	ds, _ := s.Registry().Get("t10")
+	abs := Request{Dataset: "t10", Algorithm: repro.AlgoEclat,
+		SupportCount: repro.MineOptions{SupportPct: 2.0}.MinSup(ds.DB)}
+	j3, err := s.Submit(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3 := j3.Snapshot(); !v3.Cached {
+		t.Fatalf("absolute-count request missed the cache: %+v", v3)
+	}
+}
+
+func TestServiceVariantAndAlgorithmGetDistinctEntries(t *testing.T) {
+	s := newTestService(t, Config{Workers: 2, QueueDepth: 8}, 300)
+	for _, req := range []Request{
+		{Dataset: "t10", Algorithm: repro.AlgoEclat, SupportPct: 2.0},
+		{Dataset: "t10", Algorithm: repro.AlgoApriori, SupportPct: 2.0},
+		{Dataset: "t10", Algorithm: repro.AlgoEclat, Variant: VariantMaximal, SupportPct: 2.0},
+	} {
+		j, err := s.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, err := s.Wait(context.Background(), j.ID); err != nil || v.Status != StatusDone {
+			t.Fatalf("%+v: %v %v", req, v.Status, err)
+		}
+		if v := j.Snapshot(); v.Cached {
+			t.Fatalf("request %+v should not share a cache entry", req)
+		}
+	}
+	if got := s.Cache().Len(); got != 3 {
+		t.Fatalf("cache entries = %d, want 3", got)
+	}
+}
+
+func TestServiceRejectsBadRequests(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, QueueDepth: 2}, 100)
+	for _, req := range []Request{
+		{Dataset: "nope"},
+		{Dataset: "t10", SupportPct: -1},
+		{Dataset: "t10", SupportCount: -5},
+	} {
+		if _, err := s.Submit(req); err == nil {
+			t.Fatalf("submit %+v succeeded, want error", req)
+		}
+	}
+}
+
+func TestDatasetVerticalIsMemoizedAndCorrect(t *testing.T) {
+	d := &db.Database{
+		NumItems: 4,
+		Transactions: []db.Transaction{
+			{TID: 0, Items: itemset.Itemset{0, 1}},
+			{TID: 1, Items: itemset.Itemset{1, 2}},
+			{TID: 2, Items: itemset.Itemset{1}},
+		},
+	}
+	r := NewRegistry()
+	ds, err := r.Add("tiny", "test", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := ds.Vertical()
+	if got := v1[1].Support(); got != 3 {
+		t.Fatalf("item 1 support = %d, want 3", got)
+	}
+	if got := v1[3].Support(); got != 0 {
+		t.Fatalf("item 3 support = %d, want 0", got)
+	}
+	v2 := ds.Vertical()
+	if &v1[0] != &v2[0] {
+		t.Fatal("Vertical recomputed instead of memoized")
+	}
+	top := ds.TopItems(2)
+	if len(top) != 2 || top[0].Item != 1 || top[0].Support != 3 {
+		t.Fatalf("TopItems = %+v", top)
+	}
+}
+
+// BenchmarkServiceQueries is the serving-path baseline: one end-to-end
+// query (submit → wait → result) on a small generated database, cached
+// vs uncached.
+func BenchmarkServiceQueries(b *testing.B) {
+	d, err := repro.Generate(repro.StandardConfig(2000))
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("uncached", func(b *testing.B) {
+		// A one-entry-sized cache plus a rotating support threshold keeps
+		// every query a miss, so each iteration pays for a full mine.
+		s := New(Config{Workers: 1, QueueDepth: 2, CacheBytes: 1})
+		defer s.Shutdown(context.Background())
+		if _, err := s.Registry().Add("t10", "generated", d); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			j, err := s.Submit(Request{Dataset: "t10", SupportCount: 20 + i%64})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if v, err := s.Wait(context.Background(), j.ID); err != nil || v.Status != StatusDone {
+				b.Fatalf("%v %v", v.Status, err)
+			}
+			if _, err := s.Result(j.ID); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("cached", func(b *testing.B) {
+		s := New(Config{Workers: 1, QueueDepth: 2})
+		defer s.Shutdown(context.Background())
+		if _, err := s.Registry().Add("t10", "generated", d); err != nil {
+			b.Fatal(err)
+		}
+		warm, err := s.Submit(Request{Dataset: "t10", SupportCount: 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Wait(context.Background(), warm.ID); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			j, err := s.Submit(Request{Dataset: "t10", SupportCount: 20})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if v := j.Snapshot(); v.Status != StatusDone || !v.Cached {
+				b.Fatalf("expected cached hit, got %+v", v)
+			}
+			if _, err := s.Result(j.ID); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -25,6 +25,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -193,6 +194,12 @@ type RunInfo struct {
 	Scans int
 }
 
+// MinSup resolves the absolute minimum support count these options imply
+// for d (SupportCount wins over SupportPct; the paper's 0.1% is the
+// default). The serving layer uses it to give percentage and absolute
+// requests at the same threshold one cache identity.
+func (o MineOptions) MinSup(d *Database) int { return o.minsup(d) }
+
 func (o MineOptions) minsup(d *Database) int {
 	if o.SupportCount > 0 {
 		return o.SupportCount
@@ -221,8 +228,22 @@ func (o MineOptions) clusterConfig() ClusterConfig {
 // algorithms return identical results; they differ in the simulated
 // execution profile captured by RunInfo.Report.
 func Mine(d *Database, opts MineOptions) (*Result, *RunInfo, error) {
+	return MineContext(context.Background(), d, opts)
+}
+
+// MineContext is Mine with cooperative cancellation. For the sequential
+// Eclat and Apriori paths, ctx is consulted between equivalence classes
+// and candidate levels respectively, so a cancel or deadline stops the
+// mine promptly without per-intersection overhead. The remaining
+// algorithms check ctx before starting and after finishing (a simulated
+// cluster run is one indivisible step of virtual time). On cancellation
+// it returns (nil, nil, ctx.Err()).
+func MineContext(ctx context.Context, d *Database, opts MineOptions) (*Result, *RunInfo, error) {
 	if d == nil {
 		return nil, nil, fmt.Errorf("repro: nil database")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
 	}
 	minsup := opts.minsup(d)
 	info := &RunInfo{Algorithm: opts.Algorithm, MinSup: minsup}
@@ -233,35 +254,41 @@ func Mine(d *Database, opts MineOptions) (*Result, *RunInfo, error) {
 			cl := cluster.New(opts.clusterConfig())
 			res, rep := eclat.Mine(cl, d, minsup)
 			info.Report = &rep
-			return res, info, nil
+			return finishSimulated(ctx, res, info)
 		}
-		res, st := eclat.MineSequential(d, minsup)
+		res, st, err := eclat.MineSequentialCtx(ctx, d, minsup, eclat.Options{})
+		if err != nil {
+			return nil, nil, err
+		}
 		info.Scans = st.Scans
 		return res, info, nil
 	case AlgoApriori:
-		res, st := apriori.Mine(d, minsup)
+		res, st, err := apriori.MineCtx(ctx, d, minsup)
+		if err != nil {
+			return nil, nil, err
+		}
 		info.Scans = st.Scans
 		return res, info, nil
 	case AlgoCountDistribution:
 		cl := cluster.New(opts.clusterConfig())
 		res, rep := countdist.Mine(cl, d, minsup)
 		info.Report = &rep
-		return res, info, nil
+		return finishSimulated(ctx, res, info)
 	case AlgoDataDistribution:
 		cl := cluster.New(opts.clusterConfig())
 		res, rep := datadist.Mine(cl, d, minsup)
 		info.Report = &rep
-		return res, info, nil
+		return finishSimulated(ctx, res, info)
 	case AlgoCandidateDistribution:
 		cl := cluster.New(opts.clusterConfig())
 		res, rep := canddist.Mine(cl, d, minsup)
 		info.Report = &rep
-		return res, info, nil
+		return finishSimulated(ctx, res, info)
 	case AlgoEclatHybrid:
 		cl := cluster.New(opts.clusterConfig())
 		res, rep := eclat.MineHybrid(cl, d, minsup)
 		info.Report = &rep
-		return res, info, nil
+		return finishSimulated(ctx, res, info)
 	case AlgoPartition:
 		chunks := opts.PartitionChunks
 		if chunks <= 0 {
@@ -269,7 +296,7 @@ func Mine(d *Database, opts MineOptions) (*Result, *RunInfo, error) {
 		}
 		res, st := partition.Mine(d, minsup, chunks)
 		info.Scans = st.Scans
-		return res, info, nil
+		return finishSimulated(ctx, res, info)
 	case AlgoSampling:
 		res, st := sampling.Mine(d, minsup, sampling.Options{
 			SampleSize: opts.SampleSize,
@@ -277,24 +304,46 @@ func Mine(d *Database, opts MineOptions) (*Result, *RunInfo, error) {
 			LowerBy:    opts.SampleLowerBy,
 		})
 		info.Scans = st.FullScans
-		return res, info, nil
+		return finishSimulated(ctx, res, info)
 	case AlgoDHP:
 		res, st := dhp.Mine(d, minsup, dhp.Options{})
 		info.Scans = st.Scans
-		return res, info, nil
+		return finishSimulated(ctx, res, info)
 	default:
 		return nil, nil, fmt.Errorf("repro: unknown algorithm %v", opts.Algorithm)
 	}
+}
+
+// finishSimulated closes out an algorithm path without mid-run ctx
+// checks: if ctx expired while the run was in flight, the caller asked
+// for cancellation and gets ctx.Err() rather than a result.
+func finishSimulated(ctx context.Context, res *Result, info *RunInfo) (*Result, *RunInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	return res, info, nil
 }
 
 // MineMaximal discovers only the maximal frequent itemsets (those with no
 // frequent superset) with the MaxEclat hybrid lookahead search. The
 // subsets of the returned sets are exactly the full frequent collection.
 func MineMaximal(d *Database, opts MineOptions) (*Result, error) {
+	return MineMaximalContext(context.Background(), d, opts)
+}
+
+// MineMaximalContext is MineMaximal with cooperative cancellation,
+// checked before and after the search.
+func MineMaximalContext(ctx context.Context, d *Database, opts MineOptions) (*Result, error) {
 	if d == nil {
 		return nil, fmt.Errorf("repro: nil database")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res, _ := eclat.MineMaximal(d, opts.minsup(d))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
@@ -302,10 +351,22 @@ func MineMaximal(d *Database, opts MineOptions) (*Result, error) {
 // strict superset of equal support, the lossless compressed form of the
 // frequent collection.
 func MineClosed(d *Database, opts MineOptions) (*Result, error) {
+	return MineClosedContext(context.Background(), d, opts)
+}
+
+// MineClosedContext is MineClosed with cooperative cancellation, checked
+// before and after the search.
+func MineClosedContext(ctx context.Context, d *Database, opts MineOptions) (*Result, error) {
 	if d == nil {
 		return nil, fmt.Errorf("repro: nil database")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res, _ := eclat.MineClosed(d, opts.minsup(d))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 

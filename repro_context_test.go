@@ -1,0 +1,102 @@
+package repro
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestMineContextMatchesMine(t *testing.T) {
+	d := smallDB(t)
+	for _, algo := range []Algorithm{AlgoEclat, AlgoApriori, AlgoPartition} {
+		// PartitionChunks 2 keeps the per-chunk local minsup well above 1
+		// on a 1000-transaction database.
+		opts := MineOptions{Algorithm: algo, SupportPct: 1.0, PartitionChunks: 2}
+		want, _, err := Mine(d, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, info, err := MineContext(context.Background(), d, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Algorithm != algo {
+			t.Fatalf("%v: info reports %v", algo, info.Algorithm)
+		}
+		var wb, gb bytes.Buffer
+		if err := WriteResult(&wb, want); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteResult(&gb, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wb.Bytes(), gb.Bytes()) {
+			t.Fatalf("%v: MineContext result differs from Mine", algo)
+		}
+	}
+}
+
+func TestMineContextCanceledBeforeStart(t *testing.T) {
+	d := smallDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, algo := range []Algorithm{
+		AlgoEclat, AlgoApriori, AlgoCountDistribution, AlgoDataDistribution,
+		AlgoCandidateDistribution, AlgoEclatHybrid, AlgoPartition, AlgoSampling, AlgoDHP,
+	} {
+		res, info, err := MineContext(ctx, d, MineOptions{Algorithm: algo, SupportPct: 1.0})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%v: err = %v, want context.Canceled", algo, err)
+		}
+		if res != nil || info != nil {
+			t.Fatalf("%v: expected nil result and info on cancellation", algo)
+		}
+	}
+	if _, err := MineMaximalContext(ctx, d, MineOptions{SupportPct: 1.0}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MineMaximalContext: %v", err)
+	}
+	if _, err := MineClosedContext(ctx, d, MineOptions{SupportPct: 1.0}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MineClosedContext: %v", err)
+	}
+}
+
+// TestMineContextCancelMidRun cancels an in-flight sequential Eclat run
+// from another goroutine and expects it to stop promptly (the ctx is
+// consulted between equivalence classes) rather than mine to completion.
+func TestMineContextCancelMidRun(t *testing.T) {
+	d, err := Generate(StandardConfig(20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		time.Sleep(5 * time.Millisecond) // let the mine get under way
+		cancel()
+	}()
+	<-started
+	res, _, err := MineContext(ctx, d, MineOptions{Algorithm: AlgoEclat, SupportPct: 0.1})
+	if err == nil {
+		// The mine legitimately finished before the cancel landed; that
+		// is not a failure of cancellation, just a fast machine.
+		t.Skip("mine completed before cancellation landed")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("canceled mine returned a result")
+	}
+}
+
+func TestMineContextDeadline(t *testing.T) {
+	d := smallDB(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, _, err := MineContext(ctx, d, MineOptions{SupportPct: 1.0}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
