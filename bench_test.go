@@ -15,6 +15,7 @@ package repro
 // cmd/experiments regenerates the full-scale tables.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -88,7 +89,7 @@ func BenchmarkFigure6FrequentItemsetsBySize(b *testing.B) {
 	minsup := d.MinSupCount(0.25)
 	var total, maxK int
 	for i := 0; i < b.N; i++ {
-		res, _, err := Mine(d, MineOptions{SupportCount: minsup})
+		res, _, err := Mine(context.Background(), d, MineOptions{SupportCount: minsup})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -346,7 +347,7 @@ func BenchmarkRelatedWorkScans(b *testing.B) {
 		b.Run(algo.String(), func(b *testing.B) {
 			var scans int
 			for i := 0; i < b.N; i++ {
-				_, info, err := Mine(d, MineOptions{
+				_, info, err := Mine(context.Background(), d, MineOptions{
 					Algorithm:       algo,
 					SupportCount:    minsup,
 					PartitionChunks: 4,
@@ -508,7 +509,7 @@ func BenchmarkSequentialApriori(b *testing.B) {
 	d := getDB(b, 10_000, 1997)
 	minsup := d.MinSupCount(0.5)
 	for i := 0; i < b.N; i++ {
-		if _, _, err := Mine(d, MineOptions{Algorithm: AlgoApriori, SupportCount: minsup}); err != nil {
+		if _, _, err := Mine(context.Background(), d, MineOptions{Algorithm: AlgoApriori, SupportCount: minsup}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -516,7 +517,7 @@ func BenchmarkSequentialApriori(b *testing.B) {
 
 func BenchmarkRuleGeneration(b *testing.B) {
 	d := getDB(b, 10_000, 1997)
-	res, _, err := Mine(d, MineOptions{SupportPct: 0.5})
+	res, _, err := Mine(context.Background(), d, MineOptions{SupportPct: 0.5})
 	if err != nil {
 		b.Fatal(err)
 	}

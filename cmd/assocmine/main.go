@@ -7,9 +7,11 @@
 //	assocmine -db t10i6d100k.db -support 0.25 -algo eclat -rules 0.9 -top 20
 //	assocmine -db retail.fimi -format fimi -support 0.5 -maximal
 //	assocmine -gen 50000 -support 0.1 -algo countdist -hosts 4 -procs 2 -report
+//	assocmine -gen 50000 -support 0.25 -stats
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -20,6 +22,7 @@ import (
 	"repro"
 	"repro/internal/db"
 	"repro/internal/mining"
+	"repro/internal/obsv"
 )
 
 func main() {
@@ -43,6 +46,7 @@ func run(args []string, stdout io.Writer) error {
 	minConf := fs.Float64("rules", 0, "also derive rules at this confidence (0 disables)")
 	top := fs.Int("top", 20, "print at most this many itemsets / rules")
 	report := fs.Bool("report", false, "print the virtual-time cluster report")
+	stats := fs.Bool("stats", false, "print the per-phase time breakdown (paper table 2 style)")
 	outPath := fs.String("o", "", "write the full result (support\\titems per line) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,23 +101,30 @@ func run(args []string, stdout io.Writer) error {
 		Hosts:        *hosts,
 		ProcsPerHost: *procs,
 	}
+	tr := obsv.NewTrace()
+	ctx := obsv.WithTrace(context.Background(), tr)
 	var res *repro.Result
 	var info *repro.RunInfo
 	kind := "frequent"
 	switch {
 	case *maximal:
 		kind = "maximal frequent"
-		res, err = repro.MineMaximal(d, opts)
-		info = &repro.RunInfo{Algorithm: algo, MinSup: d.MinSupCount(*support)}
+		res, err = repro.MineMaximal(ctx, d, opts)
 	case *closed:
 		kind = "closed frequent"
-		res, err = repro.MineClosed(d, opts)
-		info = &repro.RunInfo{Algorithm: algo, MinSup: d.MinSupCount(*support)}
+		res, err = repro.MineClosed(ctx, d, opts)
 	default:
-		res, info, err = repro.Mine(d, opts)
+		res, info, err = repro.Mine(ctx, d, opts)
 	}
 	if err != nil {
 		return err
+	}
+	if info == nil { // maximal/closed return no RunInfo
+		minsup, err := opts.MinSup(d)
+		if err != nil {
+			return err
+		}
+		info = &repro.RunInfo{Algorithm: algo, MinSup: minsup}
 	}
 	fmt.Fprintf(stdout, "%v mined %d %s itemsets (minsup %d of %d transactions, max size %d) in %v\n",
 		info.Algorithm, res.Len(), kind, info.MinSup, d.Len(), res.MaxK(), time.Since(start).Round(time.Millisecond))
@@ -162,6 +173,10 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "\nwrote %d itemsets to %s\n", res.Len(), *outPath)
 	}
 
+	if *stats {
+		printPhaseTable(stdout, tr.Spans(), time.Since(start))
+	}
+
 	if *report && info.Report != nil {
 		rep := info.Report
 		fmt.Fprintf(stdout, "\nSimulated cluster: H=%d P=%d  elapsed %v (virtual)\n",
@@ -171,6 +186,44 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// printPhaseTable prints the run's phase spans in the style of the
+// paper's per-phase breakdown (table 2). Wall-clock spans and the
+// simulated cluster's virtual-time phases are totaled separately —
+// summing across the two clocks would be meaningless.
+func printPhaseTable(w io.Writer, spans []repro.PhaseSpan, wall time.Duration) {
+	var real, virt []repro.PhaseSpan
+	for _, sp := range spans {
+		if sp.Virtual() {
+			virt = append(virt, sp)
+		} else {
+			real = append(real, sp)
+		}
+	}
+	fmt.Fprintf(w, "\nPhase breakdown (wall %v):\n", wall.Round(time.Microsecond))
+	printSpanGroup(w, real, "")
+	if len(virt) > 0 {
+		fmt.Fprintf(w, "Simulated cluster phases (virtual time, max across processors):\n")
+		printSpanGroup(w, virt, " (virtual)")
+	}
+}
+
+func printSpanGroup(w io.Writer, spans []repro.PhaseSpan, note string) {
+	var total int64
+	for _, sp := range spans {
+		total += sp.DurationNS
+	}
+	for _, sp := range spans {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(sp.DurationNS) / float64(total)
+		}
+		fmt.Fprintf(w, "  %-18s %14v %6.1f%%%s\n",
+			sp.Name, time.Duration(sp.DurationNS).Round(time.Microsecond), share, note)
+	}
+	fmt.Fprintf(w, "  %-18s %14v %6.1f%%\n", "total",
+		time.Duration(total).Round(time.Microsecond), 100.0)
 }
 
 func loadDatabase(path, format string, genTx int) (*repro.Database, error) {

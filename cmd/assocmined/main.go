@@ -16,6 +16,11 @@
 //	DELETE /v1/jobs/{id}         cancel
 //	GET    /v1/datasets          registered datasets
 //	GET    /healthz, /statsz     liveness and counters
+//	GET    /metricsz             metrics registry (expvar JSON; ?format=prometheus for text exposition)
+//	GET    /debug/pprof/         runtime profiling (profile, heap, goroutine, trace, ...)
+//
+// Errors come back as {"error":{"code","message"}} with a stable
+// machine-readable code.
 //
 // SIGINT/SIGTERM drain running jobs before exit (bounded by -drain).
 package main

@@ -4,10 +4,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"os"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"regexp"
 	"strings"
 	"sync"
@@ -134,7 +134,7 @@ func TestEndToEndJobLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	direct, _, err := repro.Mine(ds.DB, repro.MineOptions{SupportPct: 1.0})
+	direct, _, err := repro.Mine(context.Background(), ds.DB, repro.MineOptions{SupportPct: 1.0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -429,4 +429,216 @@ func TestDaemonLoadsFIMIDataset(t *testing.T) {
 
 func writeFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+// metricsJSON fetches /metricsz in the expvar-compatible JSON format.
+// Histograms decode as objects, scalars as float64.
+func metricsJSON(t *testing.T, ts *httptest.Server) map[string]any {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metricsz: %d", resp.StatusCode)
+	}
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("/metricsz is not valid JSON: %v", err)
+	}
+	return m
+}
+
+func scalar(t *testing.T, m map[string]any, name string) float64 {
+	t.Helper()
+	v, ok := m[name].(float64)
+	if !ok {
+		t.Fatalf("metric %q missing or not scalar (got %T)", name, m[name])
+	}
+	return v
+}
+
+// TestMetricszCountersAdvance is the acceptance check for /metricsz:
+// both exposition formats parse, and mining one job advances the job
+// lifecycle counters, the eclat intersection counters, and the phase
+// duration histograms.
+func TestMetricszCountersAdvance(t *testing.T) {
+	ts, _ := newServer(t, service.Config{Workers: 1, QueueDepth: 4}, map[string]int{"t10": 1000})
+
+	before := metricsJSON(t, ts)
+
+	v, resp := postJob(t, ts, `{"dataset":"t10","algorithm":"eclat","supportPct":0.5}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST: %d", resp.StatusCode)
+	}
+	pollUntil(t, ts, v.ID, func(v service.View) bool { return v.Status.Terminal() })
+
+	after := metricsJSON(t, ts)
+	for _, name := range []string{
+		"service_jobs_submitted_total",
+		"service_jobs_completed_total",
+		"eclat_intersections_total",
+		"eclat_tidlist_bytes_total",
+		"eclat_classes_total",
+	} {
+		b, _ := before[name].(float64)
+		if a := scalar(t, after, name); a <= b {
+			t.Fatalf("%s did not advance: before=%v after=%v", name, b, a)
+		}
+	}
+	// Histograms expose {count,sum,buckets}; one job means at least one
+	// new observation in queue wait, job duration, and the eclat phases.
+	for _, name := range []string{
+		"service_queue_wait_ns", "service_job_duration_ns",
+		"mine_phase_initialization_ns", "mine_phase_transformation_ns", "mine_phase_asynchronous_ns",
+	} {
+		h, ok := after[name].(map[string]any)
+		if !ok {
+			t.Fatalf("histogram %q missing from /metricsz", name)
+		}
+		if c, _ := h["count"].(float64); c < 1 {
+			t.Fatalf("histogram %q count = %v, want >= 1", name, h["count"])
+		}
+	}
+
+	// Prometheus text exposition: negotiated by query parameter, carries
+	// the same counters, and every sample line is well-formed.
+	presp, err := http.Get(ts.URL + "/metricsz?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(presp.Body)
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		t.Fatalf("/metricsz?format=prometheus: %d", presp.StatusCode)
+	}
+	body := string(text)
+	for _, want := range []string{
+		"# TYPE eclat_intersections_total counter",
+		"# TYPE service_job_duration_ns histogram",
+		`service_job_duration_ns_bucket{le="+Inf"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("prometheus exposition missing %q:\n%s", want, body)
+		}
+	}
+	sample := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9]`)
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sample.MatchString(line) {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+	}
+}
+
+// TestJobPhaseSpanAccounting checks the span bookkeeping end to end: a
+// finished job reports its phase spans, and the wall-clock spans sum to
+// the job latency within tolerance (they cannot exceed it, and the
+// uninstrumented remainder must be small).
+func TestJobPhaseSpanAccounting(t *testing.T) {
+	ts, _ := newServer(t, service.Config{Workers: 1, QueueDepth: 4}, map[string]int{"t10": 2000})
+
+	v, resp := postJob(t, ts, `{"dataset":"t10","algorithm":"eclat","supportPct":0.5}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST: %d", resp.StatusCode)
+	}
+	done := pollUntil(t, ts, v.ID, func(v service.View) bool { return v.Status.Terminal() })
+	if done.Status != service.StatusDone {
+		t.Fatalf("job ended %s", done.Status)
+	}
+	if done.DurationNS <= 0 {
+		t.Fatalf("DurationNS = %d, want > 0", done.DurationNS)
+	}
+	if done.QueueWaitNS < 0 {
+		t.Fatalf("QueueWaitNS = %d, want >= 0", done.QueueWaitNS)
+	}
+	names := map[string]bool{}
+	var sum int64
+	for _, sp := range done.Phases {
+		if sp.Virtual() {
+			continue
+		}
+		names[sp.Name] = true
+		sum += sp.DurationNS
+	}
+	for _, want := range []string{"initialization", "transformation", "asynchronous"} {
+		if !names[want] {
+			t.Fatalf("phase %q missing from job view (got %v)", want, done.Phases)
+		}
+	}
+	if sum <= 0 || sum > done.DurationNS {
+		t.Fatalf("phase sum %d outside (0, job duration %d]", sum, done.DurationNS)
+	}
+	// The job does almost nothing outside the traced phases; allow a
+	// generous absolute slack for scheduler noise.
+	if slack := done.DurationNS - sum; slack > (50 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("untraced remainder %dns too large (duration %d, phases %d)",
+			slack, done.DurationNS, sum)
+	}
+}
+
+// TestStructuredErrorBody pins the {"error":{"code","message"}} shape
+// and the stable code slugs.
+func TestStructuredErrorBody(t *testing.T) {
+	ts, _ := newServer(t, service.Config{Workers: 1, QueueDepth: 4}, map[string]int{"t10": 500})
+
+	for _, tc := range []struct {
+		body string
+		code string
+	}{
+		{`{"dataset":"missing","supportPct":1}`, "unknown_dataset"},
+		{`{"dataset":"t10","algorithm":"quantum","supportPct":1}`, "unknown_algorithm"},
+		{`{"dataset":"t10","supportPct":-2}`, "invalid_support"},
+		{`{"dataset":"t10"}`, "invalid_support"}, // zero-value support is an error now
+	} {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatalf("body %q: error payload not JSON: %v", tc.body, err)
+		}
+		resp.Body.Close()
+		if e.Error.Code != tc.code || e.Error.Message == "" {
+			t.Fatalf("body %q: error = %+v, want code %q with message", tc.body, e.Error, tc.code)
+		}
+	}
+}
+
+// TestPprofEndpoints checks the profiling surface: the index lists the
+// profiles and /debug/pprof/profile returns a valid (gzip) CPU profile.
+func TestPprofEndpoints(t *testing.T) {
+	ts, _ := newServer(t, service.Config{Workers: 1, QueueDepth: 2}, nil)
+
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(idx), "profile") {
+		t.Fatalf("pprof index: %d\n%s", resp.StatusCode, idx)
+	}
+
+	resp, err = http.Get(ts.URL + "/debug/pprof/profile?seconds=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("CPU profile: %d %s", resp.StatusCode, prof)
+	}
+	if len(prof) < 2 || prof[0] != 0x1f || prof[1] != 0x8b {
+		t.Fatalf("CPU profile is not gzip-compressed pprof data (%d bytes)", len(prof))
+	}
 }

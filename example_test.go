@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -11,7 +12,7 @@ import (
 func ExampleMine() {
 	d, _ := repro.ReadFIMI(strings.NewReader(
 		"1 2 3\n1 2\n1 2 3\n2 3\n"), 0)
-	res, info, _ := repro.Mine(d, repro.MineOptions{SupportCount: 3})
+	res, info, _ := repro.Mine(context.Background(), d, repro.MineOptions{SupportCount: 3})
 	fmt.Println("algorithm:", info.Algorithm)
 	for _, f := range res.Itemsets {
 		fmt.Printf("%v sup=%d\n", f.Set, f.Support)
@@ -29,7 +30,7 @@ func ExampleMine() {
 func ExampleRules() {
 	d, _ := repro.ReadFIMI(strings.NewReader(
 		"1 2\n1 2\n1 2\n1\n2 3\n"), 0)
-	res, _, _ := repro.Mine(d, repro.MineOptions{SupportCount: 3})
+	res, _, _ := repro.Mine(context.Background(), d, repro.MineOptions{SupportCount: 3})
 	for _, r := range repro.Rules(res, 0.75) {
 		fmt.Println(r)
 	}
@@ -42,7 +43,7 @@ func ExampleRules() {
 // 2-host cluster and reads the deterministic virtual-time report.
 func ExampleMine_parallel() {
 	d, _ := repro.Generate(repro.StandardConfig(2000))
-	res, info, _ := repro.Mine(d, repro.MineOptions{
+	res, info, _ := repro.Mine(context.Background(), d, repro.MineOptions{
 		SupportPct:   1.0,
 		Hosts:        2,
 		ProcsPerHost: 2,
@@ -61,7 +62,7 @@ func ExampleMine_parallel() {
 func ExampleMineMaximal() {
 	d, _ := repro.ReadFIMI(strings.NewReader(
 		"1 2 3\n1 2 3\n1 2 3\n"), 0)
-	maximal, _ := repro.MineMaximal(d, repro.MineOptions{SupportCount: 3})
+	maximal, _ := repro.MineMaximal(context.Background(), d, repro.MineOptions{SupportCount: 3})
 	for _, f := range maximal.Itemsets {
 		fmt.Printf("%v sup=%d\n", f.Set, f.Support)
 	}

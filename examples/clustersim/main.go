@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,7 +18,7 @@ func run(d *repro.Database, algo repro.Algorithm, hosts, procs int) (*repro.Resu
 	// Passing an explicit cluster config makes even the H=1,P=1 case run
 	// on the simulated testbed, like the paper's uniprocessor rows.
 	cfg := repro.DefaultCluster(hosts, procs)
-	res, info, err := repro.Mine(d, repro.MineOptions{
+	res, info, err := repro.Mine(context.Background(), d, repro.MineOptions{
 		Algorithm:  algo,
 		SupportPct: 0.1,
 		Cluster:    &cfg,

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -44,7 +45,7 @@ func main() {
 	var reference int
 	for _, r := range rows {
 		start := time.Now()
-		res, info, err := repro.Mine(d, repro.MineOptions{
+		res, info, err := repro.Mine(context.Background(), d, repro.MineOptions{
 			Algorithm:       r.algo,
 			SupportPct:      support,
 			PartitionChunks: 4,
@@ -66,7 +67,7 @@ func main() {
 	fmt.Printf("\nall algorithms found the identical %d frequent itemsets\n", reference)
 
 	// The maximal-itemset view compresses the same information.
-	maximal, err := repro.MineMaximal(d, repro.MineOptions{SupportPct: support})
+	maximal, err := repro.MineMaximal(context.Background(), d, repro.MineOptions{SupportPct: support})
 	if err != nil {
 		log.Fatal(err)
 	}

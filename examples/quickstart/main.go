@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,7 +23,7 @@ func main() {
 
 	// Mine at 0.25% minimum support with sequential Eclat (the default
 	// algorithm).
-	res, info, err := repro.Mine(d, repro.MineOptions{SupportPct: 0.25})
+	res, info, err := repro.Mine(context.Background(), d, repro.MineOptions{SupportPct: 0.25})
 	if err != nil {
 		log.Fatal(err)
 	}

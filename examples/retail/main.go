@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -60,7 +61,7 @@ func main() {
 	fmt.Printf("store with %d products, %d baskets, avg basket %.1f items\n\n",
 		cfg.NumItems, d.Len(), d.AvgLen())
 
-	res, info, err := repro.Mine(d, repro.MineOptions{SupportPct: 0.5})
+	res, info, err := repro.Mine(context.Background(), d, repro.MineOptions{SupportPct: 0.5})
 	if err != nil {
 		log.Fatal(err)
 	}

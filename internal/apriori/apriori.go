@@ -13,12 +13,23 @@ package apriori
 
 import (
 	"context"
+	"fmt"
 
 	"repro/internal/db"
 	"repro/internal/hashtree"
 	"repro/internal/itemset"
 	"repro/internal/mining"
+	"repro/internal/obsv"
 	"repro/internal/paircount"
+)
+
+// Global candidate-level counters (see /metricsz); flushed once per
+// candidate level, never inside the counting loop.
+var (
+	mLevels     = obsv.Default.Counter("apriori_levels_total", "candidate-generation levels (k >= 3) run")
+	mCandidates = obsv.Default.Counter("apriori_candidates_total", "candidates generated for k >= 3")
+	mCountOps   = obsv.Default.Counter("apriori_count_ops_total", "hash-tree node visits and subset checks")
+	mScans      = obsv.Default.Counter("apriori_scans_total", "full database passes")
 )
 
 // Stats reports the work a mining run performed; the parallel baselines
@@ -143,8 +154,11 @@ func MineCtx(ctx context.Context, d *db.Database, minsup int) (*mining.Result, S
 	}
 	res := &mining.Result{MinSup: minsup, NumTransactions: d.Len()}
 	var st Stats
+	tr := obsv.TraceFrom(ctx)
 
-	// Pass 1: L1.
+	// Passes 1 and 2 are Apriori's analogue of Eclat's initialization:
+	// item counts, then the triangular pair array.
+	sp := tr.Start("initialization")
 	st.Scans++
 	itemCounts := CountItems(d)
 	for it, c := range itemCounts {
@@ -153,7 +167,6 @@ func MineCtx(ctx context.Context, d *db.Database, minsup int) (*mining.Result, S
 		}
 	}
 
-	// Pass 2: L2 via the triangular array.
 	st.Scans++
 	pc := paircount.New(d.NumItems)
 	st.CountOps += pc.AddPartition(d)
@@ -163,25 +176,35 @@ func MineCtx(ctx context.Context, d *db.Database, minsup int) (*mining.Result, S
 		res.Add(set, fp.Count)
 		prev = append(prev, set)
 	}
+	sp.End()
+	mScans.Add(2)
 
-	// Passes k >= 3.
+	// Passes k >= 3: one span and one counter flush per candidate level.
 	for k := 3; len(prev) > 1; k++ {
 		if err := ctx.Err(); err != nil {
 			return nil, st, err
 		}
+		sp = tr.Start(fmt.Sprintf("level_%d", k))
 		tree := GenerateCandidates(prev)
 		st.Iterations++
 		st.Candidates += tree.Len()
+		mLevels.Inc()
+		mCandidates.Add(int64(tree.Len()))
 		if tree.Len() == 0 {
+			sp.End()
 			break
 		}
 		st.Scans++
-		st.CountOps += CountPartition(tree, d)
+		mScans.Inc()
+		ops := CountPartition(tree, d)
+		st.CountOps += ops
+		mCountOps.Add(ops)
 		prev = prev[:0]
 		for _, c := range tree.Frequent(minsup) {
 			res.Add(c.Set, c.Count)
 			prev = append(prev, c.Set)
 		}
+		sp.End()
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, st, err

@@ -17,11 +17,13 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/disk"
 	"repro/internal/memchannel"
+	"repro/internal/obsv"
 	"repro/internal/stats"
 )
 
@@ -183,11 +185,53 @@ func (r *Report) PhaseMaxNS(name string) int64 {
 	return max
 }
 
-// Report snapshots the cluster's accounting after a Run.
+// PhaseMax pairs a phase name with its maximum per-processor virtual
+// time.
+type PhaseMax struct {
+	Name string
+	NS   int64
+}
+
+// PhaseMaxima returns every phase's PhaseMaxNS, sorted by name for
+// deterministic output — the whole Table 2 break-up in one call. The
+// observability layer imports these as virtual spans.
+func (r *Report) PhaseMaxima() []PhaseMax {
+	maxes := map[string]int64{}
+	for i := range r.PerProc {
+		for name, ns := range r.PerProc[i].Phases {
+			if ns > maxes[name] {
+				maxes[name] = ns
+			}
+		}
+	}
+	out := make([]PhaseMax, 0, len(maxes))
+	for name, ns := range maxes {
+		out = append(out, PhaseMax{Name: name, NS: ns})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Simulator-level metrics: runs, elapsed virtual time, and per-phase
+// virtual maxima land in the default registry every time a run's report
+// is taken.
+var (
+	clusterRuns    = obsv.Default.Counter("cluster_runs_total", "simulated cluster runs reported")
+	clusterElapsed = obsv.Default.Histogram("cluster_elapsed_virtual_ns", "elapsed virtual time of simulated cluster runs", nil)
+)
+
+// Report snapshots the cluster's accounting after a Run and publishes
+// the run's virtual-time figures to the metrics registry.
 func (c *Cluster) Report() Report {
 	r := Report{Config: c.cfg, ElapsedNS: c.MaxClockNS(), Merged: c.MergedStats()}
 	for _, p := range c.procs {
 		r.PerProc = append(r.PerProc, p.Stats)
+	}
+	clusterRuns.Inc()
+	clusterElapsed.Observe(r.ElapsedNS)
+	for _, pm := range r.PhaseMaxima() {
+		obsv.Default.Histogram("cluster_phase_"+obsv.SanitizeName(pm.Name)+"_virtual_ns",
+			"maximum per-processor virtual time of the "+pm.Name+" phase", nil).Observe(pm.NS)
 	}
 	return r
 }

@@ -22,9 +22,34 @@ import (
 	"repro/internal/eqclass"
 	"repro/internal/itemset"
 	"repro/internal/mining"
+	"repro/internal/obsv"
 	"repro/internal/paircount"
 	"repro/internal/tidlist"
 )
+
+// Global intersection-work counters (see /metricsz). They are flushed
+// once per equivalence class — the hot inner loop still updates only the
+// run-local Stats struct, so the atomics never appear on the
+// per-intersection path.
+var (
+	mIntersections = obsv.Default.Counter("eclat_intersections_total", "tid-list intersections attempted")
+	mShortCircuit  = obsv.Default.Counter("eclat_intersections_shortcircuited_total", "intersections aborted early by the minimum-support bound")
+	mIntersectOps  = obsv.Default.Counter("eclat_intersect_ops_total", "tid-list element comparisons performed")
+	mTidlistBytes  = obsv.Default.Counter("eclat_tidlist_bytes_total", "tid-list bytes touched by intersections")
+	mClasses       = obsv.Default.Counter("eclat_classes_total", "top-level equivalence classes mined")
+)
+
+// tidBytes is the in-memory size of one tid-list element.
+const tidBytes = 4 // sizeof(itemset.TID) — int32
+
+// flushStats publishes the delta between two snapshots of a run's Stats
+// to the global counters.
+func flushStats(prev, cur *Stats) {
+	mIntersections.Add(cur.Intersections - prev.Intersections)
+	mShortCircuit.Add(cur.ShortCircuited - prev.ShortCircuited)
+	mIntersectOps.Add(cur.IntersectOps - prev.IntersectOps)
+	mTidlistBytes.Add((cur.IntersectOps - prev.IntersectOps) * tidBytes)
+}
 
 // Options selects algorithm variants used by the ablation benchmarks.
 // The zero value is the paper's algorithm.
@@ -159,9 +184,11 @@ func MineSequentialCtx(ctx context.Context, d *db.Database, minsup int, opts Opt
 	}
 	res := &mining.Result{MinSup: minsup, NumTransactions: d.Len()}
 	var st Stats
+	tr := obsv.TraceFrom(ctx)
 
 	// Initialization: count 1-itemsets (for the result; Eclat itself never
 	// needs them) and all 2-itemsets via the triangular array.
+	sp := tr.Start("initialization")
 	st.Scans++
 	itemCounts := make([]int, d.NumItems)
 	pc := paircount.New(d.NumItems)
@@ -183,8 +210,11 @@ func MineSequentialCtx(ctx context.Context, d *db.Database, minsup int, opts Opt
 		l2 = append(l2, fp.Pair.Itemset())
 	}
 
+	sp.End()
+
 	// Transformation: build tid-lists for every 2-itemset in a class with
 	// at least two members (singleton classes generate no candidates).
+	sp = tr.Start("transformation")
 	classes := eqclass.PruneSingletons(eqclass.Partition(l2))
 	st.Classes = len(classes)
 	want := make(map[tidlist.Pair]bool)
@@ -195,14 +225,21 @@ func MineSequentialCtx(ctx context.Context, d *db.Database, minsup int, opts Opt
 	}
 	st.Scans++
 	lists := tidlist.BuildPairs(d, want)
+	sp.End()
 
-	// Asynchronous phase: mine class by class.
+	// Asynchronous phase: mine class by class, flushing the intersection
+	// counters to the metrics registry at class granularity.
+	sp = tr.Start("asynchronous")
 	for i := range classes {
 		if err := ctx.Err(); err != nil {
 			return nil, st, err
 		}
+		before := st
 		computeFrequent(ctx, classMembers(&classes[i], lists), minsup, &st, opts, res.Add)
+		flushStats(&before, &st)
+		mClasses.Inc()
 	}
+	sp.End()
 	if err := ctx.Err(); err != nil {
 		return nil, st, err
 	}

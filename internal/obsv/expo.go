@@ -1,0 +1,156 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// jsonHistogram is the JSON shape of a histogram in the expvar-style
+// exposition.
+type jsonHistogram struct {
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	Buckets []jsonBucket `json:"buckets"`
+}
+
+// jsonBucket is one cumulative histogram bucket; Le == -1 encodes +Inf.
+type jsonBucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+func (e *entry) jsonValue() any {
+	switch e.kind {
+	case kindCounter:
+		return e.counter.Value()
+	case kindGauge:
+		return e.gauge.Value()
+	case kindGaugeFunc:
+		return e.gaugeFunc()
+	case kindHistogram:
+		h := e.hist
+		out := jsonHistogram{Count: h.Count(), Sum: h.Sum()}
+		var cum int64
+		for i := range h.buckets {
+			cum += h.buckets[i].Load()
+			le := int64(-1) // +Inf
+			if i < len(h.bounds) {
+				le = h.bounds[i]
+			}
+			out.Buckets = append(out.Buckets, jsonBucket{Le: le, Count: cum})
+		}
+		return out
+	}
+	return nil
+}
+
+// WriteJSON writes the registry as one flat JSON object mapping metric
+// name to value — the same shape expvar serves at /debug/vars, so any
+// expvar consumer can scrape it. Histograms appear as
+// {"count","sum","buckets":[{"le","count"}...]} with cumulative bucket
+// counts and le == -1 standing in for +Inf. Keys are emitted sorted.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	entries := r.snapshot()
+	if _, err := fmt.Fprint(w, "{"); err != nil {
+		return err
+	}
+	for i, e := range entries {
+		sep := ",\n"
+		if i == 0 {
+			sep = "\n"
+		}
+		val, err := json.Marshal(e.jsonValue())
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%q: %s", sep, e.name, val); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprint(w, "\n}\n")
+	return err
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE headers, counter/gauge samples, and
+// full histogram series (name_bucket{le="..."}, name_sum, name_count).
+// Duration histograms carry their nanosecond unit in the metric name, so
+// no scaling happens here.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, e := range r.snapshot() {
+		if e.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.name, escapeHelp(e.help)); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch e.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", e.name, e.name, e.counter.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", e.name, e.name, e.gauge.Value())
+		case kindGaugeFunc:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", e.name, e.name, e.gaugeFunc())
+		case kindHistogram:
+			err = writePromHistogram(w, e.name, e.hist)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, name string, h *Histogram) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = fmt.Sprintf("%d", h.bounds[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, h.Sum(), name, h.Count())
+	return err
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler serves the registry over HTTP. The format is negotiated:
+// ?format=prometheus (or "prom"/"text") and Prometheus-style Accept
+// headers (text/plain, openmetrics) select the text exposition;
+// everything else gets the expvar-compatible JSON.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if wantsPrometheus(req) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = r.WritePrometheus(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	})
+}
+
+func wantsPrometheus(req *http.Request) bool {
+	switch strings.ToLower(req.URL.Query().Get("format")) {
+	case "prometheus", "prom", "text":
+		return true
+	case "json", "expvar":
+		return false
+	}
+	accept := req.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
+}

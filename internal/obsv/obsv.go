@@ -1,0 +1,244 @@
+// Package obsv is the repository's observability substrate: a
+// lock-cheap metrics registry (counters, gauges, histograms whose hot
+// paths are single atomic operations) and a span-style phase tracer
+// threaded through the miners via context.
+//
+// The paper's entire evaluation rests on per-phase timing break-ups
+// (initialization / transformation / asynchronous / reduction — Table 2),
+// so the tracer speaks the same vocabulary: a mining run records named
+// phase spans, and the registry aggregates phase durations, intersection
+// work, candidate counts, and serving-layer queue/cache behaviour across
+// runs. cmd/assocmined exposes the default registry at GET /metricsz in
+// both expvar-compatible JSON and Prometheus text exposition formats;
+// cmd/assocmine prints a single run's spans with -stats.
+//
+// Registration is get-or-create by name and safe for concurrent use;
+// the returned metric handles are meant to be captured once in package
+// vars so the hot path pays only the atomic update:
+//
+//	var intersections = obsv.Default.Counter("eclat_intersections_total",
+//		"tid-list intersections attempted")
+//	...
+//	intersections.Add(n)
+package obsv
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready
+// to use, but counters are normally obtained from a Registry.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by delta (negative deltas are dropped:
+// counters are monotonic by contract).
+func (c *Counter) Add(delta int64) {
+	if delta > 0 {
+		c.v.Add(delta)
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram of int64 observations (the
+// repository observes durations as nanoseconds). Observe is wait-free:
+// one binary search over the static bounds plus three atomic adds.
+type Histogram struct {
+	bounds  []int64 // ascending upper bucket bounds; implicit +Inf last
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveSince records the nanoseconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start).Nanoseconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// DurationBounds is the default bucket layout for nanosecond duration
+// histograms: powers of four from 1µs to ~4.6 minutes, a dynamic range
+// wide enough for both a single tid-list class and a full mining job.
+var DurationBounds = expBounds(1_000, 4, 14)
+
+func expBounds(start, factor int64, n int) []int64 {
+	bounds := make([]int64, n)
+	v := start
+	for i := range bounds {
+		bounds[i] = v
+		v *= factor
+	}
+	return bounds
+}
+
+// SanitizeName rewrites s so it is usable inside a Prometheus metric
+// name: every byte outside [a-zA-Z0-9_] becomes '_' (phase names like
+// "level-3" become "level_3").
+func SanitizeName(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c >= '0' && c <= '9':
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+type entry struct {
+	name string
+	help string
+	kind metricKind
+
+	counter   *Counter
+	gauge     *Gauge
+	gaugeFunc func() int64
+	hist      *Histogram
+}
+
+// Registry is a named collection of metrics. Lookup/registration takes a
+// mutex; the returned handles never do. The zero value is not usable —
+// construct with NewRegistry.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+	order   []string // registration order; exposition sorts by name anyway
+}
+
+// Default is the process-wide registry all built-in instrumentation
+// reports to; cmd/assocmined serves it at /metricsz.
+var Default = NewRegistry()
+
+// NewRegistry builds an empty registry (tests use isolated instances).
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+func (r *Registry) get(name string, kind metricKind) (*entry, bool) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	if ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("obsv: metric %q re-registered with a different kind", name))
+		}
+		return e, true
+	}
+	return nil, false
+}
+
+func (r *Registry) add(e *entry) *entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.entries[e.name]; ok {
+		if prev.kind != e.kind {
+			panic(fmt.Sprintf("obsv: metric %q re-registered with a different kind", e.name))
+		}
+		return prev
+	}
+	r.entries[e.name] = e
+	r.order = append(r.order, e.name)
+	return e
+}
+
+// Counter returns the counter registered under name, creating it when
+// absent. The first registration's help string wins.
+func (r *Registry) Counter(name, help string) *Counter {
+	if e, ok := r.get(name, kindCounter); ok {
+		return e.counter
+	}
+	return r.add(&entry{name: name, help: help, kind: kindCounter, counter: &Counter{}}).counter
+}
+
+// Gauge returns the gauge registered under name, creating it when absent.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if e, ok := r.get(name, kindGauge); ok {
+		return e.gauge
+	}
+	return r.add(&entry{name: name, help: help, kind: kindGauge, gauge: &Gauge{}}).gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at exposition
+// time (queue lengths, cache sizes). Re-registering the same name
+// replaces fn, so a restarted subsystem (or a later Service instance)
+// takes over the name.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		if e.kind != kindGaugeFunc {
+			panic(fmt.Sprintf("obsv: metric %q re-registered with a different kind", name))
+		}
+		e.gaugeFunc = fn
+		return
+	}
+	r.entries[name] = &entry{name: name, help: help, kind: kindGaugeFunc, gaugeFunc: fn}
+	r.order = append(r.order, name)
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket bounds when absent (nil bounds use DurationBounds).
+func (r *Registry) Histogram(name, help string, bounds []int64) *Histogram {
+	if e, ok := r.get(name, kindHistogram); ok {
+		return e.hist
+	}
+	if bounds == nil {
+		bounds = DurationBounds
+	}
+	h := &Histogram{bounds: bounds, buckets: make([]atomic.Int64, len(bounds)+1)}
+	return r.add(&entry{name: name, help: help, kind: kindHistogram, hist: h}).hist
+}
+
+// snapshot returns the entries sorted by name, for deterministic
+// exposition.
+func (r *Registry) snapshot() []*entry {
+	r.mu.RLock()
+	out := make([]*entry, 0, len(r.entries))
+	for _, name := range r.order {
+		out = append(out, r.entries[name])
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

@@ -1,0 +1,180 @@
+package obsv
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestMetricsCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(41)
+	c.Add(-5) // dropped: counters are monotonic
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if again := r.Counter("c_total", "ignored"); again != c {
+		t.Fatal("re-registration should return the same counter")
+	}
+
+	g := r.Gauge("g", "a gauge")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+
+	r.GaugeFunc("gf", "a func gauge", func() int64 { return 5 })
+	r.GaugeFunc("gf", "replaced", func() int64 { return 6 }) // last wins
+
+	h := r.Histogram("h_ns", "a histogram", []int64{10, 100})
+	for _, v := range []int64{5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 3 || h.Sum() != 555 {
+		t.Fatalf("hist count=%d sum=%d, want 3/555", h.Count(), h.Sum())
+	}
+}
+
+func TestMetricsKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestMetricsConcurrentUpdatesAreRaceFree(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared_total", "")
+			h := r.Histogram("shared_ns", "", nil)
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total", "").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("shared_ns", "", nil).Count(); got != 8000 {
+		t.Fatalf("hist count = %d, want 8000", got)
+	}
+}
+
+func testRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("requests_total", "requests served").Add(3)
+	r.Gauge("queue_len", "jobs waiting").Set(2)
+	r.GaugeFunc("datasets", "registered datasets", func() int64 { return 4 })
+	h := r.Histogram("latency_ns", "job latency", []int64{1000, 1_000_000})
+	h.Observe(500)
+	h.Observe(2_000_000)
+	return r
+}
+
+func TestMetricsJSONIsExpvarCompatible(t *testing.T) {
+	var sb strings.Builder
+	if err := testRegistry().WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &m); err != nil {
+		t.Fatalf("JSON exposition does not parse: %v\n%s", err, sb.String())
+	}
+	if m["requests_total"].(float64) != 3 {
+		t.Fatalf("requests_total = %v, want 3", m["requests_total"])
+	}
+	if m["queue_len"].(float64) != 2 || m["datasets"].(float64) != 4 {
+		t.Fatalf("gauges wrong: %v", m)
+	}
+	hist, ok := m["latency_ns"].(map[string]any)
+	if !ok {
+		t.Fatalf("latency_ns is %T, want object", m["latency_ns"])
+	}
+	if hist["count"].(float64) != 2 || hist["sum"].(float64) != 2_000_500 {
+		t.Fatalf("histogram fields wrong: %v", hist)
+	}
+	buckets := hist["buckets"].([]any)
+	last := buckets[len(buckets)-1].(map[string]any)
+	if last["le"].(float64) != -1 || last["count"].(float64) != 2 {
+		t.Fatalf("+Inf bucket wrong: %v", last)
+	}
+}
+
+func TestMetricsPrometheusExposition(t *testing.T) {
+	var sb strings.Builder
+	if err := testRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE requests_total counter",
+		"requests_total 3",
+		"# TYPE queue_len gauge",
+		"queue_len 2",
+		"datasets 4",
+		"# TYPE latency_ns histogram",
+		`latency_ns_bucket{le="1000"} 1`,
+		`latency_ns_bucket{le="+Inf"} 2`,
+		"latency_ns_sum 2000500",
+		"latency_ns_count 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus text missing %q:\n%s", want, text)
+		}
+	}
+	// Every non-comment line must be "name[{labels}] value" — the
+	// format's minimal well-formedness check.
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestMetricsHandlerNegotiatesFormat(t *testing.T) {
+	r := testRegistry()
+	h := r.Handler()
+
+	// Default: expvar JSON.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metricsz", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("default Content-Type = %q", ct)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+
+	// ?format=prometheus and a Prometheus Accept header: text exposition.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metricsz?format=prometheus", nil))
+	if !strings.Contains(rec.Body.String(), "# TYPE requests_total counter") {
+		t.Fatalf("format=prometheus did not return text exposition:\n%s", rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/metricsz", nil)
+	req.Header.Set("Accept", "text/plain;version=0.0.4;q=0.5")
+	h.ServeHTTP(rec, req)
+	if !strings.Contains(rec.Body.String(), "requests_total 3") {
+		t.Fatalf("Accept: text/plain did not return text exposition:\n%s", rec.Body.String())
+	}
+}

@@ -1,0 +1,123 @@
+package obsv
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// PhaseSpan is one completed span of a trace: a named phase with its
+// start offset from the trace origin and its duration. StartNS == -1
+// marks a span imported from the cluster simulator's virtual clock,
+// which has durations but no wall-clock position.
+type PhaseSpan struct {
+	Name       string `json:"name"`
+	StartNS    int64  `json:"startNs"`
+	DurationNS int64  `json:"durationNs"`
+}
+
+// Duration returns the span length as a time.Duration.
+func (s PhaseSpan) Duration() time.Duration { return time.Duration(s.DurationNS) }
+
+// Virtual reports whether the span carries simulated (virtual-clock)
+// time rather than wall-clock time.
+func (s PhaseSpan) Virtual() bool { return s.StartNS < 0 }
+
+// Trace collects the phase spans of one mining run (or one service
+// job). It is safe for concurrent use; a nil *Trace is a valid no-op
+// receiver, so instrumented code can call TraceFrom(ctx).Start(...)
+// unconditionally.
+type Trace struct {
+	mu    sync.Mutex
+	start time.Time
+	spans []PhaseSpan
+}
+
+// NewTrace starts an empty trace whose origin is now.
+func NewTrace() *Trace { return &Trace{start: time.Now()} }
+
+// Start opens a span; close it with End. Nil-safe.
+func (t *Trace) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, start: time.Now()}
+}
+
+// record appends a finished span.
+func (t *Trace) record(name string, start time.Time, d time.Duration) {
+	t.mu.Lock()
+	t.spans = append(t.spans, PhaseSpan{
+		Name:       name,
+		StartNS:    start.Sub(t.start).Nanoseconds(),
+		DurationNS: d.Nanoseconds(),
+	})
+	t.mu.Unlock()
+}
+
+// AddVirtual appends a span measured on the simulator's virtual clock
+// (StartNS = -1). The cluster-backed algorithms import their
+// per-phase virtual maxima this way. Nil-safe.
+func (t *Trace) AddVirtual(name string, durationNS int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, PhaseSpan{Name: name, StartNS: -1, DurationNS: durationNS})
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the spans recorded so far, in completion
+// order. Nil-safe (returns nil).
+func (t *Trace) Spans() []PhaseSpan {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]PhaseSpan(nil), t.spans...)
+}
+
+// ElapsedNS returns the wall-clock nanoseconds since the trace origin.
+func (t *Trace) ElapsedNS() int64 {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.start).Nanoseconds()
+}
+
+// Span is one open phase. End closes it; a nil span (from a nil trace)
+// ends as a no-op, and ending twice records once.
+type Span struct {
+	t     *Trace
+	name  string
+	start time.Time
+	done  bool
+}
+
+// End closes the span, records it on its trace, and returns the span
+// duration.
+func (s *Span) End() time.Duration {
+	if s == nil || s.done {
+		return 0
+	}
+	s.done = true
+	d := time.Since(s.start)
+	s.t.record(s.name, s.start, d)
+	return d
+}
+
+type traceKey struct{}
+
+// WithTrace returns a context carrying t; the miners record their phase
+// spans into it.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the trace carried by ctx, or nil (a valid no-op
+// receiver) when there is none.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}

@@ -1,0 +1,78 @@
+package obsv
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestMetricsTraceSpans(t *testing.T) {
+	tr := NewTrace()
+	s1 := tr.Start("initialization")
+	time.Sleep(2 * time.Millisecond)
+	s1.End()
+	s1.End() // double End records once
+	s2 := tr.Start("asynchronous")
+	time.Sleep(time.Millisecond)
+	s2.End()
+	tr.AddVirtual("reduce", 12345)
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	if spans[0].Name != "initialization" || spans[0].DurationNS <= 0 || spans[0].Virtual() {
+		t.Fatalf("bad first span: %+v", spans[0])
+	}
+	if spans[1].StartNS < spans[0].StartNS+spans[0].DurationNS {
+		t.Fatalf("second span should start after the first ends: %+v then %+v", spans[0], spans[1])
+	}
+	if !spans[2].Virtual() || spans[2].DurationNS != 12345 {
+		t.Fatalf("bad virtual span: %+v", spans[2])
+	}
+}
+
+// TestMetricsPhaseSpansSumToTotal is the accounting invariant the -stats
+// table and the job views rely on: back-to-back phase spans must cover
+// the trace's elapsed time within tolerance (nothing double-counted,
+// nothing large unaccounted).
+func TestMetricsPhaseSpansSumToTotal(t *testing.T) {
+	tr := NewTrace()
+	for _, phase := range []string{"initialization", "transformation", "asynchronous"} {
+		s := tr.Start(phase)
+		time.Sleep(5 * time.Millisecond)
+		s.End()
+	}
+	total := tr.ElapsedNS()
+	var sum int64
+	for _, sp := range tr.Spans() {
+		sum += sp.DurationNS
+	}
+	if sum > total {
+		t.Fatalf("phase sum %d exceeds elapsed %d", sum, total)
+	}
+	// The only gaps are the instants between End and the next Start, so
+	// the spans must cover the bulk of the elapsed time.
+	if sum < total/2 {
+		t.Fatalf("phase sum %d covers less than half of elapsed %d", sum, total)
+	}
+}
+
+func TestMetricsTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	sp := tr.Start("anything") // must not panic
+	if d := sp.End(); d != 0 {
+		t.Fatalf("nil span End = %v, want 0", d)
+	}
+	tr.AddVirtual("x", 1)
+	if tr.Spans() != nil || tr.ElapsedNS() != 0 {
+		t.Fatal("nil trace should report nothing")
+	}
+	if got := TraceFrom(context.Background()); got != nil {
+		t.Fatalf("TraceFrom(empty ctx) = %v, want nil", got)
+	}
+	real := NewTrace()
+	if got := TraceFrom(WithTrace(context.Background(), real)); got != real {
+		t.Fatal("WithTrace/TraceFrom round trip failed")
+	}
+}

@@ -5,6 +5,15 @@ import (
 	"sync"
 
 	"repro/internal/mining"
+	"repro/internal/obsv"
+)
+
+// Cache metrics (see /metricsz); aggregated across all caches in the
+// process, while per-cache counters remain on CacheStats.
+var (
+	cacheHits      = obsv.Default.Counter("service_cache_hits_total", "result-cache lookups that found an entry")
+	cacheMisses    = obsv.Default.Counter("service_cache_misses_total", "result-cache lookups that found nothing")
+	cacheEvictions = obsv.Default.Counter("service_cache_evictions_total", "entries evicted to respect the byte budget")
 )
 
 // CacheStats is a point-in-time view of the result cache counters.
@@ -68,9 +77,11 @@ func (c *Cache) Get(k Key) (*mining.Result, bool) {
 	el, ok := c.index[k]
 	if !ok {
 		c.misses++
+		cacheMisses.Inc()
 		return nil, false
 	}
 	c.hits++
+	cacheHits.Inc()
 	c.ll.MoveToFront(el)
 	return el.Value.(*cacheEntry).res, true
 }
@@ -103,6 +114,7 @@ func (c *Cache) Put(k Key, res *mining.Result) {
 		delete(c.index, ent.key)
 		c.sizeBytes -= ent.bytes
 		c.evictions++
+		cacheEvictions.Inc()
 	}
 }
 

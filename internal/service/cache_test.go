@@ -14,7 +14,7 @@ import (
 func resultOfSize(n int) *mining.Result {
 	res := &mining.Result{MinSup: 1, NumTransactions: n}
 	for i := 0; i < n; i++ {
-		res.Add(itemset.Itemset{itemset.Item(i)}, i + 1)
+		res.Add(itemset.Itemset{itemset.Item(i)}, i+1)
 	}
 	return res
 }

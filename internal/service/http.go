@@ -5,9 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 
+	"repro"
 	"repro/internal/mining"
+	"repro/internal/obsv"
 )
 
 // JobRequest is the JSON body of POST /v1/jobs.
@@ -27,8 +30,39 @@ type JobRequest struct {
 	Procs int `json:"procs"`
 }
 
+// apiError is the structured error body: {"error":{"code","message"}}.
+// code is a stable machine-readable slug; message is human prose.
 type apiError struct {
-	Error string `json:"error"`
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// errorCode maps an error to its (HTTP status, stable code slug). Typed
+// sentinels from repro and this package drive the mapping; anything
+// unrecognized is a generic bad request.
+func errorCode(err error) (int, string) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests, "queue_full"
+	case errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable, "shutting_down"
+	case errors.Is(err, ErrUnknownDataset):
+		return http.StatusNotFound, "unknown_dataset"
+	case errors.Is(err, ErrUnknownJob):
+		return http.StatusNotFound, "unknown_job"
+	case errors.Is(err, repro.ErrInvalidSupport):
+		return http.StatusBadRequest, "invalid_support"
+	case errors.Is(err, repro.ErrUnknownAlgorithm):
+		return http.StatusBadRequest, "unknown_algorithm"
+	case errors.Is(err, repro.ErrCanceled):
+		return http.StatusConflict, "canceled"
+	default:
+		return http.StatusBadRequest, "bad_request"
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -40,7 +74,17 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, apiError{Error: err.Error()})
+	_, slug := errorCode(err)
+	writeJSON(w, code, apiError{Error: errorBody{Code: slug, Message: err.Error()}})
+}
+
+// writeMappedError derives both status and code from the error itself.
+func writeMappedError(w http.ResponseWriter, err error) {
+	code, slug := errorCode(err)
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code, apiError{Error: errorBody{Code: slug, Message: err.Error()}})
 }
 
 // NewHandler exposes the service over HTTP:
@@ -54,6 +98,11 @@ func writeError(w http.ResponseWriter, code int, err error) {
 //	GET    /v1/datasets/{name}  dataset detail with top items (memoized vertical transform)
 //	GET    /healthz           liveness
 //	GET    /statsz            queue/worker/cache counters
+//	GET    /metricsz          metrics registry (expvar JSON or ?format=prometheus)
+//	GET    /debug/pprof/      runtime profiling (profile, heap, trace, ...)
+//
+// Errors are returned as {"error":{"code","message"}} with a stable
+// machine-readable code (see errorCode).
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 
@@ -82,19 +131,11 @@ func NewHandler(s *Service) http.Handler {
 			Hosts:        jr.Hosts,
 			ProcsPerHost: jr.Procs,
 		})
-		switch {
-		case err == nil:
-			writeJSON(w, http.StatusAccepted, job.Snapshot())
-		case errors.Is(err, ErrQueueFull):
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, err)
-		case errors.Is(err, ErrShuttingDown):
-			writeError(w, http.StatusServiceUnavailable, err)
-		case errors.Is(err, ErrUnknownDataset):
-			writeError(w, http.StatusNotFound, err)
-		default:
-			writeError(w, http.StatusBadRequest, err)
+		if err != nil {
+			writeMappedError(w, err)
+			return
 		}
+		writeJSON(w, http.StatusAccepted, job.Snapshot())
 	})
 
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -186,6 +227,17 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
+
+	// Observability: the default metrics registry in expvar-compatible
+	// JSON or Prometheus text exposition (content-negotiated), and the
+	// standard pprof endpoints (registered by hand because the service
+	// runs on its own mux, not http.DefaultServeMux).
+	mux.Handle("GET /metricsz", obsv.Default.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
 	return mux
 }

@@ -15,6 +15,7 @@ import (
 
 	"repro"
 	"repro/internal/mining"
+	"repro/internal/obsv"
 )
 
 // Status is a job's lifecycle state. Transitions are strictly
@@ -83,7 +84,7 @@ func ParseAlgorithm(s string) (repro.Algorithm, error) {
 	case "dhp":
 		return repro.AlgoDHP, nil
 	default:
-		return 0, fmt.Errorf("service: unknown algorithm %q (want eclat, apriori, countdist, datadist, canddist, hybrid, partition, sampling or dhp)", s)
+		return 0, fmt.Errorf("%w: %q (want eclat, apriori, countdist, datadist, canddist, hybrid, partition, sampling or dhp)", repro.ErrUnknownAlgorithm, s)
 	}
 }
 
@@ -140,7 +141,8 @@ type Job struct {
 	err      string
 	result   *mining.Result
 	info     *repro.RunInfo
-	cached   bool // result came from the cache, no mine ran
+	trace    *obsv.Trace // per-job phase tracer, set when the job starts
+	cached   bool        // result came from the cache, no mine ran
 	created  time.Time
 	started  time.Time
 	finished time.Time
@@ -161,6 +163,12 @@ type View struct {
 	Created   time.Time `json:"created"`
 	Started   time.Time `json:"started"`
 	Finished  time.Time `json:"finished"`
+	// QueueWaitNS is the queued→running wait; DurationNS the
+	// running→terminal wall time; Phases the run's recorded phase spans
+	// (virtual spans carry simulated cluster time, see obsv.PhaseSpan).
+	QueueWaitNS int64            `json:"queueWaitNs,omitempty"`
+	DurationNS  int64            `json:"durationNs,omitempty"`
+	Phases      []obsv.PhaseSpan `json:"phases,omitempty"`
 }
 
 // Snapshot returns a consistent view of the job.
@@ -182,6 +190,15 @@ func (j *Job) Snapshot() View {
 	}
 	if j.result != nil {
 		v.Itemsets = j.result.Len()
+	}
+	if !j.started.IsZero() && j.started.After(j.created) {
+		v.QueueWaitNS = j.started.Sub(j.created).Nanoseconds()
+	}
+	if j.status.Terminal() && !j.started.IsZero() && !j.finished.IsZero() {
+		v.DurationNS = j.finished.Sub(j.started).Nanoseconds()
+	}
+	if j.trace != nil {
+		v.Phases = j.trace.Spans()
 	}
 	return v
 }

@@ -11,6 +11,22 @@ import (
 
 	"repro"
 	"repro/internal/mining"
+	"repro/internal/obsv"
+)
+
+// Job-lifecycle metrics (see /metricsz). They mirror the Manager's
+// per-instance atomics, which /statsz still serves; the registry versions
+// aggregate across every manager in the process.
+var (
+	jobsSubmitted = obsv.Default.Counter("service_jobs_submitted_total", "jobs accepted (queued or served from cache)")
+	jobsCompleted = obsv.Default.Counter("service_jobs_completed_total", "jobs finished successfully")
+	jobsFailed    = obsv.Default.Counter("service_jobs_failed_total", "jobs finished with an error")
+	jobsCanceled  = obsv.Default.Counter("service_jobs_canceled_total", "jobs canceled before or during execution")
+	jobsRejected  = obsv.Default.Counter("service_jobs_rejected_total", "submissions refused by queue backpressure")
+	cacheServed   = obsv.Default.Counter("service_cache_served_total", "jobs answered from the result cache without mining")
+	jobsRunning   = obsv.Default.Gauge("service_jobs_running", "jobs currently executing")
+	queueWaitNS   = obsv.Default.Histogram("service_queue_wait_ns", "nanoseconds jobs spent queued before running", nil)
+	jobDurationNS = obsv.Default.Histogram("service_job_duration_ns", "nanoseconds from job start to terminal state", nil)
 )
 
 // ErrQueueFull is returned by Submit when the bounded job queue has no
@@ -119,9 +135,11 @@ func (m *Manager) Submit(req Request, key Key) (*Job, error) {
 		m.mu.Unlock()
 		cancel()
 		m.rejected.Add(1)
+		jobsRejected.Inc()
 		return nil, ErrQueueFull
 	}
 	m.submitted.Add(1)
+	jobsSubmitted.Inc()
 	return j, nil
 }
 
@@ -150,6 +168,9 @@ func (m *Manager) Insert(req Request, key Key, res *mining.Result, cached bool) 
 	m.mu.Unlock()
 	m.submitted.Add(1)
 	m.completed.Add(1)
+	jobsSubmitted.Inc()
+	jobsCompleted.Inc()
+	cacheServed.Inc()
 	return j
 }
 
@@ -199,6 +220,7 @@ func (m *Manager) Cancel(id string) (*Job, error) {
 		j.mu.Unlock()
 		j.cancel()
 		m.canceled.Add(1)
+		jobsCanceled.Inc()
 	case StatusRunning:
 		j.mu.Unlock()
 		j.cancel() // worker finishes the transition
@@ -269,6 +291,7 @@ func (m *Manager) cancelIfPending(j *Job) {
 		j.mu.Unlock()
 		j.cancel()
 		m.canceled.Add(1)
+		jobsCanceled.Inc()
 		return
 	}
 	j.mu.Unlock()
@@ -283,6 +306,7 @@ func (m *Manager) worker() {
 }
 
 func (m *Manager) runJob(j *Job) {
+	tr := obsv.NewTrace()
 	j.mu.Lock()
 	if j.status != StatusQueued { // canceled while waiting
 		j.mu.Unlock()
@@ -290,12 +314,18 @@ func (m *Manager) runJob(j *Job) {
 	}
 	j.status = StatusRunning
 	j.started = time.Now()
+	j.trace = tr
+	queueWaitNS.Observe(j.started.Sub(j.created).Nanoseconds())
 	j.mu.Unlock()
 
 	m.running.Add(1)
-	defer m.running.Add(-1)
+	jobsRunning.Add(1)
+	defer func() {
+		m.running.Add(-1)
+		jobsRunning.Add(-1)
+	}()
 
-	res, info, err := m.run(j.ctx, j)
+	res, info, err := m.run(obsv.WithTrace(j.ctx, tr), j)
 	j.cancel() // release the context's resources
 
 	j.mu.Lock()
@@ -304,19 +334,23 @@ func (m *Manager) runJob(j *Job) {
 		j.mu.Unlock()
 	}()
 	j.finished = time.Now()
+	jobDurationNS.Observe(j.finished.Sub(j.started).Nanoseconds())
 	switch {
 	case err == nil:
 		j.status = StatusDone
 		j.result = res
 		j.info = info
 		m.completed.Add(1)
+		jobsCompleted.Inc()
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		j.status = StatusCanceled
 		j.err = err.Error()
 		m.canceled.Add(1)
+		jobsCanceled.Inc()
 	default:
 		j.status = StatusFailed
 		j.err = err.Error()
 		m.failed.Add(1)
+		jobsFailed.Inc()
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro"
 	"repro/internal/mining"
+	"repro/internal/obsv"
 )
 
 // Config sizes a Service.
@@ -27,7 +28,9 @@ type Service struct {
 	started time.Time
 }
 
-// New builds a Service and starts its worker pool.
+// New builds a Service and starts its worker pool. The newest Service
+// owns the live-state gauges in the default metrics registry (tests that
+// build several services hand the names forward; a daemon has one).
 func New(cfg Config) *Service {
 	s := &Service{
 		reg:     NewRegistry(),
@@ -35,6 +38,14 @@ func New(cfg Config) *Service {
 		started: time.Now(),
 	}
 	s.mgr = NewManager(ManagerConfig{Workers: cfg.Workers, QueueDepth: cfg.QueueDepth}, s.runJob)
+	obsv.Default.GaugeFunc("service_queue_len", "jobs waiting in the bounded queue",
+		func() int64 { return int64(s.mgr.QueueLen()) })
+	obsv.Default.GaugeFunc("service_cache_entries", "entries in the result cache",
+		func() int64 { return int64(s.cache.Len()) })
+	obsv.Default.GaugeFunc("service_cache_bytes", "estimated bytes held by the result cache",
+		func() int64 { return s.cache.Stats().SizeBytes })
+	obsv.Default.GaugeFunc("service_datasets", "registered datasets",
+		func() int64 { return int64(len(s.reg.List())) })
 	return s
 }
 
@@ -57,14 +68,11 @@ func (s *Service) normalize(req Request) (Request, Key, error) {
 	if req.Variant == "" {
 		req.Variant = VariantAll
 	}
-	if req.SupportPct < 0 {
-		return req, Key{}, fmt.Errorf("service: negative supportPct %v", req.SupportPct)
-	}
-	if req.SupportCount < 0 {
-		return req, Key{}, fmt.Errorf("service: negative supportCount %d", req.SupportCount)
-	}
 	opts := repro.MineOptions{SupportPct: req.SupportPct, SupportCount: req.SupportCount}
-	minsup := opts.MinSup(ds.DB)
+	minsup, err := opts.MinSup(ds.DB)
+	if err != nil {
+		return req, Key{}, err
+	}
 	key := Key{
 		Dataset:   req.Dataset,
 		Algorithm: req.Algorithm.String(),
@@ -105,11 +113,11 @@ func (s *Service) runJob(ctx context.Context, j *Job) (*mining.Result, *repro.Ru
 	var info *repro.RunInfo
 	switch j.Req.Variant {
 	case VariantMaximal:
-		res, err = repro.MineMaximalContext(ctx, ds.DB, opts)
+		res, err = repro.MineMaximal(ctx, ds.DB, opts)
 	case VariantClosed:
-		res, err = repro.MineClosedContext(ctx, ds.DB, opts)
+		res, err = repro.MineClosed(ctx, ds.DB, opts)
 	default:
-		res, info, err = repro.MineContext(ctx, ds.DB, opts)
+		res, info, err = repro.Mine(ctx, ds.DB, opts)
 	}
 	if err != nil {
 		return nil, nil, err

@@ -49,7 +49,7 @@ func TestServiceMineMatchesDirectCall(t *testing.T) {
 		t.Fatal(err)
 	}
 	ds, _ := s.Registry().Get("t10")
-	want, _, err := repro.Mine(ds.DB, repro.MineOptions{SupportPct: 1.0})
+	want, _, err := repro.Mine(context.Background(), ds.DB, repro.MineOptions{SupportPct: 1.0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,8 +91,11 @@ func TestServiceSecondSubmissionHitsCache(t *testing.T) {
 
 	// An equivalent request phrased as an absolute count shares the entry.
 	ds, _ := s.Registry().Get("t10")
-	abs := Request{Dataset: "t10", Algorithm: repro.AlgoEclat,
-		SupportCount: repro.MineOptions{SupportPct: 2.0}.MinSup(ds.DB)}
+	minsup, err := repro.MineOptions{SupportPct: 2.0}.MinSup(ds.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs := Request{Dataset: "t10", Algorithm: repro.AlgoEclat, SupportCount: minsup}
 	j3, err := s.Submit(abs)
 	if err != nil {
 		t.Fatal(err)

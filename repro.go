@@ -20,14 +20,20 @@
 // Quick start:
 //
 //	d, _ := repro.Generate(repro.StandardConfig(10000))
-//	res, info, _ := repro.Mine(d, repro.MineOptions{SupportPct: 0.25})
+//	res, info, _ := repro.Mine(context.Background(), d, repro.MineOptions{SupportPct: 0.25})
 //	rules := repro.Rules(res, 0.9)
+//
+// The mining entry points are context-first: cancellation, deadlines and
+// the observability trace (see RunInfo.Phases) all ride on the ctx
+// argument.
 package repro
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/apriori"
 	"repro/internal/canddist"
@@ -40,11 +46,32 @@ import (
 	"repro/internal/gen"
 	"repro/internal/itemset"
 	"repro/internal/mining"
+	"repro/internal/obsv"
 	"repro/internal/partition"
 	"repro/internal/rules"
 	"repro/internal/sampling"
 	"repro/internal/stats"
 )
+
+// Sentinel errors of the mining API. The serving layer maps them to HTTP
+// status codes; library callers test with errors.Is.
+var (
+	// ErrInvalidSupport reports unusable MineOptions support settings: a
+	// negative SupportPct/SupportCount, or both left at zero.
+	ErrInvalidSupport = errors.New("repro: invalid support")
+	// ErrUnknownAlgorithm reports an Algorithm value outside the defined
+	// set.
+	ErrUnknownAlgorithm = errors.New("repro: unknown algorithm")
+	// ErrCanceled wraps the context error when a mine stops early; the
+	// returned error also matches context.Canceled or
+	// context.DeadlineExceeded under errors.Is.
+	ErrCanceled = errors.New("repro: mining canceled")
+)
+
+// DefaultSupportPct is the paper's experimental support threshold (0.1%
+// of |D|). The zero-value MineOptions no longer defaults to it silently:
+// pass it explicitly when you want the paper's setting.
+const DefaultSupportPct = 0.1
 
 // Core value types.
 type (
@@ -74,6 +101,10 @@ type (
 	Report = cluster.Report
 	// Breakdown is one processor's resource accounting.
 	Breakdown = stats.Breakdown
+	// PhaseSpan is one named phase of a mining run with its start offset
+	// and duration (see RunInfo.Phases). Spans imported from the cluster
+	// simulator carry virtual time and report Virtual() == true.
+	PhaseSpan = obsv.PhaseSpan
 )
 
 // NewItemset builds a sorted, deduplicated itemset.
@@ -192,22 +223,39 @@ type RunInfo struct {
 	Report *Report
 	// Scans is the number of database passes (sequential runs).
 	Scans int
+	// Phases is the structured per-phase span trace of the run: the
+	// paper's initialization/transformation/asynchronous break-up for
+	// sequential Eclat, per-candidate-level spans for Apriori, and the
+	// simulator's per-phase virtual maxima (marked Virtual) for the
+	// cluster algorithms. cmd/assocmine renders it with -stats.
+	Phases []PhaseSpan
+	// WallNS is the real (wall-clock) duration of the run in
+	// nanoseconds, phase-accounted by Phases.
+	WallNS int64
 }
 
-// MinSup resolves the absolute minimum support count these options imply
-// for d (SupportCount wins over SupportPct; the paper's 0.1% is the
-// default). The serving layer uses it to give percentage and absolute
-// requests at the same threshold one cache identity.
-func (o MineOptions) MinSup(d *Database) int { return o.minsup(d) }
-
-func (o MineOptions) minsup(d *Database) int {
-	if o.SupportCount > 0 {
-		return o.SupportCount
+// MinSup resolves and validates the absolute minimum support count these
+// options imply for d (SupportCount wins over SupportPct). It is the one
+// validated entry point for the threshold: the serving layer uses it to
+// give percentage and absolute requests at the same threshold one cache
+// identity, and every mining entry point resolves through it. A
+// zero-value MineOptions is an error (ErrInvalidSupport) rather than a
+// silent mine at an implicit threshold — pass DefaultSupportPct
+// explicitly for the paper's setting.
+func (o MineOptions) MinSup(d *Database) (int, error) {
+	switch {
+	case o.SupportCount < 0:
+		return 0, fmt.Errorf("%w: negative SupportCount %d", ErrInvalidSupport, o.SupportCount)
+	case o.SupportPct < 0:
+		return 0, fmt.Errorf("%w: negative SupportPct %v", ErrInvalidSupport, o.SupportPct)
+	case o.SupportCount > 0:
+		return o.SupportCount, nil
+	case o.SupportPct > 0:
+		return d.MinSupCount(o.SupportPct), nil
+	default:
+		return 0, fmt.Errorf("%w: MineOptions must set SupportPct or SupportCount (the paper's experiments use SupportPct = %v)",
+			ErrInvalidSupport, DefaultSupportPct)
 	}
-	if o.SupportPct > 0 {
-		return d.MinSupCount(o.SupportPct)
-	}
-	return d.MinSupCount(0.1) // the paper's default support
 }
 
 func (o MineOptions) clusterConfig() ClusterConfig {
@@ -224,71 +272,136 @@ func (o MineOptions) clusterConfig() ClusterConfig {
 	return cluster.Default(h, p)
 }
 
+// Run-level metrics every mining entry point reports to the default
+// observability registry.
+var (
+	mineRuns     = obsv.Default.Counter("mine_runs_total", "mining runs started through the repro API")
+	mineErrors   = obsv.Default.Counter("mine_errors_total", "mining runs that returned an error (including cancellations)")
+	mineDuration = obsv.Default.Histogram("mine_duration_ns", "wall-clock duration of completed mining runs", nil)
+)
+
 // Mine discovers all frequent itemsets of d under the given options. All
 // algorithms return identical results; they differ in the simulated
 // execution profile captured by RunInfo.Report.
-func Mine(d *Database, opts MineOptions) (*Result, *RunInfo, error) {
-	return MineContext(context.Background(), d, opts)
-}
-
-// MineContext is Mine with cooperative cancellation. For the sequential
-// Eclat and Apriori paths, ctx is consulted between equivalence classes
-// and candidate levels respectively, so a cancel or deadline stops the
-// mine promptly without per-intersection overhead. The remaining
-// algorithms check ctx before starting and after finishing (a simulated
-// cluster run is one indivisible step of virtual time). On cancellation
-// it returns (nil, nil, ctx.Err()).
-func MineContext(ctx context.Context, d *Database, opts MineOptions) (*Result, *RunInfo, error) {
+//
+// ctx provides cooperative cancellation: the sequential Eclat and
+// Apriori paths consult it between equivalence classes and candidate
+// levels respectively, so a cancel or deadline stops the mine promptly
+// without per-intersection overhead. The remaining algorithms check ctx
+// before starting and after finishing (a simulated cluster run is one
+// indivisible step of virtual time). On cancellation it returns
+// (nil, nil, err) with err matching both ErrCanceled and the ctx error.
+//
+// When ctx carries no observability trace, Mine starts one; either way
+// the run's phase spans are returned in RunInfo.Phases and phase
+// durations are observed into the process metrics registry.
+func Mine(ctx context.Context, d *Database, opts MineOptions) (*Result, *RunInfo, error) {
 	if d == nil {
 		return nil, nil, fmt.Errorf("repro: nil database")
 	}
 	if err := ctx.Err(); err != nil {
+		return nil, nil, wrapCanceled(err)
+	}
+	minsup, err := opts.MinSup(d)
+	if err != nil {
 		return nil, nil, err
 	}
-	minsup := opts.minsup(d)
+	tr := obsv.TraceFrom(ctx)
+	if tr == nil {
+		tr = obsv.NewTrace()
+		ctx = obsv.WithTrace(ctx, tr)
+	}
+	mineRuns.Inc()
+	start := time.Now()
+	pre := len(tr.Spans())
 	info := &RunInfo{Algorithm: opts.Algorithm, MinSup: minsup}
+	res, err := mine(ctx, d, opts, minsup, info)
+	if err != nil {
+		mineErrors.Inc()
+		return nil, nil, err
+	}
+	info.WallNS = time.Since(start).Nanoseconds()
+	if spans := tr.Spans(); pre <= len(spans) {
+		info.Phases = spans[pre:]
+	}
+	mineDuration.Observe(info.WallNS)
+	observePhases(info.Phases)
+	return res, info, nil
+}
 
+// MineContext is the old name of the context-first Mine.
+//
+// Deprecated: use Mine, which now takes a context.
+func MineContext(ctx context.Context, d *Database, opts MineOptions) (*Result, *RunInfo, error) {
+	return Mine(ctx, d, opts)
+}
+
+// observePhases records wall-clock phase durations into per-phase
+// histograms (virtual spans are the cluster simulator's and are observed
+// there instead).
+func observePhases(spans []PhaseSpan) {
+	for _, sp := range spans {
+		if sp.Virtual() {
+			continue
+		}
+		obsv.Default.Histogram("mine_phase_"+obsv.SanitizeName(sp.Name)+"_ns",
+			"wall-clock duration of the "+sp.Name+" mining phase", nil).Observe(sp.DurationNS)
+	}
+}
+
+// wrapCanceled folds a context error into ErrCanceled so callers can
+// test either sentinel.
+func wrapCanceled(err error) error {
+	return fmt.Errorf("%w: %w", ErrCanceled, err)
+}
+
+// wrapIfCtxErr wraps errors that came from context cancellation and
+// leaves everything else alone.
+func wrapIfCtxErr(err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return wrapCanceled(err)
+	}
+	return err
+}
+
+// mine dispatches to the selected algorithm.
+func mine(ctx context.Context, d *Database, opts MineOptions, minsup int, info *RunInfo) (*Result, error) {
 	switch opts.Algorithm {
 	case AlgoEclat:
 		if opts.Hosts > 1 || opts.ProcsPerHost > 1 || opts.Cluster != nil {
-			cl := cluster.New(opts.clusterConfig())
-			res, rep := eclat.Mine(cl, d, minsup)
-			info.Report = &rep
-			return finishSimulated(ctx, res, info)
+			return simulated(ctx, info, func(cl *cluster.Cluster) (*Result, cluster.Report) {
+				return eclat.Mine(cl, d, minsup)
+			}, opts)
 		}
 		res, st, err := eclat.MineSequentialCtx(ctx, d, minsup, eclat.Options{})
 		if err != nil {
-			return nil, nil, err
+			return nil, wrapIfCtxErr(err)
 		}
 		info.Scans = st.Scans
-		return res, info, nil
+		return res, nil
 	case AlgoApriori:
 		res, st, err := apriori.MineCtx(ctx, d, minsup)
 		if err != nil {
-			return nil, nil, err
+			return nil, wrapIfCtxErr(err)
 		}
 		info.Scans = st.Scans
-		return res, info, nil
+		return res, nil
 	case AlgoCountDistribution:
-		cl := cluster.New(opts.clusterConfig())
-		res, rep := countdist.Mine(cl, d, minsup)
-		info.Report = &rep
-		return finishSimulated(ctx, res, info)
+		return simulated(ctx, info, func(cl *cluster.Cluster) (*Result, cluster.Report) {
+			return countdist.Mine(cl, d, minsup)
+		}, opts)
 	case AlgoDataDistribution:
-		cl := cluster.New(opts.clusterConfig())
-		res, rep := datadist.Mine(cl, d, minsup)
-		info.Report = &rep
-		return finishSimulated(ctx, res, info)
+		return simulated(ctx, info, func(cl *cluster.Cluster) (*Result, cluster.Report) {
+			return datadist.Mine(cl, d, minsup)
+		}, opts)
 	case AlgoCandidateDistribution:
-		cl := cluster.New(opts.clusterConfig())
-		res, rep := canddist.Mine(cl, d, minsup)
-		info.Report = &rep
-		return finishSimulated(ctx, res, info)
+		return simulated(ctx, info, func(cl *cluster.Cluster) (*Result, cluster.Report) {
+			return canddist.Mine(cl, d, minsup)
+		}, opts)
 	case AlgoEclatHybrid:
-		cl := cluster.New(opts.clusterConfig())
-		res, rep := eclat.MineHybrid(cl, d, minsup)
-		info.Report = &rep
-		return finishSimulated(ctx, res, info)
+		return simulated(ctx, info, func(cl *cluster.Cluster) (*Result, cluster.Report) {
+			return eclat.MineHybrid(cl, d, minsup)
+		}, opts)
 	case AlgoPartition:
 		chunks := opts.PartitionChunks
 		if chunks <= 0 {
@@ -296,7 +409,7 @@ func MineContext(ctx context.Context, d *Database, opts MineOptions) (*Result, *
 		}
 		res, st := partition.Mine(d, minsup, chunks)
 		info.Scans = st.Scans
-		return finishSimulated(ctx, res, info)
+		return finishIndivisible(ctx, res)
 	case AlgoSampling:
 		res, st := sampling.Mine(d, minsup, sampling.Options{
 			SampleSize: opts.SampleSize,
@@ -304,69 +417,98 @@ func MineContext(ctx context.Context, d *Database, opts MineOptions) (*Result, *
 			LowerBy:    opts.SampleLowerBy,
 		})
 		info.Scans = st.FullScans
-		return finishSimulated(ctx, res, info)
+		return finishIndivisible(ctx, res)
 	case AlgoDHP:
 		res, st := dhp.Mine(d, minsup, dhp.Options{})
 		info.Scans = st.Scans
-		return finishSimulated(ctx, res, info)
+		return finishIndivisible(ctx, res)
 	default:
-		return nil, nil, fmt.Errorf("repro: unknown algorithm %v", opts.Algorithm)
+		return nil, fmt.Errorf("%w: %v", ErrUnknownAlgorithm, opts.Algorithm)
 	}
 }
 
-// finishSimulated closes out an algorithm path without mid-run ctx
-// checks: if ctx expired while the run was in flight, the caller asked
-// for cancellation and gets ctx.Err() rather than a result.
-func finishSimulated(ctx context.Context, res *Result, info *RunInfo) (*Result, *RunInfo, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, nil, err
+// simulated runs one cluster-backed algorithm: the whole simulation is a
+// single "simulate" wall-clock span, and the report's per-phase virtual
+// maxima (the paper's Table 2 rows) are imported into the trace as
+// virtual spans.
+func simulated(ctx context.Context, info *RunInfo, run func(*cluster.Cluster) (*Result, cluster.Report), opts MineOptions) (*Result, error) {
+	tr := obsv.TraceFrom(ctx)
+	sp := tr.Start("simulate")
+	res, rep := run(cluster.New(opts.clusterConfig()))
+	sp.End()
+	info.Report = &rep
+	for _, pm := range rep.PhaseMaxima() {
+		tr.AddVirtual(pm.Name, pm.NS)
 	}
-	return res, info, nil
+	res2, err := finishIndivisible(ctx, res)
+	return res2, err
+}
+
+// finishIndivisible closes out an algorithm path without mid-run ctx
+// checks: if ctx expired while the run was in flight, the caller asked
+// for cancellation and gets the cancellation error rather than a result.
+func finishIndivisible(ctx context.Context, res *Result) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, wrapCanceled(err)
+	}
+	return res, nil
 }
 
 // MineMaximal discovers only the maximal frequent itemsets (those with no
 // frequent superset) with the MaxEclat hybrid lookahead search. The
 // subsets of the returned sets are exactly the full frequent collection.
-func MineMaximal(d *Database, opts MineOptions) (*Result, error) {
-	return MineMaximalContext(context.Background(), d, opts)
+// ctx provides cooperative cancellation, checked before and after the
+// search.
+func MineMaximal(ctx context.Context, d *Database, opts MineOptions) (*Result, error) {
+	return mineVariant(ctx, d, opts, "maximal", eclat.MineMaximal)
 }
 
-// MineMaximalContext is MineMaximal with cooperative cancellation,
-// checked before and after the search.
+// MineMaximalContext is the old name of the context-first MineMaximal.
+//
+// Deprecated: use MineMaximal, which now takes a context.
 func MineMaximalContext(ctx context.Context, d *Database, opts MineOptions) (*Result, error) {
-	if d == nil {
-		return nil, fmt.Errorf("repro: nil database")
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	res, _ := eclat.MineMaximal(d, opts.minsup(d))
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return res, nil
+	return MineMaximal(ctx, d, opts)
 }
 
 // MineClosed discovers the closed frequent itemsets — those with no
 // strict superset of equal support, the lossless compressed form of the
-// frequent collection.
-func MineClosed(d *Database, opts MineOptions) (*Result, error) {
-	return MineClosedContext(context.Background(), d, opts)
+// frequent collection. ctx provides cooperative cancellation, checked
+// before and after the search.
+func MineClosed(ctx context.Context, d *Database, opts MineOptions) (*Result, error) {
+	return mineVariant(ctx, d, opts, "closed", eclat.MineClosed)
 }
 
-// MineClosedContext is MineClosed with cooperative cancellation, checked
-// before and after the search.
+// MineClosedContext is the old name of the context-first MineClosed.
+//
+// Deprecated: use MineClosed, which now takes a context.
 func MineClosedContext(ctx context.Context, d *Database, opts MineOptions) (*Result, error) {
+	return MineClosed(ctx, d, opts)
+}
+
+// mineVariant shares the validation, tracing and metrics of the
+// maximal/closed searches (run returns algorithm-specific stats the
+// facade drops).
+func mineVariant[S any](ctx context.Context, d *Database, opts MineOptions, name string, run func(*db.Database, int) (*Result, S)) (*Result, error) {
 	if d == nil {
 		return nil, fmt.Errorf("repro: nil database")
 	}
 	if err := ctx.Err(); err != nil {
+		return nil, wrapCanceled(err)
+	}
+	minsup, err := opts.MinSup(d)
+	if err != nil {
 		return nil, err
 	}
-	res, _ := eclat.MineClosed(d, opts.minsup(d))
+	mineRuns.Inc()
+	start := time.Now()
+	sp := obsv.TraceFrom(ctx).Start(name)
+	res, _ := run(d, minsup)
+	sp.End()
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		mineErrors.Inc()
+		return nil, wrapCanceled(err)
 	}
+	mineDuration.Observe(time.Since(start).Nanoseconds())
 	return res, nil
 }
 

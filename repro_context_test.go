@@ -8,16 +8,20 @@ import (
 	"time"
 )
 
-func TestMineContextMatchesMine(t *testing.T) {
+// TestDeprecatedWrappersMatchMine pins the compatibility contract of the
+// old *Context names: they are thin wrappers over the context-first
+// Mine/MineMaximal/MineClosed and must return identical results.
+func TestDeprecatedWrappersMatchMine(t *testing.T) {
 	d := smallDB(t)
 	for _, algo := range []Algorithm{AlgoEclat, AlgoApriori, AlgoPartition} {
 		// PartitionChunks 2 keeps the per-chunk local minsup well above 1
 		// on a 1000-transaction database.
 		opts := MineOptions{Algorithm: algo, SupportPct: 1.0, PartitionChunks: 2}
-		want, _, err := Mine(d, opts)
+		want, _, err := Mine(context.Background(), d, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
+		//lint:ignore SA1019 the deprecated wrapper is the thing under test
 		got, info, err := MineContext(context.Background(), d, opts)
 		if err != nil {
 			t.Fatal(err)
@@ -38,7 +42,7 @@ func TestMineContextMatchesMine(t *testing.T) {
 	}
 }
 
-func TestMineContextCanceledBeforeStart(t *testing.T) {
+func TestMineCanceledBeforeStart(t *testing.T) {
 	d := smallDB(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
@@ -46,26 +50,37 @@ func TestMineContextCanceledBeforeStart(t *testing.T) {
 		AlgoEclat, AlgoApriori, AlgoCountDistribution, AlgoDataDistribution,
 		AlgoCandidateDistribution, AlgoEclatHybrid, AlgoPartition, AlgoSampling, AlgoDHP,
 	} {
-		res, info, err := MineContext(ctx, d, MineOptions{Algorithm: algo, SupportPct: 1.0})
+		res, info, err := Mine(ctx, d, MineOptions{Algorithm: algo, SupportPct: 1.0})
 		if !errors.Is(err, context.Canceled) {
 			t.Fatalf("%v: err = %v, want context.Canceled", algo, err)
+		}
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("%v: err = %v, want ErrCanceled sentinel", algo, err)
 		}
 		if res != nil || info != nil {
 			t.Fatalf("%v: expected nil result and info on cancellation", algo)
 		}
 	}
+	if _, err := MineMaximal(ctx, d, MineOptions{SupportPct: 1.0}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("MineMaximal: %v", err)
+	}
+	if _, err := MineClosed(ctx, d, MineOptions{SupportPct: 1.0}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("MineClosed: %v", err)
+	}
+	//lint:ignore SA1019 wrapper must forward cancellation like the new name
 	if _, err := MineMaximalContext(ctx, d, MineOptions{SupportPct: 1.0}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("MineMaximalContext: %v", err)
 	}
+	//lint:ignore SA1019 wrapper must forward cancellation like the new name
 	if _, err := MineClosedContext(ctx, d, MineOptions{SupportPct: 1.0}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("MineClosedContext: %v", err)
 	}
 }
 
-// TestMineContextCancelMidRun cancels an in-flight sequential Eclat run
-// from another goroutine and expects it to stop promptly (the ctx is
+// TestMineCancelMidRun cancels an in-flight sequential Eclat run from
+// another goroutine and expects it to stop promptly (the ctx is
 // consulted between equivalence classes) rather than mine to completion.
-func TestMineContextCancelMidRun(t *testing.T) {
+func TestMineCancelMidRun(t *testing.T) {
 	d, err := Generate(StandardConfig(20000))
 	if err != nil {
 		t.Fatal(err)
@@ -78,25 +93,25 @@ func TestMineContextCancelMidRun(t *testing.T) {
 		cancel()
 	}()
 	<-started
-	res, _, err := MineContext(ctx, d, MineOptions{Algorithm: AlgoEclat, SupportPct: 0.1})
+	res, _, err := Mine(ctx, d, MineOptions{Algorithm: AlgoEclat, SupportPct: 0.1})
 	if err == nil {
 		// The mine legitimately finished before the cancel landed; that
 		// is not a failure of cancellation, just a fast machine.
 		t.Skip("mine completed before cancellation landed")
 	}
-	if !errors.Is(err, context.Canceled) {
-		t.Fatalf("err = %v, want context.Canceled", err)
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want context.Canceled and ErrCanceled", err)
 	}
 	if res != nil {
 		t.Fatal("canceled mine returned a result")
 	}
 }
 
-func TestMineContextDeadline(t *testing.T) {
+func TestMineDeadline(t *testing.T) {
 	d := smallDB(t)
 	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
 	defer cancel()
-	if _, _, err := MineContext(ctx, d, MineOptions{SupportPct: 1.0}); !errors.Is(err, context.DeadlineExceeded) {
+	if _, _, err := Mine(ctx, d, MineOptions{SupportPct: 1.0}); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
 	}
 }

@@ -1,6 +1,9 @@
 package repro
 
 import (
+	"context"
+	"errors"
+	"strings"
 	"testing"
 )
 
@@ -15,7 +18,7 @@ func smallDB(t testing.TB) *Database {
 
 func TestGenerateAndMineDefaults(t *testing.T) {
 	d := smallDB(t)
-	res, info, err := Mine(d, MineOptions{SupportPct: 1.0})
+	res, info, err := Mine(context.Background(), d, MineOptions{SupportPct: 1.0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,14 +36,14 @@ func TestGenerateAndMineDefaults(t *testing.T) {
 func TestAllAlgorithmsAgree(t *testing.T) {
 	d := smallDB(t)
 	opts := MineOptions{SupportPct: 2.0}
-	want, _, err := Mine(d, opts)
+	want, _, err := Mine(context.Background(), d, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	algos := []Algorithm{AlgoApriori, AlgoCountDistribution, AlgoDataDistribution,
 		AlgoCandidateDistribution, AlgoEclatHybrid}
 	for _, a := range algos {
-		got, info, err := Mine(d, MineOptions{Algorithm: a, SupportPct: 2.0, Hosts: 2, ProcsPerHost: 2})
+		got, info, err := Mine(context.Background(), d, MineOptions{Algorithm: a, SupportPct: 2.0, Hosts: 2, ProcsPerHost: 2})
 		if err != nil {
 			t.Fatalf("%v: %v", a, err)
 		}
@@ -55,7 +58,7 @@ func TestAllAlgorithmsAgree(t *testing.T) {
 
 func TestParallelEclatViaOptions(t *testing.T) {
 	d := smallDB(t)
-	res, info, err := Mine(d, MineOptions{SupportPct: 1.0, Hosts: 4, ProcsPerHost: 2})
+	res, info, err := Mine(context.Background(), d, MineOptions{SupportPct: 1.0, Hosts: 4, ProcsPerHost: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +72,7 @@ func TestParallelEclatViaOptions(t *testing.T) {
 
 func TestSupportCountOverridesPct(t *testing.T) {
 	d := smallDB(t)
-	_, info, err := Mine(d, MineOptions{SupportPct: 1.0, SupportCount: 42})
+	_, info, err := Mine(context.Background(), d, MineOptions{SupportPct: 1.0, SupportCount: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,25 +81,50 @@ func TestSupportCountOverridesPct(t *testing.T) {
 	}
 }
 
-func TestDefaultSupportIsPaper(t *testing.T) {
-	// 0.1% of 10000 transactions = 10; a 1000-transaction database would
-	// drive the default threshold to 1 and blow up the itemset lattice.
-	d, err := Generate(StandardConfig(10000))
+func TestZeroValueOptionsRejected(t *testing.T) {
+	// A zero-value MineOptions used to silently mine at the paper's 0.1%
+	// default; it now fails loudly, pointing the caller at the explicit
+	// fields (DefaultSupportPct documents the paper's threshold).
+	d := smallDB(t)
+	_, info, err := Mine(context.Background(), d, MineOptions{})
+	if !errors.Is(err, ErrInvalidSupport) {
+		t.Fatalf("err = %v, want ErrInvalidSupport", err)
+	}
+	if info != nil {
+		t.Fatal("expected nil info on invalid options")
+	}
+	if !strings.Contains(err.Error(), "SupportPct") {
+		t.Fatalf("error should name the fields to set, got %q", err)
+	}
+	if DefaultSupportPct != 0.1 {
+		t.Fatalf("DefaultSupportPct = %v, want the paper's 0.1", DefaultSupportPct)
+	}
+	// 0.1% of 10000 transactions = 10: the documented default still
+	// resolves to the paper's threshold when passed explicitly.
+	big, err := Generate(StandardConfig(10000))
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, info, err := Mine(d, MineOptions{})
-	if err != nil {
-		t.Fatal(err)
+	if got, err := (MineOptions{SupportPct: DefaultSupportPct}).MinSup(big); err != nil || got != 10 {
+		t.Fatalf("MinSup = %d, %v; want 10, nil", got, err)
 	}
-	if info.MinSup != 10 {
-		t.Fatalf("default support should be the paper's 0.1%% (= 10), got %d", info.MinSup)
+}
+
+func TestInvalidSupportRejected(t *testing.T) {
+	d := smallDB(t)
+	for _, opts := range []MineOptions{
+		{SupportPct: -1},
+		{SupportCount: -5},
+	} {
+		if _, _, err := Mine(context.Background(), d, opts); !errors.Is(err, ErrInvalidSupport) {
+			t.Fatalf("%+v: err = %v, want ErrInvalidSupport", opts, err)
+		}
 	}
 }
 
 func TestRulesEndToEnd(t *testing.T) {
 	d := smallDB(t)
-	res, _, err := Mine(d, MineOptions{SupportPct: 0.5})
+	res, _, err := Mine(context.Background(), d, MineOptions{SupportPct: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,12 +142,12 @@ func TestRulesEndToEnd(t *testing.T) {
 
 func TestRelatedWorkAlgorithmsAgree(t *testing.T) {
 	d := smallDB(t)
-	want, _, err := Mine(d, MineOptions{SupportPct: 2.0})
+	want, _, err := Mine(context.Background(), d, MineOptions{SupportPct: 2.0})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, a := range []Algorithm{AlgoPartition, AlgoSampling, AlgoDHP} {
-		got, info, err := Mine(d, MineOptions{Algorithm: a, SupportPct: 2.0, PartitionChunks: 4, SampleSize: 300})
+		got, info, err := Mine(context.Background(), d, MineOptions{Algorithm: a, SupportPct: 2.0, PartitionChunks: 4, SampleSize: 300})
 		if err != nil {
 			t.Fatalf("%v: %v", a, err)
 		}
@@ -139,11 +167,11 @@ func TestMineMaximalFacade(t *testing.T) {
 	d := smallDB(t)
 	// 0.5% support is deep enough that multi-item sets exist and subsume
 	// their subsets.
-	full, _, err := Mine(d, MineOptions{SupportPct: 0.5})
+	full, _, err := Mine(context.Background(), d, MineOptions{SupportPct: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	maximal, err := MineMaximal(d, MineOptions{SupportPct: 0.5})
+	maximal, err := MineMaximal(context.Background(), d, MineOptions{SupportPct: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,10 +179,10 @@ func TestMineMaximalFacade(t *testing.T) {
 		t.Fatalf("maximal (%d) should be a nonempty strict reduction of full (%d)",
 			maximal.Len(), full.Len())
 	}
-	if _, err := MineMaximal(nil, MineOptions{}); err == nil {
+	if _, err := MineMaximal(context.Background(), nil, MineOptions{}); err == nil {
 		t.Fatal("nil database should error")
 	}
-	closed, err := MineClosed(d, MineOptions{SupportPct: 0.5})
+	closed, err := MineClosed(context.Background(), d, MineOptions{SupportPct: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,21 +190,22 @@ func TestMineMaximalFacade(t *testing.T) {
 		t.Fatalf("|closed|=%d must sit between |maximal|=%d and |full|=%d",
 			closed.Len(), maximal.Len(), full.Len())
 	}
-	if _, err := MineClosed(nil, MineOptions{}); err == nil {
+	if _, err := MineClosed(context.Background(), nil, MineOptions{}); err == nil {
 		t.Fatal("nil database should error")
 	}
 }
 
 func TestMineNilDatabase(t *testing.T) {
-	if _, _, err := Mine(nil, MineOptions{}); err == nil {
+	if _, _, err := Mine(context.Background(), nil, MineOptions{}); err == nil {
 		t.Fatal("nil database should error")
 	}
 }
 
 func TestUnknownAlgorithm(t *testing.T) {
 	d := smallDB(t)
-	if _, _, err := Mine(d, MineOptions{Algorithm: Algorithm(99)}); err == nil {
-		t.Fatal("unknown algorithm should error")
+	_, _, err := Mine(context.Background(), d, MineOptions{Algorithm: Algorithm(99), SupportPct: 1.0})
+	if !errors.Is(err, ErrUnknownAlgorithm) {
+		t.Fatalf("err = %v, want ErrUnknownAlgorithm", err)
 	}
 	if Algorithm(99).String() == "" {
 		t.Fatal("String should render unknowns")
