@@ -39,6 +39,7 @@ func run(args []string, stdout io.Writer) error {
 	genTx := fs.Int("gen", 0, "generate a T10.I6 database with this many transactions instead of reading one")
 	support := fs.Float64("support", 0.25, "minimum support in percent")
 	algoName := fs.String("algo", "eclat", "algorithm: eclat, apriori, countdist, datadist, canddist, hybrid, partition, sampling, dhp")
+	reprName := fs.String("repr", "auto", "tid-set representation for Eclat-family algorithms: auto, sparse, bitset")
 	maximal := fs.Bool("maximal", false, "mine only maximal frequent itemsets (MaxEclat)")
 	closed := fs.Bool("closed", false, "mine only closed frequent itemsets")
 	hosts := fs.Int("hosts", 1, "simulated hosts H")
@@ -93,13 +94,18 @@ func run(args []string, stdout io.Writer) error {
 	if *maximal && *closed {
 		return fmt.Errorf("-maximal and -closed are mutually exclusive")
 	}
+	repr, err := repro.ParseRepresentation(*reprName)
+	if err != nil {
+		return err
+	}
 
 	start := time.Now()
 	opts := repro.MineOptions{
-		Algorithm:    algo,
-		SupportPct:   *support,
-		Hosts:        *hosts,
-		ProcsPerHost: *procs,
+		Algorithm:      algo,
+		SupportPct:     *support,
+		Hosts:          *hosts,
+		ProcsPerHost:   *procs,
+		Representation: repr,
 	}
 	tr := obsv.NewTrace()
 	ctx := obsv.WithTrace(context.Background(), tr)

@@ -11,6 +11,10 @@
 // API:
 //
 //	POST   /v1/jobs              {"dataset":"t10","algorithm":"eclat","supportPct":0.25}
+//	                             optional: "variant":"all|maximal|closed",
+//	                             "representation":"auto|sparse|bitset" (tid-set
+//	                             encoding for Eclat-family algorithms; auto
+//	                             adapts per equivalence class by density)
 //	GET    /v1/jobs/{id}         job status
 //	GET    /v1/jobs/{id}/result  result text (support<TAB>items per line)
 //	DELETE /v1/jobs/{id}         cancel

@@ -46,6 +46,11 @@ type Config struct {
 	HashTreeOpNS  int64 // per hash-tree node visit / candidate subset check
 	IntersectOpNS int64 // per tid-list element comparison
 	PairCountOpNS int64 // per triangular-array increment
+	// BitsetWordOpNS is the cost of one 64-bit word in the dense bitset
+	// kernel (load two words, AND, popcount — a handful of streaming
+	// instructions covering up to 64 tids, vs one IntersectOpNS per tid
+	// for the sparse merge).
+	BitsetWordOpNS int64
 
 	// HostMemBytes is the physical memory of one host (the testbed had
 	// 256 MB shared by the 4 processors of a host). When an algorithm's
@@ -63,20 +68,22 @@ const (
 	OpHashTree
 	OpIntersect
 	OpPairCount
+	OpBitsetWord
 )
 
 // Default returns the paper-calibrated configuration for an HxP cluster.
 func Default(hosts, procsPerHost int) Config {
 	return Config{
-		Hosts:         hosts,
-		ProcsPerHost:  procsPerHost,
-		Disk:          disk.Default1997(),
-		Net:           memchannel.DefaultDEC(),
-		CPUOpNS:       40,  // ~10 instructions per abstract op at 233 MHz
-		HashTreeOpNS:  400, // two dependent cache-missing loads per visit (node, then hash slot)
-		IntersectOpNS: 9,   // streaming compare-and-advance over sorted arrays
-		PairCountOpNS: 60,  // random increment into a multi-MB array
-		HostMemBytes:  256 << 20,
+		Hosts:          hosts,
+		ProcsPerHost:   procsPerHost,
+		Disk:           disk.Default1997(),
+		Net:            memchannel.DefaultDEC(),
+		CPUOpNS:        40,  // ~10 instructions per abstract op at 233 MHz
+		HashTreeOpNS:   400, // two dependent cache-missing loads per visit (node, then hash slot)
+		IntersectOpNS:  9,   // streaming compare-and-advance over sorted arrays
+		PairCountOpNS:  60,  // random increment into a multi-MB array
+		BitsetWordOpNS: 12,  // two word loads + AND + popcount, streaming
+		HostMemBytes:   256 << 20,
 	}
 }
 
@@ -168,6 +175,11 @@ type Report struct {
 	ElapsedNS int64
 	PerProc   []stats.Breakdown
 	Merged    stats.Breakdown
+	// Representation names the tid-set representation the run mined
+	// through ("auto", "sparse", "bitset"); set by the mining packages so
+	// reports from different encodings can be told apart when comparing
+	// per-representation phase maxima.
+	Representation string
 }
 
 // Elapsed returns the run's virtual wall time.
@@ -308,6 +320,10 @@ func (p *Proc) ChargeOps(class OpClass, ops int64) {
 		if p.c.cfg.PairCountOpNS > 0 {
 			cost = p.c.cfg.PairCountOpNS
 		}
+	case OpBitsetWord:
+		if p.c.cfg.BitsetWordOpNS > 0 {
+			cost = p.c.cfg.BitsetWordOpNS
+		}
 	}
 	ns := ops * cost
 	p.clock += ns
@@ -350,6 +366,14 @@ func (p *Proc) ChargeDiskWrite(bytes int64, concurrent int) {
 	p.clock += ns
 	p.Stats.DiskNS += ns
 	p.Stats.DiskBytesWritten += bytes
+}
+
+// AddNetPayload records the per-encoding split of tid-set payload bytes
+// this processor shipped (the time itself is charged by the collective
+// that moves the bytes; this only attributes the volume to an encoding).
+func (p *Proc) AddNetPayload(sparseBytes, denseBytes int64) {
+	p.Stats.NetBytesSparse += sparseBytes
+	p.Stats.NetBytesDense += denseBytes
 }
 
 // ChargeNet charges raw network time for msgs messages totalling bytes.

@@ -15,6 +15,8 @@ type CharmStats struct {
 	Intersections int64
 	Merges        int64 // itemset extensions via the tid-set containment properties
 	Subsumptions  int64 // candidates discarded by the closed-set check
+	// Kernel is the representation-dispatch accounting (see Stats.Kernel).
+	Kernel tidlist.KernelStats
 }
 
 // MineClosedCHARM discovers the closed frequent itemsets with the CHARM
@@ -29,6 +31,12 @@ type CharmStats struct {
 // The result equals MineClosed's (tested property); the work profile
 // differs — CHARM never enumerates the non-closed lattice.
 func MineClosedCHARM(d *db.Database, minsup int) (*mining.Result, CharmStats) {
+	return MineClosedCHARMOpts(d, minsup, Options{})
+}
+
+// MineClosedCHARMOpts is MineClosedCHARM with explicit variant options
+// (notably the tid-set representation the search runs through).
+func MineClosedCHARMOpts(d *db.Database, minsup int, opts Options) (*mining.Result, CharmStats) {
 	if minsup < 1 {
 		minsup = 1
 	}
@@ -51,6 +59,7 @@ func MineClosedCHARM(d *db.Database, minsup int) (*mining.Result, CharmStats) {
 			roots = append(roots, &charmNode{set: itemset.Itemset{itemset.Item(it)}, tids: l})
 		}
 	}
+	applyCharmRepr(roots, opts.Representation, &st.Kernel)
 
 	acc := &charmAcc{byHash: map[int64][]mining.FrequentItemset{}}
 	charmExtend(roots, minsup, acc, &st)
@@ -68,7 +77,7 @@ func MineClosedCHARM(d *db.Database, minsup int) (*mining.Result, CharmStats) {
 // containment properties) and its tid-set.
 type charmNode struct {
 	set  itemset.Itemset
-	tids tidlist.List
+	tids tidlist.Set
 }
 
 // charmChild defers itemset materialization: the parent's set may still
@@ -76,7 +85,42 @@ type charmNode struct {
 // the partner's items and composes with the parent's final set.
 type charmChild struct {
 	extra itemset.Itemset
-	tids  tidlist.List
+	tids  tidlist.Set
+}
+
+// applyCharmRepr resolves the representation against the root level's
+// density (CHARM has no L2 equivalence classes; the root item lists are
+// the per-run analog) and re-encodes the roots when the bitset wins.
+func applyCharmRepr(roots []*charmNode, repr tidlist.Repr, ks *tidlist.KernelStats) {
+	chosen := repr
+	if repr == tidlist.ReprAuto {
+		lo, hi, any := itemset.TID(0), itemset.TID(0), false
+		sum := 0
+		for _, n := range roots {
+			sum += n.tids.Support()
+			l, h, ok := tidlist.Bounds(n.tids)
+			if !ok {
+				continue
+			}
+			if !any || l < lo {
+				lo = l
+			}
+			if !any || h > hi {
+				hi = h
+			}
+			any = true
+		}
+		if !any || len(roots) == 0 {
+			return
+		}
+		chosen = tidlist.ChooseRepr(repr, sum/len(roots), int(hi-lo)+1)
+	}
+	if chosen != tidlist.ReprBitset {
+		return
+	}
+	for _, n := range roots {
+		n.tids = tidlist.Convert(n.tids, tidlist.ReprBitset, ks)
+	}
 }
 
 // charmExtend processes one level of sibling nodes, sorted by increasing
@@ -84,8 +128,9 @@ type charmChild struct {
 // high-support partners most often).
 func charmExtend(nodes []*charmNode, minsup int, acc *charmAcc, st *CharmStats) {
 	sort.SliceStable(nodes, func(i, j int) bool {
-		if len(nodes[i].tids) != len(nodes[j].tids) {
-			return len(nodes[i].tids) < len(nodes[j].tids)
+		si, sj := nodes[i].tids.Support(), nodes[j].tids.Support()
+		if si != sj {
+			return si < sj
 		}
 		return nodes[i].set.Less(nodes[j].set)
 	})
@@ -99,27 +144,30 @@ func charmExtend(nodes []*charmNode, minsup int, acc *charmAcc, st *CharmStats) 
 				continue
 			}
 			st.Intersections++
-			y := tidlist.Intersect(nodes[i].tids, nodes[j].tids)
+			// No scratch: surviving children keep the result, so every
+			// intersection gets fresh storage (as the List-only code did).
+			y, _ := tidlist.IntersectSets(nil, nodes[i].tids, nodes[j].tids, &st.Kernel)
+			ySup := y.Support()
 			switch {
-			case len(y) == len(nodes[i].tids) && len(y) == len(nodes[j].tids):
+			case ySup == nodes[i].tids.Support() && ySup == nodes[j].tids.Support():
 				// t(Xi) = t(Xj): Xj always co-occurs with Xi — fold it in.
 				st.Merges++
 				nodes[i].set = nodes[i].set.Union(nodes[j].set)
 				nodes[j] = nil
-			case len(y) == len(nodes[i].tids):
+			case ySup == nodes[i].tids.Support():
 				// t(Xi) ⊂ t(Xj): Xi implies Xj; Xi's closure absorbs it,
 				// Xj lives on (it occurs without Xi too).
 				st.Merges++
 				nodes[i].set = nodes[i].set.Union(nodes[j].set)
-			case len(y) == len(nodes[j].tids):
+			case ySup == nodes[j].tids.Support():
 				// t(Xi) ⊃ t(Xj): Xj implies Xi; the combination replaces
 				// Xj, growing under Xi.
-				if len(y) >= minsup {
+				if ySup >= minsup {
 					children = append(children, charmChild{extra: nodes[j].set, tids: y})
 				}
 				nodes[j] = nil
 			default:
-				if len(y) >= minsup {
+				if ySup >= minsup {
 					children = append(children, charmChild{extra: nodes[j].set, tids: y})
 				}
 			}
@@ -131,7 +179,7 @@ func charmExtend(nodes []*charmNode, minsup int, acc *charmAcc, st *CharmStats) 
 			}
 			charmExtend(level, minsup, acc, st)
 		}
-		acc.insert(nodes[i].set, len(nodes[i].tids), nodes[i].tids, st)
+		acc.insert(nodes[i].set, nodes[i].tids.Support(), nodes[i].tids, st)
 	}
 }
 
@@ -142,16 +190,8 @@ type charmAcc struct {
 	byHash map[int64][]mining.FrequentItemset
 }
 
-func tidHash(tids tidlist.List) int64 {
-	var h int64
-	for _, t := range tids {
-		h += int64(t)
-	}
-	return h
-}
-
-func (a *charmAcc) insert(set itemset.Itemset, sup int, tids tidlist.List, st *CharmStats) {
-	h := tidHash(tids)
+func (a *charmAcc) insert(set itemset.Itemset, sup int, tids tidlist.Set, st *CharmStats) {
+	h := tidlist.HashTIDs(tids)
 	for _, f := range a.byHash[h] {
 		if f.Support == sup && set.SubsetOf(f.Set) {
 			st.Subsumptions++

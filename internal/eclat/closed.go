@@ -18,7 +18,13 @@ import (
 // so marking each frequent set's (k-1)-subsets of equal support as
 // non-closed visits each frequent set only k times.
 func MineClosed(d *db.Database, minsup int) (*mining.Result, Stats) {
-	full, st := MineSequential(d, minsup)
+	return MineClosedOpts(d, minsup, Options{})
+}
+
+// MineClosedOpts is MineClosed with explicit variant options (the options
+// affect only the underlying full-collection mine).
+func MineClosedOpts(d *db.Database, minsup int, opts Options) (*mining.Result, Stats) {
+	full, st := MineSequentialOpts(d, minsup, opts)
 	res := &mining.Result{MinSup: full.MinSup, NumTransactions: full.NumTransactions}
 	res.Itemsets = closedFilter(full.Itemsets)
 	res.Sort()

@@ -14,18 +14,21 @@ import (
 type DiffStats struct {
 	Scans         int
 	Intersections int64 // set operations (differences) performed
-	DiffOps       int64 // element comparisons in differences
-	// ListBytes is the total bytes of all intermediate lists materialized
-	// during the class recursion (diffsets here; compare with the
-	// tid-list bytes of the standard algorithm at the same support).
+	DiffOps       int64 // kernel operations in differences (comparisons or words)
+	// ListBytes is the total bytes of all intermediate sets materialized
+	// during the class recursion (diffsets here, in their chosen encoding;
+	// compare with the tid-list bytes of the standard algorithm at the
+	// same support).
 	ListBytes int64
+	// Kernel is the representation-dispatch accounting (see Stats.Kernel).
+	Kernel tidlist.KernelStats
 }
 
 // dmember is one itemset of the current level, represented by its diffset
 // relative to its generating parent and its exact support.
 type dmember struct {
 	set   itemset.Itemset
-	diffs tidlist.List
+	diffs tidlist.Set
 	sup   int
 }
 
@@ -42,6 +45,13 @@ type dmember struct {
 // than tid-lists and the class recursion touches far fewer bytes; the
 // output is identical to MineSequential's (tested property).
 func MineSequentialDiffsets(d *db.Database, minsup int) (*mining.Result, DiffStats) {
+	return MineSequentialDiffsetsOpts(d, minsup, Options{})
+}
+
+// MineSequentialDiffsetsOpts is MineSequentialDiffsets with explicit
+// variant options (notably the tid-set representation; diffsets under the
+// bitset encoding use the AND NOT word kernel).
+func MineSequentialDiffsetsOpts(d *db.Database, minsup int, opts Options) (*mining.Result, DiffStats) {
 	if minsup < 1 {
 		minsup = 1
 	}
@@ -80,25 +90,28 @@ func MineSequentialDiffsets(d *db.Database, minsup int) (*mining.Result, DiffSta
 	lists := tidlist.BuildPairs(d, want)
 
 	// First transition per class: children carry diffsets of their
-	// tid-list parents.
+	// tid-set parents.
 	for ci := range classes {
-		members := classMembers(&classes[ci], lists)
+		members := classMembers(&classes[ci], lists, opts.Representation, &st.Kernel)
+		var scratch tidlist.Set
 		for i := 0; i < len(members)-1; i++ {
 			var next []dmember
 			for j := i + 1; j < len(members); j++ {
 				st.Intersections++
-				st.DiffOps += int64(len(members[i].tids))
-				diffs := tidlist.Diff(members[i].tids, members[j].tids)
+				diffs, ops := tidlist.DiffSets(scratch, members[i].tids, members[j].tids, &st.Kernel)
+				st.DiffOps += int64(ops)
+				scratch = diffs
 				sup := members[i].tids.Support() - diffs.Support()
 				if sup < minsup {
 					continue
 				}
+				kept := tidlist.CloneSet(diffs)
 				next = append(next, dmember{
 					set:   members[i].set.Join(members[j].set),
-					diffs: diffs,
+					diffs: kept,
 					sup:   sup,
 				})
-				st.ListBytes += diffs.SizeBytes()
+				st.ListBytes += kept.SizeBytes()
 			}
 			for _, m := range next {
 				res.Add(m.set, m.sup)
@@ -117,21 +130,21 @@ func MineSequentialDiffsets(d *db.Database, minsup int) (*mining.Result, DiffSta
 // share a common prefix of len(set)-1 items and carry diffsets relative
 // to their shared parent.
 func computeFrequentDiff(members []dmember, minsup int, st *DiffStats, emit func(itemset.Itemset, int)) {
-	var scratch tidlist.List
+	var scratch tidlist.Set
 	for i := 0; i < len(members)-1; i++ {
 		var next []dmember
 		for j := i + 1; j < len(members); j++ {
 			st.Intersections++
-			st.DiffOps += int64(len(members[j].diffs))
 			// d(PXY) = d(PY) \ d(PX): the transactions that contain PX but
 			// lose Y beyond what PX already lost.
-			diffs := tidlist.DiffInto(scratch, members[j].diffs, members[i].diffs)
+			diffs, ops := tidlist.DiffSets(scratch, members[j].diffs, members[i].diffs, &st.Kernel)
+			st.DiffOps += int64(ops)
 			sup := members[i].sup - diffs.Support()
-			scratch = diffs[:0]
+			scratch = diffs
 			if sup < minsup {
 				continue
 			}
-			d := diffs.Clone()
+			d := tidlist.CloneSet(diffs)
 			next = append(next, dmember{
 				set:   members[i].set.Join(members[j].set),
 				diffs: d,

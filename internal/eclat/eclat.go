@@ -30,25 +30,29 @@ import (
 // Global intersection-work counters (see /metricsz). They are flushed
 // once per equivalence class — the hot inner loop still updates only the
 // run-local Stats struct, so the atomics never appear on the
-// per-intersection path.
+// per-intersection path. Kernel-dispatch counters (sparse vs dense
+// intersections, words touched, conversions) live in internal/tidlist
+// and are flushed on the same per-class cadence.
 var (
 	mIntersections = obsv.Default.Counter("eclat_intersections_total", "tid-list intersections attempted")
 	mShortCircuit  = obsv.Default.Counter("eclat_intersections_shortcircuited_total", "intersections aborted early by the minimum-support bound")
-	mIntersectOps  = obsv.Default.Counter("eclat_intersect_ops_total", "tid-list element comparisons performed")
-	mTidlistBytes  = obsv.Default.Counter("eclat_tidlist_bytes_total", "tid-list bytes touched by intersections")
+	mIntersectOps  = obsv.Default.Counter("eclat_intersect_ops_total", "tid-set kernel operations performed (element comparisons or words)")
+	mTidlistBytes  = obsv.Default.Counter("eclat_tidlist_bytes_total", "tid-set bytes touched by intersections")
 	mClasses       = obsv.Default.Counter("eclat_classes_total", "top-level equivalence classes mined")
 )
 
-// tidBytes is the in-memory size of one tid-list element.
+// tidBytes is the in-memory size of one sparse tid-list element.
 const tidBytes = 4 // sizeof(itemset.TID) — int32
 
 // flushStats publishes the delta between two snapshots of a run's Stats
-// to the global counters.
+// to the global counters (prev is updated to cur's values).
 func flushStats(prev, cur *Stats) {
 	mIntersections.Add(cur.Intersections - prev.Intersections)
 	mShortCircuit.Add(cur.ShortCircuited - prev.ShortCircuited)
 	mIntersectOps.Add(cur.IntersectOps - prev.IntersectOps)
-	mTidlistBytes.Add((cur.IntersectOps - prev.IntersectOps) * tidBytes)
+	mTidlistBytes.Add((cur.Kernel.SparseOps()-prev.Kernel.SparseOps())*tidBytes +
+		(cur.Kernel.WordsTouched()-prev.Kernel.WordsTouched())*8)
+	cur.Kernel.Flush(&prev.Kernel)
 }
 
 // Options selects algorithm variants used by the ablation benchmarks.
@@ -75,23 +79,36 @@ type Options struct {
 	// the tid-list data for immunity to paging, so it wins exactly when
 	// the mapped regions would overflow host memory.
 	ExternalTransform bool
+	// Representation selects the tid-set representation the class
+	// recursion mines through: ReprAuto (the zero value) decides per
+	// equivalence class by density, ReprSparse forces the paper's sorted
+	// slice with the scalar merge kernel, ReprBitset forces the
+	// word-packed dense kernel.
+	Representation tidlist.Repr
 }
 
 // Stats counts the work of a sequential run (the parallel form reports
 // through cluster.Report instead).
 type Stats struct {
 	Scans          int
-	Intersections  int64 // tid-list intersections attempted
+	Intersections  int64 // tid-set intersections attempted
 	ShortCircuited int64 // intersections aborted by the support bound
-	IntersectOps   int64 // element comparisons performed
-	Classes        int   // top-level equivalence classes mined
+	// IntersectOps counts kernel operations: element comparisons for the
+	// sparse merge kernel, 64-bit words touched for the dense kernel (the
+	// per-kind split is in Kernel).
+	IntersectOps int64
+	Classes      int // top-level equivalence classes mined
+	// Kernel is the representation-dispatch accounting of the run: how
+	// many intersections went to the sparse, dense and mixed kernels,
+	// their per-kind work units, and sparse<->dense conversions.
+	Kernel tidlist.KernelStats
 }
 
 // member is one itemset of the current level within a class, with its
-// tid-list.
+// tid-set (sparse or dense, per the class's chosen representation).
 type member struct {
 	set  itemset.Itemset
-	tids tidlist.List
+	tids tidlist.Set
 }
 
 // computeFrequent is figure 3: mine everything derivable from one
@@ -108,7 +125,12 @@ func computeFrequent(ctx context.Context, members []member, minsup int, st *Stat
 	// Pairing member i with each j > i yields the class prefixed by
 	// members[i].set, so the recursion needs no separate partitioning
 	// pass: the i-loop enumerates the next level's classes directly.
-	var scratch tidlist.List
+	//
+	// scratch is whatever set the last kernel call returned; the dispatch
+	// functions recover its storage when the representation matches, so
+	// the buffer-reuse discipline of the sparse-only loop survives the
+	// abstraction.
+	var scratch tidlist.Set
 	for i := 0; i < len(members)-1; i++ {
 		if ctx.Err() != nil {
 			return
@@ -116,25 +138,24 @@ func computeFrequent(ctx context.Context, members []member, minsup int, st *Stat
 		var next []member
 		for j := i + 1; j < len(members); j++ {
 			st.Intersections++
-			var tids tidlist.List
+			var tids tidlist.Set
 			var ops int
 			var ok bool
 			if opts.NoShortCircuit {
-				tids = tidlist.IntersectInto(scratch, members[i].tids, members[j].tids)
-				ops = len(members[i].tids) + len(members[j].tids)
-				ok = len(tids) >= minsup
+				tids, ops = tidlist.IntersectSets(scratch, members[i].tids, members[j].tids, &st.Kernel)
+				ok = tids.Support() >= minsup
 			} else {
-				tids, ops, ok = tidlist.IntersectShortCircuit(scratch, members[i].tids, members[j].tids, minsup)
+				tids, ops, ok = tidlist.IntersectSetsSC(scratch, members[i].tids, members[j].tids, minsup, &st.Kernel)
 			}
 			st.IntersectOps += int64(ops)
-			scratch = tids[:0]
+			scratch = tids
 			if !ok {
 				st.ShortCircuited++
 				continue
 			}
 			next = append(next, member{
 				set:  members[i].set.Join(members[j].set),
-				tids: tids.Clone(),
+				tids: tidlist.CloneSet(tids),
 			})
 		}
 		for _, m := range next {
@@ -147,14 +168,53 @@ func computeFrequent(ctx context.Context, members []member, minsup int, st *Stat
 }
 
 // classMembers assembles the sorted member list of one L2 equivalence
-// class from the global pair tid-list map.
-func classMembers(class *eqclass.Class, lists map[tidlist.Pair]tidlist.List) []member {
+// class from the global pair tid-list map, then applies the per-class
+// representation policy: with ReprAuto the class density (average member
+// support over the class's tid span) decides between sparse and bitset,
+// so dense classes get the word kernel and sparse ones keep the merge
+// loop — the decision is as localized as the class computation itself.
+func classMembers(class *eqclass.Class, lists map[tidlist.Pair]tidlist.List, repr tidlist.Repr, ks *tidlist.KernelStats) []member {
 	out := make([]member, 0, len(class.Members))
 	for _, set := range class.Members {
 		out = append(out, member{set: set, tids: lists[tidlist.Pair{A: set[0], B: set[1]}]})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].set.Less(out[j].set) })
+	applyClassRepr(out, repr, ks)
 	return out
+}
+
+// applyClassRepr resolves repr against the class's density and, when the
+// outcome is the bitset, re-encodes every member in place.
+func applyClassRepr(members []member, repr tidlist.Repr, ks *tidlist.KernelStats) {
+	chosen := repr
+	if repr == tidlist.ReprAuto {
+		lo, hi, any := itemset.TID(0), itemset.TID(0), false
+		sum := 0
+		for _, m := range members {
+			sum += m.tids.Support()
+			l, h, ok := tidlist.Bounds(m.tids)
+			if !ok {
+				continue
+			}
+			if !any || l < lo {
+				lo = l
+			}
+			if !any || h > hi {
+				hi = h
+			}
+			any = true
+		}
+		if !any || len(members) == 0 {
+			return
+		}
+		chosen = tidlist.ChooseRepr(repr, sum/len(members), int(hi-lo)+1)
+	}
+	if chosen != tidlist.ReprBitset {
+		return
+	}
+	for i := range members {
+		members[i].tids = tidlist.Convert(members[i].tids, tidlist.ReprBitset, ks)
+	}
 }
 
 // MineSequential runs Eclat on a single processor: one pass for global
@@ -235,7 +295,7 @@ func MineSequentialCtx(ctx context.Context, d *db.Database, minsup int, opts Opt
 			return nil, st, err
 		}
 		before := st
-		computeFrequent(ctx, classMembers(&classes[i], lists), minsup, &st, opts, res.Add)
+		computeFrequent(ctx, classMembers(&classes[i], lists, opts.Representation, &st.Kernel), minsup, &st, opts, res.Add)
 		flushStats(&before, &st)
 		mClasses.Inc()
 	}

@@ -28,6 +28,12 @@ import (
 // asynchronous phase. This removes both the per-processor disk
 // contention and the T-way exchange that limit flat Eclat when P > 1.
 func MineHybrid(cl *cluster.Cluster, d *db.Database, minsup int) (*mining.Result, cluster.Report) {
+	return MineHybridOpts(cl, d, minsup, Options{})
+}
+
+// MineHybridOpts is MineHybrid with explicit variant options (notably the
+// tid-set representation the asynchronous phase mines through).
+func MineHybridOpts(cl *cluster.Cluster, d *db.Database, minsup int, opts Options) (*mining.Result, cluster.Report) {
 	if minsup < 1 {
 		minsup = 1
 	}
@@ -115,14 +121,21 @@ func MineHybrid(cl *cluster.Cluster, d *db.Database, minsup int) (*mining.Result
 		// the owning host's leader; intra-host payloads cross shared
 		// memory, not the Memory Channel.
 		out := make([][]pairList, t)
-		var sentBytes int64
+		var sentBytes, sentSparse, sentDense int64
 		for pr, tids := range partials {
 			dstHost := hostOwner[pr]
 			out[dstHost*pp] = append(out[dstHost*pp], pairList{pair: pr, tids: tids})
 			if dstHost != host {
-				sentBytes += tids.SizeBytes()
+				n, enc := tidlist.EncodedSize(tids, opts.Representation)
+				sentBytes += n
+				if enc == tidlist.ReprBitset {
+					sentDense += n
+				} else {
+					sentSparse += n
+				}
 			}
 		}
+		p.AddNetPayload(sentSparse, sentDense)
 		for dst := range out {
 			sort.Slice(out[dst], func(i, j int) bool {
 				a, b := out[dst][i].pair, out[dst][j].pair
@@ -152,7 +165,8 @@ func MineHybrid(cl *cluster.Cluster, d *db.Database, minsup int) (*mining.Result
 
 		var hostBytes int64
 		for _, l := range lists {
-			hostBytes += l.SizeBytes()
+			n, _ := tidlist.EncodedSize(l, opts.Representation)
+			hostBytes += n
 		}
 		// The host's inverted partition is written once, cooperatively.
 		factor := p.PageFactor(hostBytes)
@@ -172,15 +186,14 @@ func MineHybrid(cl *cluster.Cluster, d *db.Database, minsup int) (*mining.Result
 			if subSched.Owner[i] != p.ID()-leader {
 				continue
 			}
-			members := classMembers(&sub[i], lists)
+			members := classMembers(&sub[i], lists, opts.Representation, &st.Kernel)
 			for _, m := range members {
 				myBytes += m.tids.SizeBytes()
 			}
-			computeFrequent(context.Background(), members, minsup, &st, Options{}, local.Add)
+			computeFrequent(context.Background(), members, minsup, &st, opts, local.Add)
 		}
 		p.ChargeScan(myBytes, pp)
-		p.ChargeOps(cluster.OpIntersect, st.IntersectOps)
-		p.ChargeCPU(st.Intersections)
+		chargeKernel(p, &st)
 
 		// ---- Final reduction --------------------------------------------
 		p.SetPhase(PhaseReduce)
@@ -204,5 +217,7 @@ func MineHybrid(cl *cluster.Cluster, d *db.Database, minsup int) (*mining.Result
 		res.Itemsets = append(res.Itemsets, local.Itemsets...)
 	}
 	res.Sort()
-	return res, cl.Report()
+	rep := cl.Report()
+	rep.Representation = opts.Representation.String()
+	return res, rep
 }

@@ -32,6 +32,12 @@ type MaxStats struct {
 // returned sets equals the full frequent-itemset collection mined by
 // MineSequential at the same threshold (tested property).
 func MineMaximal(d *db.Database, minsup int) (*mining.Result, MaxStats) {
+	return MineMaximalOpts(d, minsup, Options{})
+}
+
+// MineMaximalOpts is MineMaximal with explicit variant options (notably
+// the tid-set representation the class searches run through).
+func MineMaximalOpts(d *db.Database, minsup int, opts Options) (*mining.Result, MaxStats) {
 	if minsup < 1 {
 		minsup = 1
 	}
@@ -83,7 +89,9 @@ func MineMaximal(d *db.Database, minsup int) (*mining.Result, MaxStats) {
 		cands = append(cands, mining.FrequentItemset{Set: set, Support: sup})
 	}
 	for i := range classes {
-		computeMaximal(classMembers(&classes[i], lists), minsup, &st, emit)
+		before := st.Stats
+		computeMaximal(classMembers(&classes[i], lists, opts.Representation, &st.Kernel), minsup, &st, emit)
+		flushStats(&before, &st.Stats)
 	}
 	st.Candidates = len(cands)
 
@@ -106,13 +114,18 @@ func computeMaximal(members []member, minsup int, st *MaxStats, emit func(itemse
 	}
 
 	// Top-down lookahead: the class's top itemset is the union of all
-	// members; its tid-list is the intersection of all member lists.
+	// members; its tid-list is the intersection of all member lists. Each
+	// step reads the previous step's result as an operand, so no scratch
+	// is shared across iterations. When a step short-circuits, its partial
+	// result is discarded along with the lookahead — the partial-prefix
+	// contract (ok=false means the set is unusable) is respected by
+	// abandoning the whole chain.
 	st.Lookaheads++
 	top := members[0].tids
 	feasible := true
 	for i := 1; i < len(members) && feasible; i++ {
 		st.Intersections++
-		tids, ops, ok := tidlist.IntersectShortCircuit(nil, top, members[i].tids, minsup)
+		tids, ops, ok := tidlist.IntersectSetsSC(nil, top, members[i].tids, minsup, &st.Kernel)
 		st.IntersectOps += int64(ops)
 		if !ok {
 			st.ShortCircuited++
@@ -132,21 +145,21 @@ func computeMaximal(members []member, minsup int, st *MaxStats, emit func(itemse
 	}
 
 	// Bottom-up expansion, emitting members with no frequent extension.
-	var scratch tidlist.List
+	var scratch tidlist.Set
 	for i := 0; i < len(members); i++ {
 		var next []member
 		for j := i + 1; j < len(members); j++ {
 			st.Intersections++
-			tids, ops, ok := tidlist.IntersectShortCircuit(scratch, members[i].tids, members[j].tids, minsup)
+			tids, ops, ok := tidlist.IntersectSetsSC(scratch, members[i].tids, members[j].tids, minsup, &st.Kernel)
 			st.IntersectOps += int64(ops)
-			scratch = tids[:0]
+			scratch = tids
 			if !ok {
 				st.ShortCircuited++
 				continue
 			}
 			next = append(next, member{
 				set:  members[i].set.Join(members[j].set),
-				tids: tids.Clone(),
+				tids: tidlist.CloneSet(tids),
 			})
 		}
 		if len(next) == 0 {

@@ -21,6 +21,12 @@ import (
 // set from one class can be subsumed by a set owned by another
 // processor). Results equal MineMaximal's on the same input.
 func MineMaximalParallel(cl *cluster.Cluster, d *db.Database, minsup int) (*mining.Result, cluster.Report) {
+	return MineMaximalParallelOpts(cl, d, minsup, Options{})
+}
+
+// MineMaximalParallelOpts is MineMaximalParallel with explicit variant
+// options (notably the tid-set representation).
+func MineMaximalParallelOpts(cl *cluster.Cluster, d *db.Database, minsup int, opts Options) (*mining.Result, cluster.Report) {
 	if minsup < 1 {
 		minsup = 1
 	}
@@ -86,14 +92,21 @@ func MineMaximalParallel(cl *cluster.Cluster, d *db.Database, minsup int) (*mini
 		p.ChargeOps(cluster.OpPairCount, buildOps)
 
 		out := make([][]pairList, t)
-		var sentBytes int64
+		var sentBytes, sentSparse, sentDense int64
 		for pr, tids := range partials {
 			dst := owner[pr]
 			out[dst] = append(out[dst], pairList{pair: pr, tids: tids})
 			if dst != p.ID() {
-				sentBytes += tids.SizeBytes()
+				n, enc := tidlist.EncodedSize(tids, opts.Representation)
+				sentBytes += n
+				if enc == tidlist.ReprBitset {
+					sentDense += n
+				} else {
+					sentSparse += n
+				}
 			}
 		}
+		p.AddNetPayload(sentSparse, sentDense)
 		for dst := range out {
 			sort.Slice(out[dst], func(i, j int) bool {
 				a, b := out[dst][i].pair, out[dst][j].pair
@@ -107,7 +120,8 @@ func MineMaximalParallel(cl *cluster.Cluster, d *db.Database, minsup int) (*mini
 		lists := make(map[tidlist.Pair]tidlist.List)
 		var ownedBytes, partialBytes int64
 		for _, pl := range partials {
-			partialBytes += pl.SizeBytes()
+			n, _ := tidlist.EncodedSize(pl, opts.Representation)
+			partialBytes += n
 		}
 		for src := 0; src < t; src++ {
 			for _, pl := range in[src] {
@@ -115,7 +129,8 @@ func MineMaximalParallel(cl *cluster.Cluster, d *db.Database, minsup int) (*mini
 			}
 		}
 		for _, l := range lists {
-			ownedBytes += l.SizeBytes()
+			n, _ := tidlist.EncodedSize(l, opts.Representation)
+			ownedBytes += n
 		}
 		factor := p.PageFactor(int64(p.HostProcs()) * (ownedBytes + partialBytes))
 		p.ChargeDiskWrite(ownedBytes*factor, p.HostProcs())
@@ -129,10 +144,9 @@ func MineMaximalParallel(cl *cluster.Cluster, d *db.Database, minsup int) (*mini
 			cands = append(cands, mining.FrequentItemset{Set: set, Support: sup})
 		}
 		for _, ci := range sched.ClassesOf(p.ID()) {
-			computeMaximal(classMembers(&classes[ci], lists), minsup, &st, emit)
+			computeMaximal(classMembers(&classes[ci], lists, opts.Representation, &st.Kernel), minsup, &st, emit)
 		}
-		p.ChargeOps(cluster.OpIntersect, st.IntersectOps)
-		p.ChargeCPU(st.Intersections)
+		chargeKernel(p, &st.Stats)
 		locals[p.ID()] = cands
 
 		// ---- Final reduction: candidates, not just counts ----------------
@@ -163,5 +177,7 @@ func MineMaximalParallel(cl *cluster.Cluster, d *db.Database, minsup int) (*mini
 		res.Add(f.Set, f.Support)
 	}
 	res.Sort()
-	return res, cl.Report()
+	rep := cl.Report()
+	rep.Representation = opts.Representation.String()
+	return res, rep
 }

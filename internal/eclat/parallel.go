@@ -141,16 +141,25 @@ func MineOpts(cl *cluster.Cluster, d *db.Database, minsup int, opts Options) (*m
 
 		// Exchange: route each partial list to its owner. Payload for
 		// ourselves stays local (G at its offset); the rest is R,
-		// transmitted over the Memory Channel.
+		// transmitted over the Memory Channel. Each list crosses the wire
+		// in its chosen encoding, so the byte charge is the true encoded
+		// size, not unconditionally 4 bytes per tid.
 		out := make([][]pairList, t)
-		var sentBytes int64
+		var sentBytes, sentSparse, sentDense int64
 		for pr, tids := range partials {
 			dst := owner[pr]
 			out[dst] = append(out[dst], pairList{pair: pr, tids: tids})
 			if dst != p.ID() {
-				sentBytes += tids.SizeBytes()
+				n, enc := tidlist.EncodedSize(tids, opts.Representation)
+				sentBytes += n
+				if enc == tidlist.ReprBitset {
+					sentDense += n
+				} else {
+					sentSparse += n
+				}
 			}
 		}
+		p.AddNetPayload(sentSparse, sentDense)
 		// Deterministic order within each destination payload.
 		for dst := range out {
 			sort.Slice(out[dst], func(i, j int) bool {
@@ -169,7 +178,8 @@ func MineOpts(cl *cluster.Cluster, d *db.Database, minsup int, opts Options) (*m
 		lists := make(map[tidlist.Pair]tidlist.List)
 		var ownedBytes, partialBytes int64
 		for _, pl := range partials {
-			partialBytes += pl.SizeBytes()
+			n, _ := tidlist.EncodedSize(pl, opts.Representation)
+			partialBytes += n
 		}
 		for src := 0; src < t; src++ {
 			for _, pl := range in[src] {
@@ -177,7 +187,8 @@ func MineOpts(cl *cluster.Cluster, d *db.Database, minsup int, opts Options) (*m
 			}
 		}
 		for _, l := range lists {
-			ownedBytes += l.SizeBytes()
+			n, _ := tidlist.EncodedSize(l, opts.Representation)
+			ownedBytes += n
 		}
 		// The inverted local database is written out to disk and read back
 		// at the start of the asynchronous phase (the third and last scan).
@@ -207,10 +218,9 @@ func MineOpts(cl *cluster.Cluster, d *db.Database, minsup int, opts Options) (*m
 		p.ChargeScan(ownedBytes, p.HostProcs())
 		var st Stats
 		for _, ci := range sched.ClassesOf(p.ID()) {
-			computeFrequent(context.Background(), classMembers(&classes[ci], lists), minsup, &st, opts, local.Add)
+			computeFrequent(context.Background(), classMembers(&classes[ci], lists, opts.Representation, &st.Kernel), minsup, &st, opts, local.Add)
 		}
-		p.ChargeOps(cluster.OpIntersect, st.IntersectOps)
-		p.ChargeCPU(st.Intersections)
+		chargeKernel(p, &st)
 
 		// ---- Final reduction phase (section 5.4) ------------------------
 		p.SetPhase(PhaseReduce)
@@ -235,5 +245,19 @@ func MineOpts(cl *cluster.Cluster, d *db.Database, minsup int, opts Options) (*m
 		res.Itemsets = append(res.Itemsets, local.Itemsets...)
 	}
 	res.Sort()
-	return res, cl.Report()
+	rep := cl.Report()
+	rep.Representation = opts.Representation.String()
+	return res, rep
+}
+
+// chargeKernel charges a processor's asynchronous-phase intersection work
+// at the per-kernel rates — element comparisons of the sparse and mixed
+// kernels at OpIntersect, words of the dense kernel at OpBitsetWord —
+// and flushes the run's kernel-dispatch counts to the metrics registry.
+func chargeKernel(p *cluster.Proc, st *Stats) {
+	p.ChargeOps(cluster.OpIntersect, st.Kernel.SparseOps())
+	p.ChargeOps(cluster.OpBitsetWord, st.Kernel.WordsTouched())
+	p.ChargeCPU(st.Intersections)
+	var prev Stats
+	flushStats(&prev, st)
 }

@@ -1,0 +1,200 @@
+package eclat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/db"
+	"repro/internal/gen"
+	"repro/internal/mining"
+	"repro/internal/testutil"
+	"repro/internal/tidlist"
+)
+
+// reprVariants runs every eclat-family miner under a given
+// representation. The parallel entries build a fresh simulated cluster
+// per run, as Cluster clocks are single-use.
+var reprVariants = []struct {
+	name string
+	mine func(d *db.Database, minsup int, opts Options) *mining.Result
+}{
+	{"sequential", func(d *db.Database, minsup int, opts Options) *mining.Result {
+		res, _ := MineSequentialOpts(d, minsup, opts)
+		return res
+	}},
+	{"parallel", func(d *db.Database, minsup int, opts Options) *mining.Result {
+		res, _ := MineOpts(cluster.New(cluster.Default(2, 2)), d, minsup, opts)
+		return res
+	}},
+	{"hybrid", func(d *db.Database, minsup int, opts Options) *mining.Result {
+		res, _ := MineHybridOpts(cluster.New(cluster.Default(2, 2)), d, minsup, opts)
+		return res
+	}},
+	{"maximal", func(d *db.Database, minsup int, opts Options) *mining.Result {
+		res, _ := MineMaximalOpts(d, minsup, opts)
+		return res
+	}},
+	{"maximal-parallel", func(d *db.Database, minsup int, opts Options) *mining.Result {
+		res, _ := MineMaximalParallelOpts(cluster.New(cluster.Default(2, 2)), d, minsup, opts)
+		return res
+	}},
+	{"closed", func(d *db.Database, minsup int, opts Options) *mining.Result {
+		res, _ := MineClosedOpts(d, minsup, opts)
+		return res
+	}},
+	{"charm", func(d *db.Database, minsup int, opts Options) *mining.Result {
+		res, _ := MineClosedCHARMOpts(d, minsup, opts)
+		return res
+	}},
+	{"diffsets", func(d *db.Database, minsup int, opts Options) *mining.Result {
+		res, _ := MineSequentialDiffsetsOpts(d, minsup, opts)
+		return res
+	}},
+}
+
+var allReprs = []tidlist.Repr{tidlist.ReprSparse, tidlist.ReprBitset, tidlist.ReprAuto}
+
+// TestAllVariantsAgreeAcrossRepresentations is the acceptance criterion
+// for the representation layer: every eclat variant must produce
+// identical itemsets under sparse, bitset, and auto. The minsup sweep
+// includes values high enough to trigger short-circuit aborts on most
+// candidates, so a partial prefix leaking into a result would break the
+// equality.
+func TestAllVariantsAgreeAcrossRepresentations(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	dbs := []*db.Database{
+		testutil.RandomDB(rng, 120, 10, 6), // dense: auto goes bitset
+		testutil.RandomDB(rng, 400, 25, 5), // sparser classes
+		gen.MustGenerate(gen.T10I6(500)),   // paper-style synthetic data
+	}
+	for di, d := range dbs {
+		for _, minsup := range []int{2, 5, d.Len() / 8, d.Len() / 3} {
+			if minsup < 1 {
+				continue
+			}
+			for _, v := range reprVariants {
+				want := v.mine(d, minsup, Options{Representation: tidlist.ReprSparse})
+				for _, r := range allReprs[1:] {
+					got := v.mine(d, minsup, Options{Representation: r})
+					if !mining.Equal(got, want) {
+						t.Fatalf("db %d minsup %d variant %s: %v differs from sparse:\n%s",
+							di, minsup, v.name, r, mining.Diff(got, want))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRepresentationsMatchBruteForce anchors the full-mining variants to
+// ground truth, not just to each other.
+func TestRepresentationsMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	d := testutil.RandomDB(rng, 100, 12, 6)
+	for _, minsup := range []int{2, 4, 8} {
+		want := testutil.BruteForce(d, minsup)
+		for _, r := range allReprs {
+			got, _ := MineSequentialOpts(d, minsup, Options{Representation: r})
+			if !mining.Equal(got, want) {
+				t.Fatalf("minsup %d repr %v differs from brute force:\n%s", minsup, r, mining.Diff(got, want))
+			}
+		}
+	}
+}
+
+// TestBitsetRunDispatchesDenseKernel guards against the bitset path
+// silently falling back to the sparse merge: an explicit bitset run must
+// record dense kernel dispatches in its stats.
+func TestBitsetRunDispatchesDenseKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	d := testutil.RandomDB(rng, 200, 12, 7)
+	_, st := MineSequentialOpts(d, 4, Options{Representation: tidlist.ReprBitset})
+	if st.Intersections == 0 {
+		t.Skip("no intersections at this support; adjust test data")
+	}
+	if st.Kernel.DenseIntersections() == 0 {
+		t.Fatal("explicit bitset run performed no dense kernel dispatches")
+	}
+	if st.Kernel.WordsTouched() == 0 {
+		t.Fatal("dense dispatches must touch words")
+	}
+	// A sparse run on the same data must not touch the dense kernel.
+	_, st = MineSequentialOpts(d, 4, Options{Representation: tidlist.ReprSparse})
+	if st.Kernel.DenseIntersections() != 0 || st.Kernel.WordsTouched() != 0 {
+		t.Fatal("explicit sparse run dispatched to the dense kernel")
+	}
+}
+
+// TestAdaptivePolicySwitchesByDensity pins the auto policy's two sides
+// on data engineered to sit on either side of DenseThreshold.
+func TestAdaptivePolicySwitchesByDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	// Dense: 10 items over 120 transactions, every class far above 1/32
+	// density, so auto must pack classes into bitsets.
+	dense := testutil.RandomDB(rng, 120, 8, 6)
+	_, st := MineSequentialOpts(dense, 2, Options{Representation: tidlist.ReprAuto})
+	if st.Intersections > 0 && st.Kernel.DenseIntersections() == 0 {
+		t.Fatal("auto on dense data never used the bitset kernel")
+	}
+	// Sparse: supports near minsup over a wide tid range keep density
+	// far below the threshold, so auto must stay on the merge kernel.
+	sparse := testutil.RandomDB(rng, 4000, 120, 4)
+	_, st = MineSequentialOpts(sparse, 2, Options{Representation: tidlist.ReprAuto})
+	if st.Kernel.DenseIntersections() != 0 {
+		t.Fatalf("auto on sparse data dispatched %d dense intersections", st.Kernel.DenseIntersections())
+	}
+}
+
+// TestParallelReportTaggedWithRepresentation checks the cluster report
+// carries the representation it was mined through, for all parallel
+// variants.
+func TestParallelReportTaggedWithRepresentation(t *testing.T) {
+	d := gen.MustGenerate(gen.T10I6(400))
+	minsup := d.MinSupCount(1.0)
+	for _, r := range allReprs {
+		opts := Options{Representation: r}
+		_, rep := MineOpts(cluster.New(cluster.Default(2, 2)), d, minsup, opts)
+		if rep.Representation != r.String() {
+			t.Fatalf("Mine report representation %q, want %q", rep.Representation, r)
+		}
+		_, rep = MineHybridOpts(cluster.New(cluster.Default(2, 2)), d, minsup, opts)
+		if rep.Representation != r.String() {
+			t.Fatalf("hybrid report representation %q, want %q", rep.Representation, r)
+		}
+		_, rep = MineMaximalParallelOpts(cluster.New(cluster.Default(2, 2)), d, minsup, opts)
+		if rep.Representation != r.String() {
+			t.Fatalf("maximal report representation %q, want %q", rep.Representation, r)
+		}
+	}
+}
+
+// TestPayloadSplitAccounted checks the transformation-phase exchange
+// records its per-representation payload split: under an explicit
+// encoding all payload bytes land on that side, and the split never
+// exceeds the total network volume.
+func TestPayloadSplitAccounted(t *testing.T) {
+	d := gen.MustGenerate(gen.T10I6(400))
+	minsup := d.MinSupCount(1.0)
+	for _, r := range allReprs {
+		_, rep := MineOpts(cluster.New(cluster.Default(2, 2)), d, minsup, Options{Representation: r})
+		sparse := rep.Merged.NetBytesSparse
+		dense := rep.Merged.NetBytesDense
+		if sparse+dense == 0 {
+			t.Fatalf("repr %v: no payload split recorded", r)
+		}
+		if sparse+dense > rep.Merged.NetBytes {
+			t.Fatalf("repr %v: payload split %d exceeds total net bytes %d", r, sparse+dense, rep.Merged.NetBytes)
+		}
+		switch r {
+		case tidlist.ReprSparse:
+			if dense != 0 {
+				t.Fatalf("sparse run shipped %d dense payload bytes", dense)
+			}
+		case tidlist.ReprBitset:
+			if sparse != 0 {
+				t.Fatalf("bitset run shipped %d sparse payload bytes", sparse)
+			}
+		}
+	}
+}

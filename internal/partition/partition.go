@@ -115,10 +115,3 @@ func localThreshold(minsup, part, total int) int {
 	}
 	return int(c)
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -28,6 +28,17 @@ type JobRequest struct {
 	// Hosts / procs select a simulated cluster for parallel algorithms.
 	Hosts int `json:"hosts"`
 	Procs int `json:"procs"`
+	// Representation is the tid-set representation for Eclat-family
+	// algorithms: "auto" (default), "sparse" or "bitset".
+	Representation string `json:"representation"`
+}
+
+// VerticalSizes reports the dataset's vertical-transform size under each
+// tid-set encoding (the auto figure picks the cheaper encoding per item).
+type VerticalSizes struct {
+	SparseBytes int64 `json:"sparseBytes"`
+	DenseBytes  int64 `json:"denseBytes"`
+	AutoBytes   int64 `json:"autoBytes"`
 }
 
 // apiError is the structured error body: {"error":{"code","message"}}.
@@ -122,14 +133,20 @@ func NewHandler(s *Service) http.Handler {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
+		repr, err := repro.ParseRepresentation(jr.Representation)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
 		job, err := s.Submit(Request{
-			Dataset:      jr.Dataset,
-			Algorithm:    algo,
-			Variant:      variant,
-			SupportPct:   jr.SupportPct,
-			SupportCount: jr.SupportCount,
-			Hosts:        jr.Hosts,
-			ProcsPerHost: jr.Procs,
+			Dataset:        jr.Dataset,
+			Algorithm:      algo,
+			Variant:        variant,
+			SupportPct:     jr.SupportPct,
+			SupportCount:   jr.SupportCount,
+			Hosts:          jr.Hosts,
+			ProcsPerHost:   jr.Procs,
+			Representation: repr,
 		})
 		if err != nil {
 			writeMappedError(w, err)
@@ -203,9 +220,11 @@ func NewHandler(s *Service) http.Handler {
 			}
 			n = v
 		}
+		sparse, dense, auto := ds.VerticalSizes()
 		writeJSON(w, http.StatusOK, struct {
 			DatasetInfo
 			TopItems []ItemSupport `json:"topItems"`
+			Vertical VerticalSizes `json:"vertical"`
 		}{
 			DatasetInfo: DatasetInfo{
 				Name:         ds.Name,
@@ -216,6 +235,7 @@ func NewHandler(s *Service) http.Handler {
 				SizeBytes:    ds.DB.SizeBytes(),
 			},
 			TopItems: ds.TopItems(n),
+			Vertical: VerticalSizes{SparseBytes: sparse, DenseBytes: dense, AutoBytes: auto},
 		})
 	})
 

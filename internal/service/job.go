@@ -105,21 +105,28 @@ type Request struct {
 	// algorithms.
 	Hosts        int
 	ProcsPerHost int
+	// Representation selects the tid-set representation for Eclat-family
+	// algorithms (repro.MineOptions.Representation).
+	Representation repro.Representation
 }
 
 // Key identifies a result in the cache. Hosts/ProcsPerHost are
 // deliberately absent: every algorithm returns identical itemsets
 // regardless of the simulated cluster shape, so all shapes share one
-// entry per (dataset, algorithm, minsup, variant).
+// entry per (dataset, algorithm, minsup, variant, representation). The
+// representation is part of the key even though all representations
+// return identical itemsets too — keeping the entries apart preserves the
+// per-representation run accounting a client asked to compare.
 type Key struct {
-	Dataset   string
-	Algorithm string
-	MinSup    int
-	Variant   Variant
+	Dataset        string
+	Algorithm      string
+	MinSup         int
+	Variant        Variant
+	Representation string
 }
 
 func (k Key) String() string {
-	return fmt.Sprintf("%s/%s/minsup=%d/%s", k.Dataset, k.Algorithm, k.MinSup, k.Variant)
+	return fmt.Sprintf("%s/%s/minsup=%d/%s/repr=%s", k.Dataset, k.Algorithm, k.MinSup, k.Variant, k.Representation)
 }
 
 // Job is one queued or executed mining run. All mutable state is guarded
@@ -151,18 +158,19 @@ type Job struct {
 // View is an immutable snapshot of a job, the unit the HTTP layer
 // serializes.
 type View struct {
-	ID        string    `json:"id"`
-	Status    Status    `json:"status"`
-	Dataset   string    `json:"dataset"`
-	Algorithm string    `json:"algorithm"`
-	Variant   Variant   `json:"variant"`
-	MinSup    int       `json:"minsup"`
-	Cached    bool      `json:"cached"`
-	Error     string    `json:"error,omitempty"`
-	Itemsets  int       `json:"itemsets,omitempty"` // result size once done
-	Created   time.Time `json:"created"`
-	Started   time.Time `json:"started"`
-	Finished  time.Time `json:"finished"`
+	ID             string    `json:"id"`
+	Status         Status    `json:"status"`
+	Dataset        string    `json:"dataset"`
+	Algorithm      string    `json:"algorithm"`
+	Variant        Variant   `json:"variant"`
+	MinSup         int       `json:"minsup"`
+	Representation string    `json:"representation"`
+	Cached         bool      `json:"cached"`
+	Error          string    `json:"error,omitempty"`
+	Itemsets       int       `json:"itemsets,omitempty"` // result size once done
+	Created        time.Time `json:"created"`
+	Started        time.Time `json:"started"`
+	Finished       time.Time `json:"finished"`
 	// QueueWaitNS is the queued→running wait; DurationNS the
 	// running→terminal wall time; Phases the run's recorded phase spans
 	// (virtual spans carry simulated cluster time, see obsv.PhaseSpan).
@@ -176,17 +184,18 @@ func (j *Job) Snapshot() View {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := View{
-		ID:        j.ID,
-		Status:    j.status,
-		Dataset:   j.Req.Dataset,
-		Algorithm: j.Req.Algorithm.String(),
-		Variant:   j.Req.Variant,
-		MinSup:    j.Key.MinSup,
-		Cached:    j.cached,
-		Error:     j.err,
-		Created:   j.created,
-		Started:   j.started,
-		Finished:  j.finished,
+		ID:             j.ID,
+		Status:         j.status,
+		Dataset:        j.Req.Dataset,
+		Algorithm:      j.Req.Algorithm.String(),
+		Variant:        j.Req.Variant,
+		MinSup:         j.Key.MinSup,
+		Representation: j.Key.Representation,
+		Cached:         j.cached,
+		Error:          j.err,
+		Created:        j.created,
+		Started:        j.started,
+		Finished:       j.finished,
 	}
 	if j.result != nil {
 		v.Itemsets = j.result.Len()

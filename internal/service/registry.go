@@ -16,8 +16,9 @@ var ErrUnknownDataset = errors.New("service: unknown dataset")
 
 // Dataset is one registered database. The horizontal data is loaded once
 // and held immutably; the vertical tid-list transformation (one tid-list
-// per item) is computed lazily on first use and memoized, so repeated
-// item-level queries never rescan the horizontal data.
+// per item) is computed lazily on first use and memoized — once per
+// representation — so repeated item-level queries never rescan the
+// horizontal data and never re-encode a transform they already have.
 type Dataset struct {
 	// Name is the registry key.
 	Name string
@@ -29,6 +30,9 @@ type Dataset struct {
 
 	verticalOnce sync.Once
 	vertical     []tidlist.List // index = item; nil until first use
+
+	bitsetOnce sync.Once
+	bitsets    []*tidlist.Bitset // index = item; nil until first use
 }
 
 // Vertical returns the memoized per-item tid-lists of the dataset — the
@@ -46,6 +50,67 @@ func (ds *Dataset) Vertical() []tidlist.List {
 		ds.vertical = lists
 	})
 	return ds.vertical
+}
+
+// VerticalBitsets returns the memoized dense encoding of the vertical
+// transform (one Bitset per item; empty items get an empty Bitset). The
+// first call re-encodes the sparse transform once; later calls are free.
+// Shared — must not be mutated.
+func (ds *Dataset) VerticalBitsets() []*tidlist.Bitset {
+	ds.bitsetOnce.Do(func() {
+		vert := ds.Vertical()
+		sets := make([]*tidlist.Bitset, len(vert))
+		for it, l := range vert {
+			sets[it] = tidlist.NewBitset(l)
+		}
+		ds.bitsets = sets
+	})
+	return ds.bitsets
+}
+
+// VerticalSets returns the memoized vertical transform under the given
+// representation as []tidlist.Set (ReprAuto picks per item by density —
+// each item's list in whichever encoding is smaller, mixing
+// representations within one dataset). Shared — must not be mutated.
+func (ds *Dataset) VerticalSets(r tidlist.Repr) []tidlist.Set {
+	vert := ds.Vertical()
+	out := make([]tidlist.Set, len(vert))
+	switch r {
+	case tidlist.ReprBitset:
+		for it, b := range ds.VerticalBitsets() {
+			out[it] = b
+		}
+	case tidlist.ReprSparse:
+		for it, l := range vert {
+			out[it] = l
+		}
+	default: // ReprAuto: per-item cheapest encoding
+		var dense []*tidlist.Bitset
+		for it, l := range vert {
+			if _, enc := tidlist.EncodedSize(l, tidlist.ReprAuto); enc == tidlist.ReprBitset {
+				if dense == nil {
+					dense = ds.VerticalBitsets()
+				}
+				out[it] = dense[it]
+			} else {
+				out[it] = l
+			}
+		}
+	}
+	return out
+}
+
+// VerticalSizes reports the encoded size of the whole vertical transform
+// under each representation — the dataset-detail figures that let a
+// caller see which encoding its tid-lists favor.
+func (ds *Dataset) VerticalSizes() (sparse, dense, auto int64) {
+	for _, l := range ds.Vertical() {
+		s, _ := tidlist.EncodedSize(l, tidlist.ReprSparse)
+		d, _ := tidlist.EncodedSize(l, tidlist.ReprBitset)
+		a, _ := tidlist.EncodedSize(l, tidlist.ReprAuto)
+		sparse, dense, auto = sparse+s, dense+d, auto+a
+	}
+	return sparse, dense, auto
 }
 
 // ItemSupport is one item with its support count.

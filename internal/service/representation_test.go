@@ -1,0 +1,110 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro"
+	"repro/internal/tidlist"
+)
+
+// TestServiceRepresentationsDistinctEntriesSameResult checks that the
+// cache keeps per-representation entries apart (the key includes the
+// representation) while every representation mines identical itemsets.
+func TestServiceRepresentationsDistinctEntriesSameResult(t *testing.T) {
+	s := newTestService(t, Config{Workers: 2, QueueDepth: 8}, 400)
+	var first []byte
+	for _, r := range []repro.Representation{repro.ReprSparse, repro.ReprBitset, repro.ReprAuto} {
+		j, err := s.Submit(Request{Dataset: "t10", SupportPct: 2.0, Representation: r})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := s.Wait(context.Background(), j.ID)
+		if err != nil || v.Status != StatusDone {
+			t.Fatalf("repr %v: %v %v", r, v.Status, err)
+		}
+		if v.Cached {
+			t.Fatalf("repr %v shared a cache entry with another representation", r)
+		}
+		if v.Representation != r.String() {
+			t.Fatalf("job view representation %q, want %q", v.Representation, r)
+		}
+		res, err := s.Result(j.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := repro.WriteResult(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = buf.Bytes()
+		} else if !bytes.Equal(first, buf.Bytes()) {
+			t.Fatalf("repr %v mined different itemsets", r)
+		}
+	}
+	if got := s.Cache().Len(); got != 3 {
+		t.Fatalf("cache entries = %d, want 3 (one per representation)", got)
+	}
+	// Resubmitting under the same representation hits its entry.
+	j, err := s.Submit(Request{Dataset: "t10", SupportPct: 2.0, Representation: repro.ReprBitset})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := j.Snapshot(); !v.Cached {
+		t.Fatalf("same-representation resubmission missed the cache: %+v", v)
+	}
+}
+
+// TestDatasetVerticalSetsMemoizedPerRepresentation checks the dense
+// transform is computed once, shared across VerticalSets calls, and that
+// every representation of the transform carries the same tid-sets.
+func TestDatasetVerticalSetsMemoizedPerRepresentation(t *testing.T) {
+	r := NewRegistry()
+	ds, err := r.Add("t10", "generated", genDataset(t, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, b2 := ds.VerticalBitsets(), ds.VerticalBitsets()
+	if &b1[0] != &b2[0] {
+		t.Fatal("VerticalBitsets recomputed instead of memoized")
+	}
+	sparse := ds.VerticalSets(tidlist.ReprSparse)
+	dense := ds.VerticalSets(tidlist.ReprBitset)
+	auto := ds.VerticalSets(tidlist.ReprAuto)
+	vert := ds.Vertical()
+	for it := range vert {
+		want := vert[it]
+		for _, sets := range [][]tidlist.Set{sparse, dense, auto} {
+			got := tidlist.TIDsOf(sets[it])
+			if len(got) != len(want) {
+				t.Fatalf("item %d: %d tids, want %d", it, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("item %d: tid mismatch at %d", it, i)
+				}
+			}
+		}
+		if sparse[it].Repr() != tidlist.ReprSparse {
+			t.Fatalf("item %d: sparse transform has repr %v", it, sparse[it].Repr())
+		}
+		if vert[it].Support() > 0 && dense[it].Repr() != tidlist.ReprBitset {
+			t.Fatalf("item %d: dense transform has repr %v", it, dense[it].Repr())
+		}
+	}
+	// The auto transform never ships an item in the more expensive
+	// encoding, so its total size is the VerticalSizes auto figure.
+	sp, de, au := ds.VerticalSizes()
+	if au > sp || au > de {
+		t.Fatalf("auto size %d exceeds sparse %d or dense %d", au, sp, de)
+	}
+	var autoSum int64
+	for _, s := range auto {
+		autoSum += s.SizeBytes()
+	}
+	if autoSum != au {
+		t.Fatalf("auto transform totals %d bytes, VerticalSizes says %d", autoSum, au)
+	}
+}

@@ -74,10 +74,11 @@ func (s *Service) normalize(req Request) (Request, Key, error) {
 		return req, Key{}, err
 	}
 	key := Key{
-		Dataset:   req.Dataset,
-		Algorithm: req.Algorithm.String(),
-		MinSup:    minsup,
-		Variant:   req.Variant,
+		Dataset:        req.Dataset,
+		Algorithm:      req.Algorithm.String(),
+		MinSup:         minsup,
+		Variant:        req.Variant,
+		Representation: req.Representation.String(),
 	}
 	return req, key, nil
 }
@@ -104,10 +105,11 @@ func (s *Service) runJob(ctx context.Context, j *Job) (*mining.Result, *repro.Ru
 		return nil, nil, err
 	}
 	opts := repro.MineOptions{
-		Algorithm:    j.Req.Algorithm,
-		SupportCount: j.Key.MinSup, // resolved once at submit time
-		Hosts:        j.Req.Hosts,
-		ProcsPerHost: j.Req.ProcsPerHost,
+		Algorithm:      j.Req.Algorithm,
+		SupportCount:   j.Key.MinSup, // resolved once at submit time
+		Hosts:          j.Req.Hosts,
+		ProcsPerHost:   j.Req.ProcsPerHost,
+		Representation: j.Req.Representation,
 	}
 	var res *mining.Result
 	var info *repro.RunInfo

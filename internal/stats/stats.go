@@ -32,6 +32,14 @@ type Breakdown struct {
 	Scans            int64 // full passes over the local partition
 	Ops              int64 // abstract compute operations charged
 
+	// Per-encoding split of the tid-set payload bytes shipped during the
+	// transformation exchange (a subset of NetBytes; non-payload traffic
+	// such as reductions and result gathers is in neither). With the
+	// adaptive representation each list travels in whichever encoding is
+	// smaller, and this split shows how the volume divided.
+	NetBytesSparse int64 // tid-list payloads shipped sparse (4 B/tid)
+	NetBytesDense  int64 // tid-list payloads shipped as bitsets (8 B/word + header)
+
 	// Phases maps a phase name to virtual nanoseconds spent in it.
 	Phases map[string]int64
 }
@@ -61,6 +69,8 @@ func (b *Breakdown) Merge(other *Breakdown) {
 	b.DiskBytesRead += other.DiskBytesRead
 	b.DiskBytesWritten += other.DiskBytesWritten
 	b.NetBytes += other.NetBytes
+	b.NetBytesSparse += other.NetBytesSparse
+	b.NetBytesDense += other.NetBytesDense
 	b.NetMsgs += other.NetMsgs
 	b.Barriers += other.Barriers
 	b.Scans += other.Scans
@@ -78,6 +88,10 @@ func (b *Breakdown) String() string {
 		time.Duration(b.DiskNS), time.Duration(b.NetNS), time.Duration(b.WaitNS))
 	fmt.Fprintf(&sb, " | scans=%d diskRead=%s netBytes=%s msgs=%d barriers=%d ops=%d",
 		b.Scans, fmtBytes(b.DiskBytesRead), fmtBytes(b.NetBytes), b.NetMsgs, b.Barriers, b.Ops)
+	if b.NetBytesSparse > 0 || b.NetBytesDense > 0 {
+		fmt.Fprintf(&sb, " | payload: sparse=%s dense=%s",
+			fmtBytes(b.NetBytesSparse), fmtBytes(b.NetBytesDense))
+	}
 	if len(b.Phases) > 0 {
 		names := make([]string, 0, len(b.Phases))
 		for n := range b.Phases {

@@ -1,0 +1,489 @@
+package tidlist
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/itemset"
+	"repro/internal/obsv"
+)
+
+// Repr selects a tid-set representation. The zero value is ReprAuto: the
+// adaptive policy picks per equivalence class from density, mirroring how
+// the paper localizes all work to a class — the choice, too, needs no
+// information beyond the class itself.
+type Repr uint8
+
+// The representations.
+const (
+	// ReprAuto picks sparse or bitset per equivalence class by density
+	// (see ChooseRepr).
+	ReprAuto Repr = iota
+	// ReprSparse is the paper's sorted []TID with the scalar merge loop.
+	ReprSparse
+	// ReprBitset is the word-packed dense bitset (64 TIDs per word,
+	// AND + popcount intersection).
+	ReprBitset
+)
+
+// String names the representation as the -repr flag spells it.
+func (r Repr) String() string {
+	switch r {
+	case ReprAuto:
+		return "auto"
+	case ReprSparse:
+		return "sparse"
+	case ReprBitset:
+		return "bitset"
+	default:
+		return fmt.Sprintf("Repr(%d)", uint8(r))
+	}
+}
+
+// ParseRepr parses a representation name; "" means ReprAuto.
+func ParseRepr(s string) (Repr, error) {
+	switch s {
+	case "", "auto":
+		return ReprAuto, nil
+	case "sparse":
+		return ReprSparse, nil
+	case "bitset", "dense":
+		return ReprBitset, nil
+	default:
+		return 0, fmt.Errorf("tidlist: unknown representation %q (want auto, sparse or bitset)", s)
+	}
+}
+
+// DenseThreshold is the density (support / tid-range) at and above which
+// ChooseRepr packs a class into bitsets. At 1/32 the dense encoding is
+// exactly as large as the sparse one (64 tids per 8-byte word vs 4 bytes
+// per tid = break-even at 2 set bits per word); the intersection kernel
+// breaks even far earlier, so the byte break-even is the conservative
+// switch point.
+const DenseThreshold = 1.0 / 32
+
+// ChooseRepr resolves a representation: an explicit request passes
+// through, and ReprAuto picks ReprBitset when the density support/tidRange
+// reaches DenseThreshold. support is the (average) cardinality of the
+// tid-sets under consideration and tidRange the span of TIDs they cover.
+func ChooseRepr(r Repr, support, tidRange int) Repr {
+	if r != ReprAuto {
+		return r
+	}
+	if support <= 0 || tidRange <= 0 {
+		return ReprSparse
+	}
+	if float64(support) >= DenseThreshold*float64(tidRange) {
+		return ReprBitset
+	}
+	return ReprSparse
+}
+
+// Set is a tid-set under some representation. The mining recursion works
+// exclusively through this interface plus the kernel dispatch functions
+// (IntersectSets, IntersectSetsSC, DiffSets), so every eclat variant is
+// representation-agnostic.
+type Set interface {
+	// Support returns the cardinality of the set.
+	Support() int
+	// SizeBytes returns the encoded size under this representation, the
+	// figure the communication and disk cost models charge.
+	SizeBytes() int64
+	// Repr identifies the representation.
+	Repr() Repr
+	// AppendTIDs appends the members in increasing order to dst.
+	AppendTIDs(dst List) List
+}
+
+// Interface conformance of the sparse representation (see tidlist.go for
+// the List methods shared with the pre-abstraction API).
+var (
+	_ Set = List(nil)
+	_ Set = (*Bitset)(nil)
+)
+
+// SparseList is the sorted-slice representation under its role name: the
+// existing List type is the sparse concrete type of the Set abstraction.
+type SparseList = List
+
+// Repr identifies the sparse representation.
+func (l List) Repr() Repr { return ReprSparse }
+
+// AppendTIDs appends the members to dst (they are already sorted).
+func (l List) AppendTIDs(dst List) List { return append(dst, l...) }
+
+// TIDsOf materializes any set as a sorted tid-list without copying when
+// it is already sparse.
+func TIDsOf(s Set) List {
+	if l, ok := s.(List); ok {
+		return l
+	}
+	return s.AppendTIDs(make(List, 0, s.Support()))
+}
+
+// CloneSet returns an independent copy of s under the same
+// representation, detaching it from any scratch storage.
+func CloneSet(s Set) Set {
+	switch v := s.(type) {
+	case List:
+		return v.Clone()
+	case *Bitset:
+		return v.Clone()
+	default:
+		return TIDsOf(s)
+	}
+}
+
+// Convert re-encodes s under r (ReprAuto converts nothing). A set already
+// in the requested representation is returned unchanged; real conversions
+// are counted in ks.
+func Convert(s Set, r Repr, ks *KernelStats) Set {
+	if r == ReprAuto || s.Repr() == r {
+		return s
+	}
+	ks.conversions++
+	switch r {
+	case ReprBitset:
+		return NewBitset(TIDsOf(s))
+	default:
+		return TIDsOf(s).Clone()
+	}
+}
+
+// KernelStats accumulates kernel-dispatch counts for one mining run. The
+// hot loop updates only this struct; Flush publishes deltas to the
+// process metrics registry at class granularity, keeping atomics off the
+// per-intersection path (same discipline as eclat's Stats).
+type KernelStats struct {
+	sparseIntersections int64 // scalar merge-kernel dispatches
+	denseIntersections  int64 // word-kernel dispatches
+	mixedIntersections  int64 // sparse-probe-into-bitset dispatches
+	sparseOps           int64 // element comparisons by the merge kernel
+	wordsTouched        int64 // 64-bit words visited by the dense kernel
+	conversions         int64 // sparse<->dense re-encodings
+}
+
+// SparseOps returns the element comparisons performed by sparse (and
+// mixed) kernel dispatches — the unit the cluster model charges at
+// OpIntersect cost.
+func (k *KernelStats) SparseOps() int64 { return k.sparseOps }
+
+// WordsTouched returns the words visited by dense kernel dispatches —
+// the unit the cluster model charges at OpBitsetWord cost.
+func (k *KernelStats) WordsTouched() int64 { return k.wordsTouched }
+
+// Conversions returns the number of sparse<->dense re-encodings.
+func (k *KernelStats) Conversions() int64 { return k.conversions }
+
+// DenseIntersections returns the number of word-kernel dispatches.
+func (k *KernelStats) DenseIntersections() int64 { return k.denseIntersections }
+
+// Add accumulates other into k.
+func (k *KernelStats) Add(other KernelStats) {
+	k.sparseIntersections += other.sparseIntersections
+	k.denseIntersections += other.denseIntersections
+	k.mixedIntersections += other.mixedIntersections
+	k.sparseOps += other.sparseOps
+	k.wordsTouched += other.wordsTouched
+	k.conversions += other.conversions
+}
+
+// Kernel-dispatch metrics (see /metricsz).
+var (
+	mSparseDispatch = obsv.Default.Counter("tidlist_intersect_sparse_total", "tid-set intersections dispatched to the sparse merge kernel")
+	mDenseDispatch  = obsv.Default.Counter("tidlist_intersect_dense_total", "tid-set intersections dispatched to the dense word kernel")
+	mMixedDispatch  = obsv.Default.Counter("tidlist_intersect_mixed_total", "tid-set intersections dispatched to the mixed sparse-probe kernel")
+	mSparseOps      = obsv.Default.Counter("tidlist_sparse_ops_total", "element comparisons performed by the sparse merge kernel")
+	mDenseWords     = obsv.Default.Counter("tidlist_dense_words_total", "64-bit words touched by the dense kernel")
+	mConversions    = obsv.Default.Counter("tidlist_conversions_total", "sparse<->dense tid-set re-encodings")
+)
+
+// Flush publishes the delta between prev and k to the process metrics
+// registry and copies k into prev.
+func (k *KernelStats) Flush(prev *KernelStats) {
+	mSparseDispatch.Add(k.sparseIntersections - prev.sparseIntersections)
+	mDenseDispatch.Add(k.denseIntersections - prev.denseIntersections)
+	mMixedDispatch.Add(k.mixedIntersections - prev.mixedIntersections)
+	mSparseOps.Add(k.sparseOps - prev.sparseOps)
+	mDenseWords.Add(k.wordsTouched - prev.wordsTouched)
+	mConversions.Add(k.conversions - prev.conversions)
+	*prev = *k
+}
+
+// IntersectSets intersects a and b through the representation-dispatched
+// kernel, reusing scratch (a Set previously returned by a kernel in this
+// package, or nil) for the result's storage. It returns the result and
+// the kernel operations performed (element comparisons for the sparse
+// and mixed kernels, words touched for the dense kernel).
+func IntersectSets(scratch Set, a, b Set, ks *KernelStats) (Set, int) {
+	switch x := a.(type) {
+	case List:
+		switch y := b.(type) {
+		case List:
+			ks.sparseIntersections++
+			out := IntersectInto(sparseScratch(scratch, min(len(x), len(y))), x, y)
+			ops := len(x) + len(y)
+			ks.sparseOps += int64(ops)
+			return out, ops
+		case *Bitset:
+			return probeIntersect(scratch, x, y, ks)
+		}
+	case *Bitset:
+		switch y := b.(type) {
+		case List:
+			return probeIntersect(scratch, y, x, ks)
+		case *Bitset:
+			ks.denseIntersections++
+			out, words := intersectBitset(bitsetScratch(scratch), x, y)
+			ks.wordsTouched += int64(words)
+			return out, words
+		}
+	}
+	return intersectGeneric(a, b, ks)
+}
+
+// IntersectSetsSC is IntersectSets with the minimum-support short circuit
+// (section 5.3). When ok is false the returned set is an unusable partial
+// prefix retained only so callers can reuse its storage — the same
+// contract as IntersectShortCircuit, now enforced across every kernel.
+// ops is reported even on a mid-scan abort, so work accounting stays
+// exact for short-circuited intersections.
+func IntersectSetsSC(scratch Set, a, b Set, minsup int, ks *KernelStats) (result Set, ops int, ok bool) {
+	switch x := a.(type) {
+	case List:
+		switch y := b.(type) {
+		case List:
+			ks.sparseIntersections++
+			out, ops, ok := IntersectShortCircuit(sparseScratch(scratch, min(len(x), len(y))), x, y, minsup)
+			ks.sparseOps += int64(ops)
+			return out, ops, ok
+		case *Bitset:
+			return probeIntersectSC(scratch, x, y, minsup, ks)
+		}
+	case *Bitset:
+		switch y := b.(type) {
+		case List:
+			return probeIntersectSC(scratch, y, x, minsup, ks)
+		case *Bitset:
+			ks.denseIntersections++
+			out, words, ok := intersectBitsetSC(bitsetScratch(scratch), x, y, minsup)
+			ks.wordsTouched += int64(words)
+			return out, words, ok
+		}
+	}
+	out, ops := intersectGeneric(a, b, ks)
+	return out, ops, out.Support() >= minsup
+}
+
+// DiffSets computes a \ b through the representation-dispatched kernel
+// (AND NOT for dense operands), reusing scratch like IntersectSets.
+func DiffSets(scratch Set, a, b Set, ks *KernelStats) (Set, int) {
+	switch x := a.(type) {
+	case List:
+		switch y := b.(type) {
+		case List:
+			ks.sparseIntersections++
+			out := DiffInto(sparseScratch(scratch, len(x)), x, y)
+			ops := len(x) + len(y)
+			ks.sparseOps += int64(ops)
+			return out, ops
+		case *Bitset:
+			// Keep the elements of x that y does not contain: one O(1)
+			// probe per element.
+			ks.mixedIntersections++
+			dst := sparseScratch(scratch, len(x))
+			for _, t := range x {
+				if !y.Contains(t) {
+					dst = append(dst, t)
+				}
+			}
+			ks.sparseOps += int64(len(x))
+			return dst, len(x)
+		}
+	case *Bitset:
+		switch y := b.(type) {
+		case *Bitset:
+			ks.denseIntersections++
+			out, words := diffBitset(bitsetScratch(scratch), x, y)
+			ks.wordsTouched += int64(words)
+			return out, words
+		case List:
+			// Clear each element of y out of a copy of x.
+			ks.mixedIntersections++
+			dst := bitsetScratch(scratch)
+			n := len(x.words)
+			dst = reuseWords(dst, n)
+			dst.base = x.base
+			copy(dst.words, x.words)
+			dst.count = x.count
+			for _, t := range y {
+				if dst.Contains(t) {
+					off := t - dst.base
+					dst.words[off/wordBits] &^= 1 << (uint(off) % wordBits)
+					dst.count--
+				}
+			}
+			dst.trim()
+			ks.sparseOps += int64(len(y))
+			return dst, len(y)
+		}
+	}
+	a2, b2 := TIDsOf(a), TIDsOf(b)
+	ks.sparseIntersections++
+	ops := len(a2) + len(b2)
+	ks.sparseOps += int64(ops)
+	return DiffInto(sparseScratch(scratch, len(a2)), a2, b2), ops
+}
+
+// probeIntersect intersects a sparse list with a bitset by probing each
+// element — O(len(sparse)) with O(1) membership tests; the result is
+// sparse (it is no larger than the sparse operand).
+func probeIntersect(scratch Set, sparse List, dense *Bitset, ks *KernelStats) (Set, int) {
+	ks.mixedIntersections++
+	dst := sparseScratch(scratch, len(sparse))
+	for _, t := range sparse {
+		if dense.Contains(t) {
+			dst = append(dst, t)
+		}
+	}
+	ks.sparseOps += int64(len(sparse))
+	return dst, len(sparse)
+}
+
+// probeIntersectSC is probeIntersect with the support bound: after m
+// misses the result is bounded by len(sparse) - m.
+func probeIntersectSC(scratch Set, sparse List, dense *Bitset, minsup int, ks *KernelStats) (Set, int, bool) {
+	ks.mixedIntersections++
+	dst := sparseScratch(scratch, len(sparse))
+	if min(len(sparse), dense.Support()) < minsup {
+		return dst, 0, false
+	}
+	ops := 0
+	for i, t := range sparse {
+		ops++
+		if dense.Contains(t) {
+			dst = append(dst, t)
+		}
+		if len(dst)+(len(sparse)-1-i) < minsup {
+			ks.sparseOps += int64(ops)
+			return dst, ops, false
+		}
+	}
+	ks.sparseOps += int64(ops)
+	return dst, ops, len(dst) >= minsup
+}
+
+// intersectGeneric handles Set implementations outside this package by
+// materializing both sides (slow path; none exist in-repo).
+func intersectGeneric(a, b Set, ks *KernelStats) (Set, int) {
+	x, y := TIDsOf(a), TIDsOf(b)
+	ks.sparseIntersections++
+	ops := len(x) + len(y)
+	ks.sparseOps += int64(ops)
+	return Intersect(x, y), ops
+}
+
+// sparseScratch recovers a List scratch buffer from a previously returned
+// Set (or allocates one with the given capacity hint).
+func sparseScratch(scratch Set, capHint int) List {
+	if l, ok := scratch.(List); ok {
+		return l[:0]
+	}
+	return make(List, 0, capHint)
+}
+
+// bitsetScratch recovers a *Bitset scratch from a previously returned Set
+// (or nil, letting the kernel allocate).
+func bitsetScratch(scratch Set) *Bitset {
+	if b, ok := scratch.(*Bitset); ok {
+		return b
+	}
+	return nil
+}
+
+// Bounds returns the smallest and largest TID of s; ok is false when the
+// set is empty. The adaptive policy uses it to measure a class's tid span
+// without materializing anything.
+func Bounds(s Set) (lo, hi itemset.TID, ok bool) {
+	switch v := s.(type) {
+	case List:
+		if len(v) == 0 {
+			return 0, 0, false
+		}
+		return v[0], v[len(v)-1], true
+	case *Bitset:
+		if len(v.words) == 0 {
+			return 0, 0, false
+		}
+		// trim keeps the first and last words nonzero.
+		lo = v.base + itemset.TID(bits.TrailingZeros64(v.words[0]))
+		last := len(v.words) - 1
+		hi = v.base + itemset.TID(last*wordBits+63-bits.LeadingZeros64(v.words[last]))
+		return lo, hi, true
+	default:
+		l := TIDsOf(s)
+		if len(l) == 0 {
+			return 0, 0, false
+		}
+		return l[0], l[len(l)-1], true
+	}
+}
+
+// HashTIDs returns the order-independent tid-sum hash used by the closed
+// set accumulators, computed without materializing dense sets.
+func HashTIDs(s Set) int64 {
+	switch v := s.(type) {
+	case List:
+		var h int64
+		for _, t := range v {
+			h += int64(t)
+		}
+		return h
+	case *Bitset:
+		var h int64
+		for wi, w := range v.words {
+			base := v.base + itemset.TID(wi*wordBits)
+			for w != 0 {
+				h += int64(base) + int64(bits.TrailingZeros64(w))
+				w &= w - 1
+			}
+		}
+		return h
+	default:
+		var h int64
+		for _, t := range TIDsOf(s) {
+			h += int64(t)
+		}
+		return h
+	}
+}
+
+// EncodedSize returns the wire/disk size of a tid-list under r, and the
+// concrete representation chosen (ReprAuto picks the smaller encoding —
+// the transformation phase ships each list in whichever encoding is
+// cheaper, exactly like the true byte size the cluster model charges).
+func EncodedSize(l List, r Repr) (int64, Repr) {
+	sparse := l.SizeBytes()
+	if r == ReprSparse {
+		return sparse, ReprSparse
+	}
+	dense := denseSizeBytes(l)
+	switch {
+	case r == ReprBitset:
+		return dense, ReprBitset
+	case dense < sparse:
+		return dense, ReprBitset
+	default:
+		return sparse, ReprSparse
+	}
+}
+
+// denseSizeBytes is the Bitset SizeBytes l would have, computed without
+// building it.
+func denseSizeBytes(l List) int64 {
+	if len(l) == 0 {
+		return 0
+	}
+	words := int64(l[len(l)-1]/wordBits-l[0]/wordBits) + 1
+	return 8 + 8*words
+}

@@ -10,6 +10,13 @@
 // partial per-partition lists into global lists — valid because block
 // partitions carry disjoint, monotonically increasing TID ranges (section
 // 6.3).
+//
+// The sorted slice is one of two pluggable representations behind the Set
+// abstraction (see set.go): SparseList (this file's List) keeps the
+// paper's scalar merge kernels, and Bitset (bitset.go) packs 64 TIDs per
+// word and intersects with AND + popcount. ChooseRepr picks between them
+// per equivalence class by density, and the IntersectSets/DiffSets
+// dispatchers let the mining recursion stay representation-agnostic.
 package tidlist
 
 import (
@@ -192,10 +199,3 @@ func ConcatPartitions(partials []List) List {
 // SizeBytes returns the encoded size of the list (4 bytes per TID), used
 // by the communication and disk cost models.
 func (l List) SizeBytes() int64 { return 4 * int64(len(l)) }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

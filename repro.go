@@ -51,6 +51,7 @@ import (
 	"repro/internal/rules"
 	"repro/internal/sampling"
 	"repro/internal/stats"
+	"repro/internal/tidlist"
 )
 
 // Sentinel errors of the mining API. The serving layer maps them to HTTP
@@ -105,7 +106,24 @@ type (
 	// and duration (see RunInfo.Phases). Spans imported from the cluster
 	// simulator carry virtual time and report Virtual() == true.
 	PhaseSpan = obsv.PhaseSpan
+	// Representation selects the tid-set representation Eclat-family
+	// algorithms mine through: ReprAuto (the zero value) decides per
+	// equivalence class by density, ReprSparse forces the paper's sorted
+	// tid-lists, ReprBitset forces the word-packed dense kernel.
+	Representation = tidlist.Repr
 )
+
+// The tid-set representations (see Representation).
+const (
+	ReprAuto   = tidlist.ReprAuto
+	ReprSparse = tidlist.ReprSparse
+	ReprBitset = tidlist.ReprBitset
+)
+
+// ParseRepresentation parses a representation name ("auto", "sparse",
+// "bitset"; "" means auto) — the values the -repr flag and the service's
+// representation job field accept.
+func ParseRepresentation(s string) (Representation, error) { return tidlist.ParseRepr(s) }
 
 // NewItemset builds a sorted, deduplicated itemset.
 func NewItemset(items ...Item) Itemset { return itemset.New(items...) }
@@ -210,6 +228,11 @@ type MineOptions struct {
 	SampleSize    int
 	SampleSeed    int64
 	SampleLowerBy float64
+	// Representation selects the tid-set representation for the
+	// Eclat-family algorithms (AlgoEclat, AlgoEclatHybrid, and the
+	// maximal/closed variants); the zero value ReprAuto adapts per
+	// equivalence class. Non-Eclat algorithms ignore it.
+	Representation Representation
 }
 
 // RunInfo reports how a mining run went.
@@ -370,10 +393,10 @@ func mine(ctx context.Context, d *Database, opts MineOptions, minsup int, info *
 	case AlgoEclat:
 		if opts.Hosts > 1 || opts.ProcsPerHost > 1 || opts.Cluster != nil {
 			return simulated(ctx, info, func(cl *cluster.Cluster) (*Result, cluster.Report) {
-				return eclat.Mine(cl, d, minsup)
+				return eclat.MineOpts(cl, d, minsup, eclat.Options{Representation: opts.Representation})
 			}, opts)
 		}
-		res, st, err := eclat.MineSequentialCtx(ctx, d, minsup, eclat.Options{})
+		res, st, err := eclat.MineSequentialCtx(ctx, d, minsup, eclat.Options{Representation: opts.Representation})
 		if err != nil {
 			return nil, wrapIfCtxErr(err)
 		}
@@ -400,7 +423,7 @@ func mine(ctx context.Context, d *Database, opts MineOptions, minsup int, info *
 		}, opts)
 	case AlgoEclatHybrid:
 		return simulated(ctx, info, func(cl *cluster.Cluster) (*Result, cluster.Report) {
-			return eclat.MineHybrid(cl, d, minsup)
+			return eclat.MineHybridOpts(cl, d, minsup, eclat.Options{Representation: opts.Representation})
 		}, opts)
 	case AlgoPartition:
 		chunks := opts.PartitionChunks
@@ -460,7 +483,9 @@ func finishIndivisible(ctx context.Context, res *Result) (*Result, error) {
 // ctx provides cooperative cancellation, checked before and after the
 // search.
 func MineMaximal(ctx context.Context, d *Database, opts MineOptions) (*Result, error) {
-	return mineVariant(ctx, d, opts, "maximal", eclat.MineMaximal)
+	return mineVariant(ctx, d, opts, "maximal", func(d *db.Database, minsup int) (*Result, eclat.MaxStats) {
+		return eclat.MineMaximalOpts(d, minsup, eclat.Options{Representation: opts.Representation})
+	})
 }
 
 // MineMaximalContext is the old name of the context-first MineMaximal.
@@ -475,7 +500,9 @@ func MineMaximalContext(ctx context.Context, d *Database, opts MineOptions) (*Re
 // frequent collection. ctx provides cooperative cancellation, checked
 // before and after the search.
 func MineClosed(ctx context.Context, d *Database, opts MineOptions) (*Result, error) {
-	return mineVariant(ctx, d, opts, "closed", eclat.MineClosed)
+	return mineVariant(ctx, d, opts, "closed", func(d *db.Database, minsup int) (*Result, eclat.Stats) {
+		return eclat.MineClosedOpts(d, minsup, eclat.Options{Representation: opts.Representation})
+	})
 }
 
 // MineClosedContext is the old name of the context-first MineClosed.
