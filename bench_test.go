@@ -171,7 +171,7 @@ func BenchmarkAblationShortCircuit(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var ops float64
 			for i := 0; i < b.N; i++ {
-				_, st := eclat.MineSequentialOpts(d, minsup, eclat.Options{NoShortCircuit: off})
+				_, st, _ := eclat.MineSequentialOpts(context.Background(), d, minsup, eclat.Options{NoShortCircuit: off})
 				ops = float64(st.IntersectOps)
 			}
 			b.ReportMetric(ops/1e6, "Mops")

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analyzers"
+)
+
+func runLint(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestVersionHandshake(t *testing.T) {
+	code, out, _ := runLint(t, "-V=full")
+	if code != 0 || !strings.HasPrefix(out, "reprolint version") {
+		t.Fatalf("-V=full: code=%d out=%q", code, out)
+	}
+}
+
+func TestFlagsHandshake(t *testing.T) {
+	code, out, _ := runLint(t, "-flags")
+	if code != 0 || strings.TrimSpace(out) != "[]" {
+		t.Fatalf("-flags: code=%d out=%q", code, out)
+	}
+}
+
+func TestListExitsZero(t *testing.T) {
+	code, out, _ := runLint(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list: code=%d", code)
+	}
+	for _, a := range analyzers.All() {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("-list output is missing analyzer %q:\n%s", a.Name, out)
+		}
+	}
+}
+
+func TestCleanFixtureExitsZero(t *testing.T) {
+	code, out, errb := runLint(t, "./testdata/clean/...")
+	if code != 0 {
+		t.Fatalf("clean fixture: code=%d\nstdout:\n%s\nstderr:\n%s", code, out, errb)
+	}
+	if out != "" {
+		t.Errorf("clean fixture printed diagnostics:\n%s", out)
+	}
+}
+
+// TestSeededViolationsExitNonzero runs each analyzer alone against the
+// seeded-violation fixture module; every one must find its seed and
+// drive the exit code to 1.
+func TestSeededViolationsExitNonzero(t *testing.T) {
+	for _, a := range analyzers.All() {
+		t.Run(a.Name, func(t *testing.T) {
+			code, out, errb := runLint(t, "-checks", a.Name, "./testdata/violations/...")
+			if code != 1 {
+				t.Fatalf("seeded %s: code=%d (want 1)\nstdout:\n%s\nstderr:\n%s", a.Name, code, out, errb)
+			}
+			if !strings.Contains(out, "["+a.Name+"]") {
+				t.Errorf("seeded %s: no diagnostic tagged [%s]:\n%s", a.Name, a.Name, out)
+			}
+			if !strings.Contains(errb, "finding(s)") {
+				t.Errorf("seeded %s: stderr summary missing:\n%s", a.Name, errb)
+			}
+		})
+	}
+}
+
+// TestFullSuiteOnViolations checks the default (all-analyzer) run also
+// fails on the seeded tree.
+func TestFullSuiteOnViolations(t *testing.T) {
+	code, out, _ := runLint(t, "./testdata/violations/...")
+	if code != 1 {
+		t.Fatalf("violations fixture: code=%d (want 1)\n%s", code, out)
+	}
+	for _, a := range analyzers.All() {
+		if !strings.Contains(out, "["+a.Name+"]") {
+			t.Errorf("full run missed a seed for %s:\n%s", a.Name, out)
+		}
+	}
+}
+
+// TestRepoTreeClean is the acceptance gate: the merged tree itself must
+// be reprolint-clean.
+func TestRepoTreeClean(t *testing.T) {
+	code, out, errb := runLint(t, "../../...")
+	if code != 0 {
+		t.Fatalf("reprolint on the repo tree: code=%d\nstdout:\n%s\nstderr:\n%s", code, out, errb)
+	}
+}
+
+func TestUnknownCheckExitsTwo(t *testing.T) {
+	code, _, errb := runLint(t, "-checks", "nosuch", "./testdata/clean/...")
+	if code != 2 || !strings.Contains(errb, "unknown analyzer") {
+		t.Fatalf("unknown check: code=%d stderr=%q", code, errb)
+	}
+}
+
+func TestBadPatternExitsTwo(t *testing.T) {
+	code, _, _ := runLint(t, "./testdata/missing/...")
+	if code != 2 {
+		t.Fatalf("bad pattern: code=%d (want 2)", code)
+	}
+}
+
+// TestVetCfgUnitClean drives the go vet -vettool protocol path with a
+// hand-written package config: exit 0 and a facts file on disk.
+func TestVetCfgUnitClean(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.go")
+	if err := os.WriteFile(src, []byte("package p\n\nfunc add(a, b int) int { return a + b }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vetx := filepath.Join(dir, "p.vetx")
+	cfg := filepath.Join(dir, "p.cfg")
+	blob := fmt.Sprintf(`{"ID":"p","Dir":%q,"ImportPath":"example.com/p","GoFiles":[%q],"VetxOnly":false,"VetxOutput":%q}`, dir, src, vetx)
+	if err := os.WriteFile(cfg, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errb := runLint(t, cfg)
+	if code != 0 {
+		t.Fatalf("clean vet unit: code=%d stderr=%s", code, errb)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Fatalf("facts file not written: %v", err)
+	}
+}
+
+// TestVetCfgUnitFindings checks the vet path reports findings with exit 1.
+func TestVetCfgUnitFindings(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.go")
+	code := "package p\n\nimport \"context\"\n\nfunc bad(err error) bool { return err == context.Canceled }\n"
+	if err := os.WriteFile(src, []byte(code), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := filepath.Join(dir, "p.cfg")
+	blob := fmt.Sprintf(`{"ID":"p","Dir":%q,"ImportPath":"example.com/p","GoFiles":[%q],"VetxOnly":false,"VetxOutput":""}`, dir, src)
+	if err := os.WriteFile(cfg, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rc, _, errb := runLint(t, cfg)
+	if rc != 1 || !strings.Contains(errb, "[senterr]") {
+		t.Fatalf("vet unit with findings: code=%d stderr=%s", rc, errb)
+	}
+}
+
+// TestVetCfgVetxOnly checks the facts-only probe writes facts and exits 0
+// without analyzing anything.
+func TestVetCfgVetxOnly(t *testing.T) {
+	dir := t.TempDir()
+	vetx := filepath.Join(dir, "p.vetx")
+	cfg := filepath.Join(dir, "p.cfg")
+	blob := fmt.Sprintf(`{"ID":"p","Dir":%q,"ImportPath":"example.com/p","GoFiles":[],"VetxOnly":true,"VetxOutput":%q}`, dir, vetx)
+	if err := os.WriteFile(cfg, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rc, _, errb := runLint(t, cfg)
+	if rc != 0 {
+		t.Fatalf("vetx-only unit: code=%d stderr=%s", rc, errb)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Fatalf("facts file not written: %v", err)
+	}
+}

@@ -1,0 +1,15 @@
+// Package clean is the no-violations fixture: reprolint must exit 0.
+package clean
+
+import (
+	"context"
+	"errors"
+)
+
+// MineClean follows every enforced contract.
+func MineClean(ctx context.Context, minsup int) error {
+	if err := ctx.Err(); errors.Is(err, context.Canceled) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+// Package repro is the seeded-violation fixture for the multichecker
+// exit-code tests: every analyzer must find at least one violation in
+// this tree.
+package repro
+
+import "context"
+
+// MineBad seeds ctxfirst: an exported mining entry point without a
+// leading context.
+func MineBad(minsup int) error { return nil }
+
+// helper seeds ctxfirst: context in second position.
+func helper(n int, ctx context.Context) error { return ctx.Err() }
+
+// compare seeds senterr: identity comparison of a context sentinel.
+func compare(err error) bool { return err == context.Canceled }

@@ -1,0 +1,7 @@
+// Package cluster seeds virtualtime: a wall-clock read inside a
+// simulated-time package.
+package cluster
+
+import "time"
+
+func now() time.Time { return time.Now() }

@@ -1,0 +1,16 @@
+// Package tidlist seeds scratchonly: the short-circuit flag is
+// discarded and the result escapes via return.
+package tidlist
+
+type Set interface{}
+
+type KernelStats struct{}
+
+func IntersectSetsSC(dst, a, b Set, minsup int, ks *KernelStats) (Set, int, bool) {
+	return dst, 0, false
+}
+
+func leak(a, b Set, ks *KernelStats) Set {
+	s, _, _ := IntersectSetsSC(nil, a, b, 2, ks)
+	return s
+}

@@ -1,0 +1,6 @@
+package repro
+
+import "repro/internal/obsv"
+
+// Seeds metricname: an inline string literal name.
+var _ = obsv.Default.Counter("inline_metric_total", "seeded violation")

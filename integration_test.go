@@ -6,6 +6,7 @@ package repro
 // repository's strongest correctness guarantee.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -27,7 +28,7 @@ type minerFunc func(d *db.Database, minsup int, hp [2]int) *mining.Result
 
 var allMiners = map[string]minerFunc{
 	"apriori": func(d *db.Database, minsup int, _ [2]int) *mining.Result {
-		res, _ := apriori.Mine(d, minsup)
+		res, _, _ := apriori.Mine(context.Background(), d, minsup)
 		return res
 	},
 	"eclat-seq": func(d *db.Database, minsup int, _ [2]int) *mining.Result {
@@ -60,7 +61,7 @@ var allMiners = map[string]minerFunc{
 		return res
 	},
 	"eclat-noshortcircuit": func(d *db.Database, minsup int, _ [2]int) *mining.Result {
-		res, _ := eclat.MineSequentialOpts(d, minsup, eclat.Options{NoShortCircuit: true})
+		res, _, _ := eclat.MineSequentialOpts(context.Background(), d, minsup, eclat.Options{NoShortCircuit: true})
 		return res
 	},
 	"eclat-roundrobin": func(d *db.Database, minsup int, hp [2]int) *mining.Result {
@@ -147,7 +148,7 @@ func TestGeneratedDataAgreement(t *testing.T) {
 		t.Fatal(err)
 	}
 	minsup := d.MinSupCount(1.0)
-	want, _ := apriori.Mine(d, minsup)
+	want, _, _ := apriori.Mine(context.Background(), d, minsup)
 	for _, name := range []string{"eclat-seq", "eclat-par", "countdist", "canddist"} {
 		got := allMiners[name](d, minsup, [2]int{2, 2})
 		if !mining.Equal(got, want) {

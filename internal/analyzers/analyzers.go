@@ -1,0 +1,307 @@
+// Package analyzers is reprolint: a suite of repo-specific static
+// analyzers that mechanically enforce the reproduction's cross-cutting
+// contracts — context-first mining signatures, virtual-time-only
+// accounting inside the simulated cluster, the scratch-only discipline
+// of aborted short-circuit kernels, obsv metric naming, and errors.Is
+// sentinel comparisons.
+//
+// The package is a deliberately small, dependency-free mirror of
+// golang.org/x/tools/go/analysis: the build environment pins the module
+// graph to the standard library, so the framework (Analyzer, Pass,
+// Diagnostic, an analysistest-style golden runner, and the go vet
+// -vettool unit protocol) is implemented here on go/ast alone. Every
+// analyzer is purely syntactic — import-table resolution instead of
+// go/types — which keeps the suite fast enough to run on every CI push
+// and trivially portable to the real go/analysis API if the dependency
+// pin is ever lifted.
+//
+// Run it standalone:
+//
+//	go run ./cmd/reprolint ./...
+//
+// or through the vet driver:
+//
+//	go vet -vettool=$(go env GOPATH)/bin/reprolint ./...
+//
+// Diagnostics are suppressed one line at a time with
+//
+//	//reprolint:ignore <analyzer> <reason>
+//
+// placed on the flagged line or the line directly above it; the reason
+// is mandatory and malformed directives are themselves diagnostics.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// An Analyzer describes one reprolint check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //reprolint:ignore directives.
+	Name string
+	// Doc is the one-paragraph contract the analyzer enforces.
+	Doc string
+	// IgnoreTests skips _test.go files (used by checks that only
+	// constrain production code, e.g. metric registration).
+	IgnoreTests bool
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// A Pass connects one Analyzer run to one Package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	// Module gives cross-package context (package-level string
+	// constants, sibling packages) for checks that need it.
+	Module *Module
+	diags  *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// files yields the package files this analyzer looks at, honouring
+// IgnoreTests.
+func (p *Pass) files() []*File {
+	if !p.Analyzer.IgnoreTests {
+		return p.Pkg.Files
+	}
+	var out []*File
+	for _, f := range p.Pkg.Files {
+		if !f.Test {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// A Diagnostic is one reported contract violation.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String formats the diagnostic the way go vet does, with the analyzer
+// name appended for greppability.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// sortDiagnostics orders diagnostics by file, line, column, analyzer.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// A File is one parsed source file of a package.
+type File struct {
+	Name string // filename as given to the parser
+	AST  *ast.File
+	Test bool // strings.HasSuffix(Name, "_test.go")
+}
+
+// ImportName reports how this file refers to the package at path: the
+// explicit local name of a renamed import, the default base name
+// otherwise, and ok=false when the file does not import path at all.
+// Blank and dot imports report ok=false — neither yields a usable
+// qualifier.
+func (f *File) ImportName(path string) (name string, ok bool) {
+	for _, imp := range f.AST.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != path {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return "", false
+			}
+			return imp.Name.Name, true
+		}
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			p = p[i+1:]
+		}
+		return p, true
+	}
+	return "", false
+}
+
+// importPathOf inverts ImportName: given a qualifier identifier used in
+// this file, it reports the import path it refers to. A file-scope
+// resolution only — shadowing by local variables is not modeled, which
+// is fine for the lint's house-style targets.
+func (f *File) importPathOf(name string) (path string, ok bool) {
+	for _, imp := range f.AST.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		local := ""
+		if imp.Name != nil {
+			local = imp.Name.Name
+			if local == "_" || local == "." {
+				continue
+			}
+		} else {
+			local = p
+			if i := strings.LastIndex(local, "/"); i >= 0 {
+				local = local[i+1:]
+			}
+		}
+		if local == name {
+			return p, true
+		}
+	}
+	return "", false
+}
+
+// A Package is one parsed (not type-checked) package: all files sharing
+// a package clause within one directory. External test packages
+// (package foo_test) form their own Package with the same ImportPath.
+type Package struct {
+	Name       string // package clause name
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*File
+}
+
+// A Module is a set of packages analyzed together plus the module-wide
+// tables shared by analyzers.
+type Module struct {
+	Path     string // module path from go.mod ("" when unknown)
+	Packages []*Package
+
+	constsOnce bool
+	consts     map[string]string // "import/path.ConstName" -> value
+}
+
+// StringConst resolves a package-level string constant declared as
+//
+//	const Name = "literal"
+//
+// anywhere in the module, keyed by qualified name. Only single-literal
+// specs are indexed; anything fancier reports ok=false.
+func (m *Module) StringConst(pkgPath, name string) (string, bool) {
+	if !m.constsOnce {
+		m.consts = map[string]string{}
+		for _, pkg := range m.Packages {
+			for _, f := range pkg.Files {
+				indexStringConsts(m.consts, pkg.ImportPath, f.AST)
+			}
+		}
+		m.constsOnce = true
+	}
+	v, ok := m.consts[pkgPath+"."+name]
+	return v, ok
+}
+
+// indexStringConsts records every `const Name = "lit"` spec of one file.
+func indexStringConsts(dst map[string]string, pkgPath string, f *ast.File) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Names) != len(vs.Values) {
+				continue
+			}
+			for i, n := range vs.Names {
+				lit, ok := vs.Values[i].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					continue
+				}
+				if v, err := strconv.Unquote(lit.Value); err == nil {
+					dst[pkgPath+"."+n.Name] = v
+				}
+			}
+		}
+	}
+}
+
+// resolveQualified interprets expr as a reference to an identifier in
+// another package (qualifier.Name) using the file's import table and
+// reports (importPath, name). ok=false for anything else, including
+// method chains whose root is not an imported package qualifier.
+func resolveQualified(f *File, expr ast.Expr) (path, name string, ok bool) {
+	sel, isSel := expr.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	p, found := f.importPathOf(id.Name)
+	if !found {
+		return "", "", false
+	}
+	return p, sel.Sel.Name, true
+}
+
+// rootIdent returns the leftmost identifier of a selector chain
+// (obsv.Default.Counter -> obsv), or nil.
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch x := expr.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			expr = x.X
+		case *ast.IndexExpr:
+			expr = x.X
+		case *ast.CallExpr:
+			expr = x.Fun
+		default:
+			return nil
+		}
+	}
+}
+
+// isContextContext reports whether the type expression denotes
+// context.Context under the file's import table.
+func isContextContext(f *File, typ ast.Expr) bool {
+	path, name, ok := resolveQualified(f, typ)
+	return ok && path == "context" && name == "Context"
+}
+
+// walkWithStack visits every node of root, handing the visitor the
+// stack of ancestors (outermost first, not including n itself).
+func walkWithStack(root ast.Node, visit func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		visit(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}

@@ -1,0 +1,116 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// deprecatedMiners maps qualified function names to their context-first
+// replacement. Calling any of them is a ctxfirst diagnostic: the public
+// wrappers survive only for out-of-tree compatibility, and the internal
+// *Ctx spellings were folded into the canonical entry points.
+var deprecatedMiners = map[string]string{
+	"repro.MineContext":                      "repro.Mine",
+	"repro.MineMaximalContext":               "repro.MineMaximal",
+	"repro.MineClosedContext":                "repro.MineClosed",
+	"repro/internal/eclat.MineSequentialCtx": "eclat.MineSequentialOpts",
+	"repro/internal/apriori.MineCtx":         "apriori.Mine",
+}
+
+// CtxFirst enforces the context-first API contract introduced by the
+// observability PR: a context.Context parameter must come first in any
+// function signature, the exported Mine* entry points of the public
+// repro package must take a context, and the deprecated
+// *Context/*Ctx wrapper names must not gain new in-repo callers.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc: "context.Context parameters must be first; exported repro.Mine* entry points " +
+		"must take a context; calls to the deprecated *Context/*Ctx mining wrappers are forbidden",
+	Run: runCtxFirst,
+}
+
+func runCtxFirst(pass *Pass) {
+	for _, f := range pass.files() {
+		checkCtxPosition(pass, f)
+		if pass.Pkg.ImportPath == pass.Module.Path && pass.Pkg.Name == "repro" && !f.Test {
+			checkPublicMiners(pass, f)
+		}
+		checkDeprecatedCalls(pass, f)
+	}
+}
+
+// checkCtxPosition flags any function declaration or literal whose
+// parameter list contains context.Context anywhere but first.
+func checkCtxPosition(pass *Pass, f *File) {
+	check := func(ft *ast.FuncType, what string) {
+		if ft.Params == nil {
+			return
+		}
+		argIndex := 0
+		for _, field := range ft.Params.List {
+			n := len(field.Names)
+			if n == 0 {
+				n = 1
+			}
+			if isContextContext(f, field.Type) && argIndex != 0 {
+				pass.Reportf(field.Pos(), "%s has context.Context as parameter %d; context must be the first parameter", what, argIndex+1)
+			}
+			argIndex += n
+		}
+	}
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			check(fn.Type, "function "+fn.Name.Name)
+		case *ast.FuncLit:
+			check(fn.Type, "function literal")
+		}
+		return true
+	})
+}
+
+// checkPublicMiners enforces the entry-point contract on the public
+// package: every exported func repro.Mine* takes context.Context first.
+// The deprecated compatibility wrappers already satisfy it — they are
+// context-first too, just banned at call sites.
+func checkPublicMiners(pass *Pass, f *File) {
+	for _, decl := range f.AST.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Recv != nil || !fn.Name.IsExported() || !strings.HasPrefix(fn.Name.Name, "Mine") {
+			continue
+		}
+		params := fn.Type.Params
+		if params == nil || len(params.List) == 0 || !isContextContext(f, params.List[0].Type) {
+			pass.Reportf(fn.Name.Pos(), "exported mining entry point %s must take context.Context as its first parameter", fn.Name.Name)
+		}
+	}
+}
+
+// checkDeprecatedCalls flags call expressions that resolve to a
+// denylisted wrapper, both qualified (pkg.MineContext) and unqualified
+// within the declaring package.
+func checkDeprecatedCalls(pass *Pass, f *File) {
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var qualified string
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			path, name, ok := resolveQualified(f, fun)
+			if !ok {
+				return true
+			}
+			qualified = path + "." + name
+		case *ast.Ident:
+			qualified = pass.Pkg.ImportPath + "." + fun.Name
+		default:
+			return true
+		}
+		if repl, banned := deprecatedMiners[qualified]; banned {
+			pass.Reportf(call.Pos(), "call to deprecated %s; use the context-first %s", qualified, repl)
+		}
+		return true
+	})
+}

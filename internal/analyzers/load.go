@@ -1,0 +1,186 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadPatterns parses the packages selected by go-style patterns —
+// either a directory ("./internal/eclat", ".") or a recursive prefix
+// ("./...", "./internal/...") — into one Module. Patterns are resolved
+// relative to the current working directory; the enclosing module root
+// (nearest go.mod upward from the first pattern) anchors import paths.
+//
+// Parsing is syntax-only: files are not type-checked, build tags are not
+// evaluated, and testdata/vendor/hidden directories are skipped, so the
+// loader happily analyzes trees that do not compile — the multichecker
+// exit-code fixtures rely on that.
+func LoadPatterns(patterns []string) (*Module, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	type target struct {
+		dir       string
+		recursive bool
+	}
+	var targets []target
+	for _, pat := range patterns {
+		rec := false
+		dir := pat
+		switch {
+		case pat == "...":
+			rec, dir = true, "."
+		case strings.HasSuffix(pat, "/..."):
+			rec, dir = true, strings.TrimSuffix(pat, "/...")
+		}
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return nil, fmt.Errorf("reprolint: bad pattern %q: %w", pat, err)
+		}
+		if fi, err := os.Stat(abs); err != nil || !fi.IsDir() {
+			return nil, fmt.Errorf("reprolint: pattern %q does not name a directory", pat)
+		}
+		targets = append(targets, target{dir: abs, recursive: rec})
+	}
+
+	modRoot, modPath, err := findModule(targets[0].dir)
+	if err != nil {
+		return nil, err
+	}
+
+	dirs := map[string]bool{}
+	for _, t := range targets {
+		if !t.recursive {
+			dirs[t.dir] = true
+			continue
+		}
+		err := filepath.WalkDir(t.dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			if path != t.dir && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			dirs[path] = true
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("reprolint: walking %s: %w", t.dir, err)
+		}
+	}
+
+	sorted := make([]string, 0, len(dirs))
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+
+	m := &Module{Path: modPath}
+	fset := token.NewFileSet()
+	for _, dir := range sorted {
+		pkgs, err := loadDir(fset, dir, importPathFor(modRoot, modPath, dir))
+		if err != nil {
+			return nil, err
+		}
+		m.Packages = append(m.Packages, pkgs...)
+	}
+	return m, nil
+}
+
+// LoadDir parses a single directory as packages rooted at the given
+// import path — the entry point the analysistest-style golden runner
+// uses to load fixtures under arbitrary import paths.
+func LoadDir(dir, importPath string) (*Module, error) {
+	fset := token.NewFileSet()
+	pkgs, err := loadDir(fset, dir, importPath)
+	if err != nil {
+		return nil, err
+	}
+	return &Module{Packages: pkgs}, nil
+}
+
+// skipDir reports directories the recursive walk never descends into.
+func skipDir(name string) bool {
+	return name == "testdata" || name == "vendor" || name == "node_modules" ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+// findModule locates the nearest go.mod at or above dir and returns the
+// module root and module path.
+func findModule(dir string) (root, path string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return d, "", fmt.Errorf("reprolint: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("reprolint: no go.mod found at or above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// importPathFor maps a directory under the module root to its import
+// path.
+func importPathFor(modRoot, modPath, dir string) string {
+	rel, err := filepath.Rel(modRoot, dir)
+	if err != nil || rel == "." {
+		return modPath
+	}
+	return modPath + "/" + filepath.ToSlash(rel)
+}
+
+// loadDir parses every .go file of one directory, grouping files into
+// one Package per package clause (so "eclat" and "eclat_test" are
+// separate entries sharing the directory and import path).
+func loadDir(fset *token.FileSet, dir, importPath string) ([]*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("reprolint: reading %s: %w", dir, err)
+	}
+	byName := map[string]*Package{}
+	var order []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		filename := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, filename, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("reprolint: %w", err)
+		}
+		name := f.Name.Name
+		pkg := byName[name]
+		if pkg == nil {
+			pkg = &Package{Name: name, ImportPath: importPath, Dir: dir, Fset: fset}
+			byName[name] = pkg
+			order = append(order, name)
+		}
+		pkg.Files = append(pkg.Files, &File{
+			Name: filename,
+			AST:  f,
+			Test: strings.HasSuffix(e.Name(), "_test.go"),
+		})
+	}
+	sort.Strings(order)
+	pkgs := make([]*Package, 0, len(order))
+	for _, n := range order {
+		pkgs = append(pkgs, byName[n])
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,80 @@
+package analyzers
+
+// All returns the reprolint suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		CtxFirst,
+		MetricName,
+		ScratchOnly,
+		SentErr,
+		VirtualTime,
+	}
+}
+
+// ByName resolves a comma-separated -checks selection against the
+// suite; unknown names report ok=false along with the offending name.
+func ByName(selection string, suite []*Analyzer) (picked []*Analyzer, unknown string, ok bool) {
+	if selection == "" {
+		return suite, "", true
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range suite {
+		byName[a.Name] = a
+	}
+	seen := map[string]bool{}
+	for _, name := range splitComma(selection) {
+		a := byName[name]
+		if a == nil {
+			return nil, name, false
+		}
+		if !seen[name] {
+			picked = append(picked, a)
+			seen[name] = true
+		}
+	}
+	return picked, "", true
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// Run applies the analyzers to every package of the module, resolves
+// //reprolint:ignore suppressions, and returns the surviving
+// diagnostics sorted by position.
+func Run(m *Module, suite []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	known := map[string]bool{}
+	for _, a := range suite {
+		known[a.Name] = true
+	}
+	for _, pkg := range m.Packages {
+		for _, a := range suite {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, Module: m, diags: &diags})
+		}
+	}
+	diags = applySuppressions(m, known, diags)
+	sortDiagnostics(diags)
+	return diags
+}
+
+// RunPatterns loads the packages matched by go-style patterns and runs
+// the suite over them — the programmatic equivalent of
+// `reprolint <patterns>` that the exit-code tests drive directly.
+func RunPatterns(patterns []string, suite []*Analyzer) ([]Diagnostic, error) {
+	m, err := LoadPatterns(patterns)
+	if err != nil {
+		return nil, err
+	}
+	return Run(m, suite), nil
+}

@@ -1,0 +1,100 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// SentErr forbids identity comparison of sentinel errors. The mining API
+// wraps its sentinels (ErrCanceled wraps the context error, validation
+// errors arrive through fmt.Errorf("%w")), so == / != against
+// ErrInvalidSupport, ErrUnknownAlgorithm, ErrCanceled — or any Err*
+// sentinel, or the context package's sentinels — silently stops matching
+// one fmt.Errorf away; errors.Is is the only stable comparison.
+var SentErr = &Analyzer{
+	Name: "senterr",
+	Doc: "sentinel errors (ErrInvalidSupport, ErrUnknownAlgorithm, ErrCanceled, any Err*, " +
+		"context.Canceled/DeadlineExceeded) must be compared with errors.Is, never == or !=",
+	Run: runSentErr,
+}
+
+func runSentErr(pass *Pass) {
+	for _, f := range pass.files() {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				if x.Op != token.EQL && x.Op != token.NEQ {
+					return true
+				}
+				for _, side := range []ast.Expr{x.X, x.Y} {
+					if name, ok := sentinelRef(f, side); ok {
+						pass.Reportf(x.Pos(), "sentinel error %s compared with %s; use errors.Is", name, x.Op)
+						break
+					}
+				}
+			case *ast.SwitchStmt:
+				// switch err { case ErrFoo: } is the same identity
+				// comparison in disguise.
+				if x.Tag == nil {
+					return true
+				}
+				if x.Body == nil {
+					return true
+				}
+				for _, stmt := range x.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, v := range cc.List {
+						if name, ok := sentinelRef(f, v); ok {
+							pass.Reportf(v.Pos(), "sentinel error %s used as a switch case; use a switch with errors.Is conditions", name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// sentinelRef reports whether expr names a sentinel error: an
+// identifier or package-qualified name matching Err[A-Z]*, or the
+// context package's Canceled/DeadlineExceeded.
+func sentinelRef(f *File, expr ast.Expr) (string, bool) {
+	switch x := expr.(type) {
+	case *ast.Ident:
+		if isErrSentinelName(x.Name) {
+			return x.Name, true
+		}
+	case *ast.SelectorExpr:
+		path, name, ok := resolveQualified(f, x)
+		if !ok {
+			return "", false
+		}
+		if path == "context" && (name == "Canceled" || name == "DeadlineExceeded") {
+			return "context." + name, true
+		}
+		if isErrSentinelName(name) {
+			if i := strings.LastIndex(path, "/"); i >= 0 {
+				path = path[i+1:]
+			}
+			return path + "." + name, true
+		}
+	}
+	return "", false
+}
+
+// isErrSentinelName matches the sentinel naming convention ErrX... (an
+// exported Err-prefixed identifier).
+func isErrSentinelName(name string) bool {
+	rest, ok := strings.CutPrefix(name, "Err")
+	if !ok || rest == "" {
+		return false
+	}
+	r, _ := utf8.DecodeRuneInString(rest)
+	return unicode.IsUpper(r)
+}

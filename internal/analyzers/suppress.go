@@ -1,0 +1,110 @@
+package analyzers
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is one parsed //reprolint:ignore comment.
+type ignoreDirective struct {
+	pos       token.Position
+	analyzers []string // names, or ["all"]
+	reason    string
+	used      bool
+}
+
+// suppresses reports whether the directive silences the given analyzer.
+func (d *ignoreDirective) suppresses(analyzer string) bool {
+	for _, a := range d.analyzers {
+		if a == analyzer || a == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// applySuppressions drops diagnostics covered by //reprolint:ignore
+// directives and appends framework diagnostics for malformed or unknown
+// directives. A directive covers its own source line and, so that it can
+// stand alone above a long statement, the line directly below it.
+//
+// Grammar:
+//
+//	//reprolint:ignore <analyzer>[,<analyzer>...] <reason...>
+//
+// The reason is mandatory: an ignore that does not say why is itself a
+// diagnostic, which keeps suppressions reviewable.
+func applySuppressions(m *Module, known map[string]bool, diags []Diagnostic) []Diagnostic {
+	type key struct {
+		file string
+		line int
+	}
+	index := map[key][]*ignoreDirective{}
+	var malformed []Diagnostic
+
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.AST.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//reprolint:ignore")
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					fields := strings.Fields(text)
+					if len(fields) == 0 {
+						malformed = append(malformed, Diagnostic{
+							Analyzer: "reprolint",
+							Pos:      pos,
+							Message:  "malformed //reprolint:ignore: want \"//reprolint:ignore <analyzer> <reason>\"",
+						})
+						continue
+					}
+					names := strings.Split(fields[0], ",")
+					bad := false
+					for _, n := range names {
+						if n != "all" && !known[n] {
+							malformed = append(malformed, Diagnostic{
+								Analyzer: "reprolint",
+								Pos:      pos,
+								Message:  "//reprolint:ignore names unknown analyzer \"" + n + "\"",
+							})
+							bad = true
+						}
+					}
+					if len(fields) < 2 {
+						malformed = append(malformed, Diagnostic{
+							Analyzer: "reprolint",
+							Pos:      pos,
+							Message:  "//reprolint:ignore must give a reason after the analyzer name",
+						})
+						bad = true
+					}
+					if bad {
+						continue
+					}
+					d := &ignoreDirective{pos: pos, analyzers: names, reason: strings.Join(fields[1:], " ")}
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						k := key{file: pos.Filename, line: line}
+						index[k] = append(index[k], d)
+					}
+				}
+			}
+		}
+	}
+
+	var kept []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, dir := range index[key{file: d.Pos.Filename, line: d.Pos.Line}] {
+			if dir.suppresses(d.Analyzer) {
+				dir.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return append(kept, malformed...)
+}

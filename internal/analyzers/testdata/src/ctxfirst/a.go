@@ -1,0 +1,24 @@
+package repro
+
+import (
+	"context"
+
+	"repro/internal/eclat"
+)
+
+// MineGood is context-first: no diagnostic.
+func MineGood(ctx context.Context, minsup int) error { return ctx.Err() }
+
+func MineNoCtx(minsup int) error { return nil } // want `exported mining entry point MineNoCtx must take context\.Context as its first parameter`
+
+func helper(n int, ctx context.Context) error { return ctx.Err() } // want `function helper has context\.Context as parameter 2`
+
+var _ = func(name string, ctx context.Context) {} // want `function literal has context\.Context as parameter 2`
+
+// unexported, context-first closures and plain functions stay silent.
+func quiet(ctx context.Context) { _ = func(ctx context.Context) {} }
+
+func callers(ctx context.Context, minsup int) {
+	MineContext(ctx, minsup)             // want `call to deprecated repro\.MineContext; use the context-first repro\.Mine`
+	eclat.MineSequentialCtx(ctx, minsup) // want `call to deprecated repro/internal/eclat\.MineSequentialCtx; use the context-first eclat\.MineSequentialOpts`
+}

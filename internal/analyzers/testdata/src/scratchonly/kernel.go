@@ -1,0 +1,54 @@
+package tidlist
+
+type Set interface{ Support() int }
+
+type KernelStats struct{}
+
+func IntersectSetsSC(dst, a, b Set, minsup int, ks *KernelStats) (Set, int, bool) {
+	return dst, 0, false
+}
+
+func IntersectSets(dst, a, b Set, ks *KernelStats) (Set, int) { return dst, 0 }
+
+func consume(Set) {}
+
+func notAssigned(a, b Set, ks *KernelStats) {
+	IntersectSetsSC(nil, a, b, 10, ks) // want `results of tidlist\.IntersectSetsSC must be assigned`
+}
+
+func discardedFlagEscape(a, b Set, ks *KernelStats) {
+	s, _, _ := IntersectSetsSC(nil, a, b, 10, ks)
+	consume(s) // want `IntersectSetsSC result "s" escapes but the short-circuit flag was discarded`
+}
+
+func discardedFlagObserved(a, b Set, ks *KernelStats) int {
+	s, _, _ := IntersectSetsSC(nil, a, b, 10, ks)
+	return s.Support() // want `IntersectSetsSC result "s" escapes but the short-circuit flag was discarded`
+}
+
+func escapeBeforeCheck(a, b Set, ks *KernelStats) Set {
+	s, _, ok := IntersectSetsSC(nil, a, b, 10, ks)
+	consume(s) // want `IntersectSetsSC result "s" may escape before the short-circuit flag "ok" is checked`
+	if !ok {
+		return nil
+	}
+	return s
+}
+
+// guarded is the canonical production pattern: the flag gates every use.
+func guarded(a, b Set, ks *KernelStats) Set {
+	s, _, ok := IntersectSetsSC(nil, a, b, 10, ks)
+	if !ok {
+		return nil
+	}
+	return s
+}
+
+// scratchLoop discards the flag but keeps the result strictly in kernel
+// scratch position, which the contract explicitly allows.
+func scratchLoop(pairs [][2]Set, ks *KernelStats) {
+	var scratch Set
+	for _, p := range pairs {
+		scratch, _, _ = IntersectSetsSC(scratch, p[0], p[1], 10, ks)
+	}
+}

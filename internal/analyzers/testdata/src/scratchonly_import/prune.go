@@ -1,0 +1,23 @@
+package eclat
+
+import "repro/internal/tidlist"
+
+func use(tidlist.Set) {}
+
+// The check follows qualified calls through the import table.
+func prune(a, b tidlist.Set, ks *tidlist.KernelStats) tidlist.Set {
+	s, _, ok := tidlist.IntersectSetsSC(nil, a, b, 10, ks)
+	use(s) // want `IntersectSetsSC result "s" may escape before the short-circuit flag "ok" is checked`
+	if !ok {
+		return nil
+	}
+	return s
+}
+
+// reuse keeps the flag-discarded result scratch-only across qualified
+// kernel calls: no diagnostic.
+func reuse(a, b tidlist.Set, ks *tidlist.KernelStats) {
+	var scratch tidlist.Set
+	scratch, _, _ = tidlist.IntersectSetsSC(scratch, a, b, 10, ks)
+	scratch, _, _ = tidlist.IntersectSetsSC(scratch, b, a, 10, ks)
+}

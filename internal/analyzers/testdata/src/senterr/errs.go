@@ -1,0 +1,30 @@
+package service
+
+import (
+	"context"
+	"errors"
+)
+
+var ErrQueueFull = errors.New("queue full")
+
+func classify(err error) string {
+	if err == ErrQueueFull { // want `sentinel error ErrQueueFull compared with ==; use errors\.Is`
+		return "full"
+	}
+	if err != context.Canceled { // want `sentinel error context\.Canceled compared with !=; use errors\.Is`
+		return "other"
+	}
+	switch err {
+	case context.DeadlineExceeded: // want `sentinel error context\.DeadlineExceeded used as a switch case`
+		return "deadline"
+	case ErrQueueFull: // want `sentinel error ErrQueueFull used as a switch case`
+		return "full"
+	}
+	if errors.Is(err, ErrQueueFull) { // the sanctioned comparison: fine
+		return "full"
+	}
+	if err == nil { // nil comparison is not a sentinel comparison: fine
+		return "nil"
+	}
+	return ""
+}

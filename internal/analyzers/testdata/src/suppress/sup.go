@@ -1,0 +1,21 @@
+package service
+
+import "errors"
+
+var ErrBoom = errors.New("boom")
+
+func check(err error) bool {
+	//reprolint:ignore senterr fixture exercises the directive on the preceding line
+	if err == ErrBoom {
+		return true
+	}
+	if err == ErrBoom { //reprolint:ignore senterr fixture exercises the same-line directive
+		return true
+	}
+	return err == ErrBoom // want `sentinel error ErrBoom compared with ==; use errors\.Is`
+}
+
+func multi(err error) bool {
+	//reprolint:ignore senterr,virtualtime fixture exercises a multi-analyzer directive
+	return err != ErrBoom
+}

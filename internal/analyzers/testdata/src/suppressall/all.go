@@ -1,0 +1,10 @@
+package service
+
+import "errors"
+
+var ErrBoom = errors.New("boom")
+
+func wildcard(err error) bool {
+	//reprolint:ignore all fixture exercises the wildcard
+	return err == ErrBoom
+}

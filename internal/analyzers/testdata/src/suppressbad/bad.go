@@ -1,0 +1,14 @@
+package service
+
+import "errors"
+
+var ErrBoom = errors.New("boom")
+
+func bad(err error) bool {
+	//reprolint:ignore senterr
+	if err == ErrBoom {
+		return true
+	}
+	//reprolint:ignore nosuch because it does not exist
+	return err == ErrBoom
+}

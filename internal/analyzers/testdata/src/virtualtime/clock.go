@@ -1,0 +1,13 @@
+package cluster
+
+import "time"
+
+// grain is a pure duration constant: types and constants from the time
+// package stay legal, only wall-clock reads are banned.
+const grain = 10 * time.Microsecond
+
+func tick() time.Duration {
+	start := time.Now()          // want `wall-clock time\.Now in simulated-time package repro/internal/cluster`
+	time.Sleep(time.Millisecond) // want `wall-clock time\.Sleep in simulated-time package`
+	return time.Since(start)     // want `wall-clock time\.Since in simulated-time package`
+}

@@ -1,0 +1,8 @@
+package cluster
+
+import wall "time"
+
+// A renamed import must not dodge the check.
+func later() <-chan wall.Time {
+	return wall.After(wall.Second) // want `wall-clock time\.After in simulated-time package`
+}

@@ -1,0 +1,7 @@
+package eclat
+
+import "time"
+
+// Outside the simulated-time packages wall-clock reads are fine; this
+// fixture is loaded under repro/internal/eclat and must stay silent.
+func stamp() time.Time { return time.Now() }

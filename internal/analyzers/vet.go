@@ -1,0 +1,89 @@
+package analyzers
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// vetConfig is the subset of the go vet unit protocol's JSON config
+// (cmd/go writes one per package when invoked with -vettool) that the
+// syntactic suite needs.
+type vetConfig struct {
+	ID         string
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+	VetxOnly   bool
+	VetxOutput string
+}
+
+// RunVetCfg implements one unit of the go vet -vettool protocol: load
+// the package described by the .cfg file, run the suite, print findings
+// to w, and return the process exit code (0 clean, 1 findings, 2
+// protocol/load errors). The facts output file is always written (empty
+// — the suite exports no facts) so the vet driver's dependency chain
+// stays satisfied.
+func RunVetCfg(cfgPath string, suite []*Analyzer, w io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(w, "reprolint: reading vet config: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(w, "reprolint: parsing vet config %s: %v\n", cfgPath, err)
+		return 2
+	}
+	writeFacts := func() {
+		if cfg.VetxOutput != "" {
+			_ = os.WriteFile(cfg.VetxOutput, nil, 0o666)
+		}
+	}
+	if cfg.VetxOnly {
+		writeFacts()
+		return 0
+	}
+
+	// The test variant of a package is reported as "path [path.test]";
+	// the path-keyed rules want the plain import path.
+	importPath := cfg.ImportPath
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		importPath = importPath[:i]
+	}
+
+	fset := token.NewFileSet()
+	pkg := &Package{ImportPath: importPath, Dir: cfg.Dir, Fset: fset}
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintf(w, "reprolint: %v\n", err)
+			return 2
+		}
+		pkg.Name = f.Name.Name
+		pkg.Files = append(pkg.Files, &File{Name: name, AST: f, Test: strings.HasSuffix(name, "_test.go")})
+	}
+
+	modPath := "repro"
+	if _, p, err := findModule(cfg.Dir); err == nil {
+		modPath = p
+	}
+	m := &Module{Path: modPath, Packages: []*Package{pkg}}
+	diags := Run(m, suite)
+	if len(diags) == 0 {
+		writeFacts()
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s:%d:%d: %s [%s]\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	}
+	return 1
+}

@@ -1,0 +1,66 @@
+package analyzers
+
+import (
+	"go/ast"
+)
+
+// simulatedTimePkgs are the packages whose accounting is virtual by
+// design (DESIGN.md: the DEC Memory Channel cluster model advances a
+// deterministic virtual clock; wall-clock reads there would leak host
+// timing into paper-calibrated reports).
+var simulatedTimePkgs = map[string]bool{
+	"repro/internal/cluster":    true,
+	"repro/internal/memchannel": true,
+	"repro/internal/disk":       true,
+	"repro/internal/stats":      true,
+}
+
+// wallClockFuncs are the package-level time functions that read or wait
+// on the host clock. Pure types and constants (time.Duration,
+// time.Nanosecond) remain usable for expressing virtual durations.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// VirtualTime forbids wall-clock access inside the simulated-time
+// packages: all timing there must go through the virtual clock so that
+// simulation reports stay deterministic and host-independent.
+var VirtualTime = &Analyzer{
+	Name: "virtualtime",
+	Doc: "the simulated cluster packages account virtual time only: no time.Now, " +
+		"time.Since, time.Sleep or other wall-clock reads; use the virtual clock",
+	Run: runVirtualTime,
+}
+
+func runVirtualTime(pass *Pass) {
+	if !simulatedTimePkgs[pass.Pkg.ImportPath] {
+		return
+	}
+	for _, f := range pass.files() {
+		timeName, ok := f.ImportName("time")
+		if !ok {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Name != timeName || !wallClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "wall-clock time.%s in simulated-time package %s; advance the virtual clock instead",
+				sel.Sel.Name, pass.Pkg.ImportPath)
+			return true
+		})
+	}
+}

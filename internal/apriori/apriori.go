@@ -25,11 +25,18 @@ import (
 
 // Global candidate-level counters (see /metricsz); flushed once per
 // candidate level, never inside the counting loop.
+const (
+	mnLevels     = "apriori_levels_total"
+	mnCandidates = "apriori_candidates_total"
+	mnCountOps   = "apriori_count_ops_total"
+	mnScans      = "apriori_scans_total"
+)
+
 var (
-	mLevels     = obsv.Default.Counter("apriori_levels_total", "candidate-generation levels (k >= 3) run")
-	mCandidates = obsv.Default.Counter("apriori_candidates_total", "candidates generated for k >= 3")
-	mCountOps   = obsv.Default.Counter("apriori_count_ops_total", "hash-tree node visits and subset checks")
-	mScans      = obsv.Default.Counter("apriori_scans_total", "full database passes")
+	mLevels     = obsv.Default.Counter(mnLevels, "candidate-generation levels (k >= 3) run")
+	mCandidates = obsv.Default.Counter(mnCandidates, "candidates generated for k >= 3")
+	mCountOps   = obsv.Default.Counter(mnCountOps, "hash-tree node visits and subset checks")
+	mScans      = obsv.Default.Counter(mnScans, "full database passes")
 )
 
 // Stats reports the work a mining run performed; the parallel baselines
@@ -138,17 +145,11 @@ func CountItems(part *db.Database) []int {
 
 // Mine runs sequential Apriori at the given absolute minimum support and
 // returns all frequent itemsets (including 1-itemsets) with exact
-// supports.
-func Mine(d *db.Database, minsup int) (*mining.Result, Stats) {
-	res, st, _ := MineCtx(context.Background(), d, minsup)
-	return res, st
-}
-
-// MineCtx is Mine with cooperative cancellation: ctx is consulted between
-// candidate levels (once per database pass), so a cancel or deadline
-// stops the mine at the next level boundary without per-transaction
-// overhead. On cancellation it returns (nil, partial stats, ctx.Err()).
-func MineCtx(ctx context.Context, d *db.Database, minsup int) (*mining.Result, Stats, error) {
+// supports. It is context-first: ctx is consulted between candidate
+// levels (once per database pass), so a cancel or deadline stops the
+// mine at the next level boundary without per-transaction overhead. On
+// cancellation it returns (nil, partial stats, ctx.Err()).
+func Mine(ctx context.Context, d *db.Database, minsup int) (*mining.Result, Stats, error) {
 	if minsup < 1 {
 		minsup = 1
 	}

@@ -1,6 +1,7 @@
 package apriori
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -62,7 +63,7 @@ func TestMineTinyKnownAnswer(t *testing.T) {
 		{TID: 3, Items: itemset.New(0, 1)},
 		{TID: 4, Items: itemset.New(2)},
 	}}
-	res, st := Mine(d, 3)
+	res, st, _ := Mine(context.Background(), d, 3)
 	m := res.SupportMap()
 	wants := map[string]int{
 		itemset.New(0).Key():       4,
@@ -95,7 +96,7 @@ func TestMineMatchesBruteForce(t *testing.T) {
 	for trial := 0; trial < 20; trial++ {
 		d := testutil.RandomDB(rng, 60, 12, 6)
 		for _, minsup := range []int{1, 2, 3, 5, 10} {
-			got, _ := Mine(d, minsup)
+			got, _, _ := Mine(context.Background(), d, minsup)
 			want := testutil.BruteForce(d, minsup)
 			if !mining.Equal(got, want) {
 				t.Fatalf("trial %d minsup %d: mismatch\n%s", trial, minsup, mining.Diff(got, want))
@@ -109,7 +110,7 @@ func TestMineMatchesBruteForce(t *testing.T) {
 
 func TestMineEmptyDatabase(t *testing.T) {
 	d := &db.Database{NumItems: 5}
-	res, _ := Mine(d, 1)
+	res, _, _ := Mine(context.Background(), d, 1)
 	if res.Len() != 0 {
 		t.Fatalf("empty database should yield nothing, got %d", res.Len())
 	}
@@ -119,7 +120,7 @@ func TestMineMinsupClamped(t *testing.T) {
 	d := &db.Database{NumItems: 2, Transactions: []db.Transaction{
 		{TID: 0, Items: itemset.New(0)},
 	}}
-	res, _ := Mine(d, 0)
+	res, _, _ := Mine(context.Background(), d, 0)
 	if res.MinSup != 1 || res.Len() != 1 {
 		t.Fatalf("minsup 0 should clamp to 1: %+v", res)
 	}
@@ -128,7 +129,7 @@ func TestMineMinsupClamped(t *testing.T) {
 func TestMineHighMinsupStopsEarly(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	d := testutil.RandomDB(rng, 50, 10, 5)
-	res, st := Mine(d, 51)
+	res, st, _ := Mine(context.Background(), d, 51)
 	if res.Len() != 0 {
 		t.Fatal("nothing can be frequent above |D|")
 	}
@@ -140,7 +141,7 @@ func TestMineHighMinsupStopsEarly(t *testing.T) {
 func TestStatsAccounting(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	d := testutil.RandomDB(rng, 80, 10, 7)
-	_, st := Mine(d, 2)
+	_, st, _ := Mine(context.Background(), d, 2)
 	if st.CountOps <= 0 {
 		t.Fatal("CountOps should be positive")
 	}

@@ -1,6 +1,7 @@
 package canddist
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -15,7 +16,7 @@ func TestMatchesSequentialApriori(t *testing.T) {
 	rng := rand.New(rand.NewSource(61))
 	d := testutil.RandomDB(rng, 300, 12, 7)
 	minsup := 5
-	want, _ := apriori.Mine(d, minsup)
+	want, _, _ := apriori.Mine(context.Background(), d, minsup)
 	for _, hp := range [][2]int{{1, 1}, {2, 2}, {4, 1}, {1, 4}} {
 		cl := cluster.New(cluster.Default(hp[0], hp[1]))
 		got, rep := Mine(cl, d, minsup)
@@ -31,7 +32,7 @@ func TestMatchesSequentialApriori(t *testing.T) {
 func TestRepartitionPassVariants(t *testing.T) {
 	rng := rand.New(rand.NewSource(67))
 	d := testutil.RandomDB(rng, 250, 12, 7)
-	want, _ := apriori.Mine(d, 5)
+	want, _, _ := apriori.Mine(context.Background(), d, 5)
 	for _, l := range []int{2, 3, 4, 5, 9} {
 		cl := cluster.New(cluster.Default(2, 2))
 		got, _ := MineOpts(cl, d, 5, Options{RepartitionPass: l})

@@ -227,9 +227,16 @@ func (r *Report) PhaseMaxima() []PhaseMax {
 // Simulator-level metrics: runs, elapsed virtual time, and per-phase
 // virtual maxima land in the default registry every time a run's report
 // is taken.
+const (
+	mnClusterRuns        = "cluster_runs_total"
+	mnClusterElapsed     = "cluster_elapsed_virtual_ns"
+	mnClusterPhasePrefix = "cluster_phase_"
+	mnVirtualNSSuffix    = "_virtual_ns"
+)
+
 var (
-	clusterRuns    = obsv.Default.Counter("cluster_runs_total", "simulated cluster runs reported")
-	clusterElapsed = obsv.Default.Histogram("cluster_elapsed_virtual_ns", "elapsed virtual time of simulated cluster runs", nil)
+	clusterRuns    = obsv.Default.Counter(mnClusterRuns, "simulated cluster runs reported")
+	clusterElapsed = obsv.Default.Histogram(mnClusterElapsed, "elapsed virtual time of simulated cluster runs", nil)
 )
 
 // Report snapshots the cluster's accounting after a Run and publishes
@@ -242,7 +249,7 @@ func (c *Cluster) Report() Report {
 	clusterRuns.Inc()
 	clusterElapsed.Observe(r.ElapsedNS)
 	for _, pm := range r.PhaseMaxima() {
-		obsv.Default.Histogram("cluster_phase_"+obsv.SanitizeName(pm.Name)+"_virtual_ns",
+		obsv.Default.Histogram(mnClusterPhasePrefix+obsv.SanitizeName(pm.Name)+mnVirtualNSSuffix,
 			"maximum per-processor virtual time of the "+pm.Name+" phase", nil).Observe(pm.NS)
 	}
 	return r

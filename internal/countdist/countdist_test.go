@@ -1,6 +1,7 @@
 package countdist
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -15,7 +16,7 @@ func TestMatchesSequentialApriori(t *testing.T) {
 	rng := rand.New(rand.NewSource(41))
 	d := testutil.RandomDB(rng, 300, 14, 7)
 	minsup := 6
-	want, _ := apriori.Mine(d, minsup)
+	want, _, _ := apriori.Mine(context.Background(), d, minsup)
 	for _, hp := range [][2]int{{1, 1}, {2, 2}, {4, 1}, {1, 8}} {
 		cl := cluster.New(cluster.Default(hp[0], hp[1]))
 		got, rep := Mine(cl, d, minsup)

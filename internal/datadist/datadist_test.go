@@ -1,6 +1,7 @@
 package datadist
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -15,7 +16,7 @@ func TestMatchesSequentialApriori(t *testing.T) {
 	rng := rand.New(rand.NewSource(51))
 	d := testutil.RandomDB(rng, 200, 12, 6)
 	minsup := 5
-	want, _ := apriori.Mine(d, minsup)
+	want, _, _ := apriori.Mine(context.Background(), d, minsup)
 	for _, hp := range [][2]int{{1, 1}, {2, 2}, {4, 1}} {
 		cl := cluster.New(cluster.Default(hp[0], hp[1]))
 		got, rep := Mine(cl, d, minsup)

@@ -1,6 +1,7 @@
 package dhp
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -36,7 +37,7 @@ func TestFilterActuallyPrunes(t *testing.T) {
 		t.Fatalf("expected a large C2 reduction, survivor ratio %.2f (%d of %d)",
 			st.SurvivorRatio, st.C2AfterFilter, st.C2Unfiltered)
 	}
-	want, _ := apriori.Mine(d, minsup)
+	want, _, _ := apriori.Mine(context.Background(), d, minsup)
 	got, _ := Mine(d, minsup, Options{})
 	if !mining.Equal(got, want) {
 		t.Fatal(mining.Diff(got, want))

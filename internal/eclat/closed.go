@@ -1,6 +1,8 @@
 package eclat
 
 import (
+	"context"
+
 	"repro/internal/db"
 	"repro/internal/itemset"
 	"repro/internal/mining"
@@ -24,7 +26,7 @@ func MineClosed(d *db.Database, minsup int) (*mining.Result, Stats) {
 // MineClosedOpts is MineClosed with explicit variant options (the options
 // affect only the underlying full-collection mine).
 func MineClosedOpts(d *db.Database, minsup int, opts Options) (*mining.Result, Stats) {
-	full, st := MineSequentialOpts(d, minsup, opts)
+	full, st, _ := MineSequentialOpts(context.Background(), d, minsup, opts)
 	res := &mining.Result{MinSup: full.MinSup, NumTransactions: full.NumTransactions}
 	res.Itemsets = closedFilter(full.Itemsets)
 	res.Sort()

@@ -33,12 +33,20 @@ import (
 // per-intersection path. Kernel-dispatch counters (sparse vs dense
 // intersections, words touched, conversions) live in internal/tidlist
 // and are flushed on the same per-class cadence.
+const (
+	mnIntersections = "eclat_intersections_total"
+	mnShortCircuit  = "eclat_intersections_shortcircuited_total"
+	mnIntersectOps  = "eclat_intersect_ops_total"
+	mnTidlistBytes  = "eclat_tidlist_bytes_total"
+	mnClasses       = "eclat_classes_total"
+)
+
 var (
-	mIntersections = obsv.Default.Counter("eclat_intersections_total", "tid-list intersections attempted")
-	mShortCircuit  = obsv.Default.Counter("eclat_intersections_shortcircuited_total", "intersections aborted early by the minimum-support bound")
-	mIntersectOps  = obsv.Default.Counter("eclat_intersect_ops_total", "tid-set kernel operations performed (element comparisons or words)")
-	mTidlistBytes  = obsv.Default.Counter("eclat_tidlist_bytes_total", "tid-set bytes touched by intersections")
-	mClasses       = obsv.Default.Counter("eclat_classes_total", "top-level equivalence classes mined")
+	mIntersections = obsv.Default.Counter(mnIntersections, "tid-list intersections attempted")
+	mShortCircuit  = obsv.Default.Counter(mnShortCircuit, "intersections aborted early by the minimum-support bound")
+	mIntersectOps  = obsv.Default.Counter(mnIntersectOps, "tid-set kernel operations performed (element comparisons or words)")
+	mTidlistBytes  = obsv.Default.Counter(mnTidlistBytes, "tid-set bytes touched by intersections")
+	mClasses       = obsv.Default.Counter(mnClasses, "top-level equivalence classes mined")
 )
 
 // tidBytes is the in-memory size of one sparse tid-list element.
@@ -223,22 +231,22 @@ func applyClassRepr(members []member, repr tidlist.Repr, ks *tidlist.KernelStats
 // parallel form it reads the horizontal data twice; the third "scan" of
 // the paper (reading the inverted lists back from disk) has no in-memory
 // counterpart here.
+//
+// This is the convenience form for tests, benchmarks and experiments: no
+// cancellation (background context) and the paper's default options. The
+// canonical context-first entry point is MineSequentialOpts.
 func MineSequential(d *db.Database, minsup int) (*mining.Result, Stats) {
-	return MineSequentialOpts(d, minsup, Options{})
-}
-
-// MineSequentialOpts is MineSequential with explicit variant options.
-func MineSequentialOpts(d *db.Database, minsup int, opts Options) (*mining.Result, Stats) {
-	res, st, _ := MineSequentialCtx(context.Background(), d, minsup, opts)
+	res, st, _ := MineSequentialOpts(context.Background(), d, minsup, Options{})
 	return res, st
 }
 
-// MineSequentialCtx is MineSequentialOpts with cooperative cancellation:
-// ctx is consulted between equivalence classes (see computeFrequent), so
-// a cancel or deadline stops the mine promptly without slowing the
-// intersection inner loop. On cancellation it returns (nil, partial
-// stats, ctx.Err()).
-func MineSequentialCtx(ctx context.Context, d *db.Database, minsup int, opts Options) (*mining.Result, Stats, error) {
+// MineSequentialOpts is the canonical context-first sequential entry
+// point: MineSequential with explicit variant options and cooperative
+// cancellation. ctx is consulted between equivalence classes (see
+// computeFrequent), so a cancel or deadline stops the mine promptly
+// without slowing the intersection inner loop. On cancellation it
+// returns (nil, partial stats, ctx.Err()).
+func MineSequentialOpts(ctx context.Context, d *db.Database, minsup int, opts Options) (*mining.Result, Stats, error) {
 	if minsup < 1 {
 		minsup = 1
 	}

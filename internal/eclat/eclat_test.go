@@ -56,7 +56,7 @@ func TestSequentialMatchesApriori(t *testing.T) {
 	d := gen.MustGenerate(gen.T10I6(1500))
 	minsup := d.MinSupCount(1.0)
 	ecl, _ := MineSequential(d, minsup)
-	apr, _ := apriori.Mine(d, minsup)
+	apr, _, _ := apriori.Mine(context.Background(), d, minsup)
 	if !mining.Equal(ecl, apr) {
 		t.Fatalf("Eclat and Apriori disagree on %s:\n%s", gen.T10I6(1500).Name(), mining.Diff(ecl, apr))
 	}
@@ -175,11 +175,11 @@ func TestParallelMoreProcsThanTransactions(t *testing.T) {
 	}
 }
 
-func TestMineSequentialCtxCanceled(t *testing.T) {
+func TestMineSequentialOptsCanceled(t *testing.T) {
 	d := gen.MustGenerate(gen.T10I6(1500))
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	res, _, err := MineSequentialCtx(ctx, d, 10, Options{})
+	res, _, err := MineSequentialOpts(ctx, d, 10, Options{})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
@@ -188,10 +188,10 @@ func TestMineSequentialCtxCanceled(t *testing.T) {
 	}
 }
 
-func TestMineSequentialCtxBackgroundMatchesPlain(t *testing.T) {
+func TestMineSequentialOptsBackgroundMatchesPlain(t *testing.T) {
 	d := gen.MustGenerate(gen.T10I6(1500))
 	want, _ := MineSequential(d, 10)
-	got, _, err := MineSequentialCtx(context.Background(), d, 10, Options{})
+	got, _, err := MineSequentialOpts(context.Background(), d, 10, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

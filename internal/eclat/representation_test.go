@@ -1,6 +1,7 @@
 package eclat
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -20,7 +21,7 @@ var reprVariants = []struct {
 	mine func(d *db.Database, minsup int, opts Options) *mining.Result
 }{
 	{"sequential", func(d *db.Database, minsup int, opts Options) *mining.Result {
-		res, _ := MineSequentialOpts(d, minsup, opts)
+		res, _, _ := MineSequentialOpts(context.Background(), d, minsup, opts)
 		return res
 	}},
 	{"parallel", func(d *db.Database, minsup int, opts Options) *mining.Result {
@@ -95,7 +96,7 @@ func TestRepresentationsMatchBruteForce(t *testing.T) {
 	for _, minsup := range []int{2, 4, 8} {
 		want := testutil.BruteForce(d, minsup)
 		for _, r := range allReprs {
-			got, _ := MineSequentialOpts(d, minsup, Options{Representation: r})
+			got, _, _ := MineSequentialOpts(context.Background(), d, minsup, Options{Representation: r})
 			if !mining.Equal(got, want) {
 				t.Fatalf("minsup %d repr %v differs from brute force:\n%s", minsup, r, mining.Diff(got, want))
 			}
@@ -109,7 +110,7 @@ func TestRepresentationsMatchBruteForce(t *testing.T) {
 func TestBitsetRunDispatchesDenseKernel(t *testing.T) {
 	rng := rand.New(rand.NewSource(79))
 	d := testutil.RandomDB(rng, 200, 12, 7)
-	_, st := MineSequentialOpts(d, 4, Options{Representation: tidlist.ReprBitset})
+	_, st, _ := MineSequentialOpts(context.Background(), d, 4, Options{Representation: tidlist.ReprBitset})
 	if st.Intersections == 0 {
 		t.Skip("no intersections at this support; adjust test data")
 	}
@@ -120,7 +121,7 @@ func TestBitsetRunDispatchesDenseKernel(t *testing.T) {
 		t.Fatal("dense dispatches must touch words")
 	}
 	// A sparse run on the same data must not touch the dense kernel.
-	_, st = MineSequentialOpts(d, 4, Options{Representation: tidlist.ReprSparse})
+	_, st, _ = MineSequentialOpts(context.Background(), d, 4, Options{Representation: tidlist.ReprSparse})
 	if st.Kernel.DenseIntersections() != 0 || st.Kernel.WordsTouched() != 0 {
 		t.Fatal("explicit sparse run dispatched to the dense kernel")
 	}
@@ -133,14 +134,14 @@ func TestAdaptivePolicySwitchesByDensity(t *testing.T) {
 	// Dense: 10 items over 120 transactions, every class far above 1/32
 	// density, so auto must pack classes into bitsets.
 	dense := testutil.RandomDB(rng, 120, 8, 6)
-	_, st := MineSequentialOpts(dense, 2, Options{Representation: tidlist.ReprAuto})
+	_, st, _ := MineSequentialOpts(context.Background(), dense, 2, Options{Representation: tidlist.ReprAuto})
 	if st.Intersections > 0 && st.Kernel.DenseIntersections() == 0 {
 		t.Fatal("auto on dense data never used the bitset kernel")
 	}
 	// Sparse: supports near minsup over a wide tid range keep density
 	// far below the threshold, so auto must stay on the merge kernel.
 	sparse := testutil.RandomDB(rng, 4000, 120, 4)
-	_, st = MineSequentialOpts(sparse, 2, Options{Representation: tidlist.ReprAuto})
+	_, st, _ = MineSequentialOpts(context.Background(), sparse, 2, Options{Representation: tidlist.ReprAuto})
 	if st.Kernel.DenseIntersections() != 0 {
 		t.Fatalf("auto on sparse data dispatched %d dense intersections", st.Kernel.DenseIntersections())
 	}

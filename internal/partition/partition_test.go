@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -34,7 +35,7 @@ func TestMatchesBruteForce(t *testing.T) {
 func TestMatchesAprioriOnGeneratedData(t *testing.T) {
 	d := gen.MustGenerate(gen.T10I6(2000))
 	minsup := d.MinSupCount(1.0)
-	want, _ := apriori.Mine(d, minsup)
+	want, _, _ := apriori.Mine(context.Background(), d, minsup)
 	got, st := Mine(d, minsup, 5)
 	if !mining.Equal(got, want) {
 		t.Fatal(mining.Diff(got, want))

@@ -1,6 +1,7 @@
 package rules
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -12,7 +13,7 @@ import (
 func TestGenerateParallelMatchesSequential(t *testing.T) {
 	rng := rand.New(rand.NewSource(161))
 	d := testutil.RandomDB(rng, 200, 12, 6)
-	res, _ := apriori.Mine(d, 4)
+	res, _, _ := apriori.Mine(context.Background(), d, 4)
 	for _, minConf := range []float64{0.4, 0.8, 1.0} {
 		want := Generate(res, minConf)
 		for _, hp := range [][2]int{{1, 1}, {2, 2}, {4, 1}, {1, 8}} {
@@ -34,7 +35,7 @@ func TestGenerateParallelMatchesSequential(t *testing.T) {
 func TestGenerateParallelChargesWork(t *testing.T) {
 	rng := rand.New(rand.NewSource(163))
 	d := testutil.RandomDB(rng, 200, 12, 6)
-	res, _ := apriori.Mine(d, 4)
+	res, _, _ := apriori.Mine(context.Background(), d, 4)
 	cl := cluster.New(cluster.Default(2, 2))
 	GenerateParallel(cl, res, 0.5)
 	rep := cl.Report()

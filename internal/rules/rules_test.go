@@ -1,6 +1,7 @@
 package rules
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -86,7 +87,7 @@ func TestGenerateMatchesExhaustive(t *testing.T) {
 	rng := rand.New(rand.NewSource(71))
 	for trial := 0; trial < 10; trial++ {
 		d := testutil.RandomDB(rng, 60, 10, 6)
-		res, _ := apriori.Mine(d, 3)
+		res, _, _ := apriori.Mine(context.Background(), d, 3)
 		sup := res.SupportMap()
 		for _, minConf := range []float64{0.3, 0.6, 0.9, 1.0} {
 			want := map[string]float64{}
@@ -129,7 +130,7 @@ func TestGenerateMatchesExhaustive(t *testing.T) {
 func TestRuleInvariants(t *testing.T) {
 	rng := rand.New(rand.NewSource(73))
 	d := testutil.RandomDB(rng, 80, 12, 6)
-	res, _ := apriori.Mine(d, 3)
+	res, _, _ := apriori.Mine(context.Background(), d, 3)
 	rs := Generate(res, 0.5)
 	for _, r := range rs {
 		if r.Confidence < 0.5 || r.Confidence > 1+1e-12 {

@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -55,7 +56,7 @@ func TestTypicallyOneScan(t *testing.T) {
 func TestMatchesApriori(t *testing.T) {
 	d := gen.MustGenerate(gen.T10I6(2000))
 	minsup := d.MinSupCount(1.5)
-	want, _ := apriori.Mine(d, minsup)
+	want, _, _ := apriori.Mine(context.Background(), d, minsup)
 	got, _ := Mine(d, minsup, Options{SampleSize: 500, Seed: 9})
 	if !mining.Equal(got, want) {
 		t.Fatal(mining.Diff(got, want))

@@ -10,10 +10,16 @@ import (
 
 // Cache metrics (see /metricsz); aggregated across all caches in the
 // process, while per-cache counters remain on CacheStats.
+const (
+	mnCacheHits      = "service_cache_hits_total"
+	mnCacheMisses    = "service_cache_misses_total"
+	mnCacheEvictions = "service_cache_evictions_total"
+)
+
 var (
-	cacheHits      = obsv.Default.Counter("service_cache_hits_total", "result-cache lookups that found an entry")
-	cacheMisses    = obsv.Default.Counter("service_cache_misses_total", "result-cache lookups that found nothing")
-	cacheEvictions = obsv.Default.Counter("service_cache_evictions_total", "entries evicted to respect the byte budget")
+	cacheHits      = obsv.Default.Counter(mnCacheHits, "result-cache lookups that found an entry")
+	cacheMisses    = obsv.Default.Counter(mnCacheMisses, "result-cache lookups that found nothing")
+	cacheEvictions = obsv.Default.Counter(mnCacheEvictions, "entries evicted to respect the byte budget")
 )
 
 // CacheStats is a point-in-time view of the result cache counters.

@@ -17,16 +17,28 @@ import (
 // Job-lifecycle metrics (see /metricsz). They mirror the Manager's
 // per-instance atomics, which /statsz still serves; the registry versions
 // aggregate across every manager in the process.
+const (
+	mnJobsSubmitted = "service_jobs_submitted_total"
+	mnJobsCompleted = "service_jobs_completed_total"
+	mnJobsFailed    = "service_jobs_failed_total"
+	mnJobsCanceled  = "service_jobs_canceled_total"
+	mnJobsRejected  = "service_jobs_rejected_total"
+	mnCacheServed   = "service_cache_served_total"
+	mnJobsRunning   = "service_jobs_running"
+	mnQueueWaitNS   = "service_queue_wait_ns"
+	mnJobDurationNS = "service_job_duration_ns"
+)
+
 var (
-	jobsSubmitted = obsv.Default.Counter("service_jobs_submitted_total", "jobs accepted (queued or served from cache)")
-	jobsCompleted = obsv.Default.Counter("service_jobs_completed_total", "jobs finished successfully")
-	jobsFailed    = obsv.Default.Counter("service_jobs_failed_total", "jobs finished with an error")
-	jobsCanceled  = obsv.Default.Counter("service_jobs_canceled_total", "jobs canceled before or during execution")
-	jobsRejected  = obsv.Default.Counter("service_jobs_rejected_total", "submissions refused by queue backpressure")
-	cacheServed   = obsv.Default.Counter("service_cache_served_total", "jobs answered from the result cache without mining")
-	jobsRunning   = obsv.Default.Gauge("service_jobs_running", "jobs currently executing")
-	queueWaitNS   = obsv.Default.Histogram("service_queue_wait_ns", "nanoseconds jobs spent queued before running", nil)
-	jobDurationNS = obsv.Default.Histogram("service_job_duration_ns", "nanoseconds from job start to terminal state", nil)
+	jobsSubmitted = obsv.Default.Counter(mnJobsSubmitted, "jobs accepted (queued or served from cache)")
+	jobsCompleted = obsv.Default.Counter(mnJobsCompleted, "jobs finished successfully")
+	jobsFailed    = obsv.Default.Counter(mnJobsFailed, "jobs finished with an error")
+	jobsCanceled  = obsv.Default.Counter(mnJobsCanceled, "jobs canceled before or during execution")
+	jobsRejected  = obsv.Default.Counter(mnJobsRejected, "submissions refused by queue backpressure")
+	cacheServed   = obsv.Default.Counter(mnCacheServed, "jobs answered from the result cache without mining")
+	jobsRunning   = obsv.Default.Gauge(mnJobsRunning, "jobs currently executing")
+	queueWaitNS   = obsv.Default.Histogram(mnQueueWaitNS, "nanoseconds jobs spent queued before running", nil)
+	jobDurationNS = obsv.Default.Histogram(mnJobDurationNS, "nanoseconds from job start to terminal state", nil)
 )
 
 // ErrQueueFull is returned by Submit when the bounded job queue has no

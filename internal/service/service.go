@@ -19,6 +19,14 @@ type Config struct {
 	CacheBytes int64
 }
 
+// Live-gauge metric names of the service.
+const (
+	mnQueueLen     = "service_queue_len"
+	mnCacheEntries = "service_cache_entries"
+	mnCacheBytes   = "service_cache_bytes"
+	mnDatasets     = "service_datasets"
+)
+
 // Service wires the dataset registry, the job manager, and the result
 // cache into the serving layer behind cmd/assocmined.
 type Service struct {
@@ -38,13 +46,13 @@ func New(cfg Config) *Service {
 		started: time.Now(),
 	}
 	s.mgr = NewManager(ManagerConfig{Workers: cfg.Workers, QueueDepth: cfg.QueueDepth}, s.runJob)
-	obsv.Default.GaugeFunc("service_queue_len", "jobs waiting in the bounded queue",
+	obsv.Default.GaugeFunc(mnQueueLen, "jobs waiting in the bounded queue",
 		func() int64 { return int64(s.mgr.QueueLen()) })
-	obsv.Default.GaugeFunc("service_cache_entries", "entries in the result cache",
+	obsv.Default.GaugeFunc(mnCacheEntries, "entries in the result cache",
 		func() int64 { return int64(s.cache.Len()) })
-	obsv.Default.GaugeFunc("service_cache_bytes", "estimated bytes held by the result cache",
+	obsv.Default.GaugeFunc(mnCacheBytes, "estimated bytes held by the result cache",
 		func() int64 { return s.cache.Stats().SizeBytes })
-	obsv.Default.GaugeFunc("service_datasets", "registered datasets",
+	obsv.Default.GaugeFunc(mnDatasets, "registered datasets",
 		func() int64 { return int64(len(s.reg.List())) })
 	return s
 }

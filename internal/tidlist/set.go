@@ -188,14 +188,23 @@ func (k *KernelStats) Add(other KernelStats) {
 	k.conversions += other.conversions
 }
 
-// Kernel-dispatch metrics (see /metricsz).
+// Kernel-dispatch metric names and metrics (see /metricsz).
+const (
+	mnSparseDispatch = "tidlist_intersect_sparse_total"
+	mnDenseDispatch  = "tidlist_intersect_dense_total"
+	mnMixedDispatch  = "tidlist_intersect_mixed_total"
+	mnSparseOps      = "tidlist_sparse_ops_total"
+	mnDenseWords     = "tidlist_dense_words_total"
+	mnConversions    = "tidlist_conversions_total"
+)
+
 var (
-	mSparseDispatch = obsv.Default.Counter("tidlist_intersect_sparse_total", "tid-set intersections dispatched to the sparse merge kernel")
-	mDenseDispatch  = obsv.Default.Counter("tidlist_intersect_dense_total", "tid-set intersections dispatched to the dense word kernel")
-	mMixedDispatch  = obsv.Default.Counter("tidlist_intersect_mixed_total", "tid-set intersections dispatched to the mixed sparse-probe kernel")
-	mSparseOps      = obsv.Default.Counter("tidlist_sparse_ops_total", "element comparisons performed by the sparse merge kernel")
-	mDenseWords     = obsv.Default.Counter("tidlist_dense_words_total", "64-bit words touched by the dense kernel")
-	mConversions    = obsv.Default.Counter("tidlist_conversions_total", "sparse<->dense tid-set re-encodings")
+	mSparseDispatch = obsv.Default.Counter(mnSparseDispatch, "tid-set intersections dispatched to the sparse merge kernel")
+	mDenseDispatch  = obsv.Default.Counter(mnDenseDispatch, "tid-set intersections dispatched to the dense word kernel")
+	mMixedDispatch  = obsv.Default.Counter(mnMixedDispatch, "tid-set intersections dispatched to the mixed sparse-probe kernel")
+	mSparseOps      = obsv.Default.Counter(mnSparseOps, "element comparisons performed by the sparse merge kernel")
+	mDenseWords     = obsv.Default.Counter(mnDenseWords, "64-bit words touched by the dense kernel")
+	mConversions    = obsv.Default.Counter(mnConversions, "sparse<->dense tid-set re-encodings")
 )
 
 // Flush publishes the delta between prev and k to the process metrics

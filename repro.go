@@ -295,12 +295,23 @@ func (o MineOptions) clusterConfig() ClusterConfig {
 	return cluster.Default(h, p)
 }
 
+// Metric names of the repro package (reprolint/metricname: obsv metric
+// names are package-level constants so the package's whole name set is
+// greppable here).
+const (
+	mnMineRuns        = "mine_runs_total"
+	mnMineErrors      = "mine_errors_total"
+	mnMineDurationNS  = "mine_duration_ns"
+	mnMinePhasePrefix = "mine_phase_"
+	mnNSSuffix        = "_ns"
+)
+
 // Run-level metrics every mining entry point reports to the default
 // observability registry.
 var (
-	mineRuns     = obsv.Default.Counter("mine_runs_total", "mining runs started through the repro API")
-	mineErrors   = obsv.Default.Counter("mine_errors_total", "mining runs that returned an error (including cancellations)")
-	mineDuration = obsv.Default.Histogram("mine_duration_ns", "wall-clock duration of completed mining runs", nil)
+	mineRuns     = obsv.Default.Counter(mnMineRuns, "mining runs started through the repro API")
+	mineErrors   = obsv.Default.Counter(mnMineErrors, "mining runs that returned an error (including cancellations)")
+	mineDuration = obsv.Default.Histogram(mnMineDurationNS, "wall-clock duration of completed mining runs", nil)
 )
 
 // Mine discovers all frequent itemsets of d under the given options. All
@@ -367,7 +378,7 @@ func observePhases(spans []PhaseSpan) {
 		if sp.Virtual() {
 			continue
 		}
-		obsv.Default.Histogram("mine_phase_"+obsv.SanitizeName(sp.Name)+"_ns",
+		obsv.Default.Histogram(mnMinePhasePrefix+obsv.SanitizeName(sp.Name)+mnNSSuffix,
 			"wall-clock duration of the "+sp.Name+" mining phase", nil).Observe(sp.DurationNS)
 	}
 }
@@ -396,14 +407,14 @@ func mine(ctx context.Context, d *Database, opts MineOptions, minsup int, info *
 				return eclat.MineOpts(cl, d, minsup, eclat.Options{Representation: opts.Representation})
 			}, opts)
 		}
-		res, st, err := eclat.MineSequentialCtx(ctx, d, minsup, eclat.Options{Representation: opts.Representation})
+		res, st, err := eclat.MineSequentialOpts(ctx, d, minsup, eclat.Options{Representation: opts.Representation})
 		if err != nil {
 			return nil, wrapIfCtxErr(err)
 		}
 		info.Scans = st.Scans
 		return res, nil
 	case AlgoApriori:
-		res, st, err := apriori.MineCtx(ctx, d, minsup)
+		res, st, err := apriori.Mine(ctx, d, minsup)
 		if err != nil {
 			return nil, wrapIfCtxErr(err)
 		}

@@ -22,6 +22,7 @@ func TestDeprecatedWrappersMatchMine(t *testing.T) {
 			t.Fatal(err)
 		}
 		//lint:ignore SA1019 the deprecated wrapper is the thing under test
+		//reprolint:ignore ctxfirst the deprecated wrapper is the thing under test
 		got, info, err := MineContext(context.Background(), d, opts)
 		if err != nil {
 			t.Fatal(err)
@@ -68,10 +69,12 @@ func TestMineCanceledBeforeStart(t *testing.T) {
 		t.Fatalf("MineClosed: %v", err)
 	}
 	//lint:ignore SA1019 wrapper must forward cancellation like the new name
+	//reprolint:ignore ctxfirst the deprecated wrapper is the thing under test
 	if _, err := MineMaximalContext(ctx, d, MineOptions{SupportPct: 1.0}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("MineMaximalContext: %v", err)
 	}
 	//lint:ignore SA1019 wrapper must forward cancellation like the new name
+	//reprolint:ignore ctxfirst the deprecated wrapper is the thing under test
 	if _, err := MineClosedContext(ctx, d, MineOptions{SupportPct: 1.0}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("MineClosedContext: %v", err)
 	}

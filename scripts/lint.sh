@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Run the repo's contract lint suite exactly the way CI does, so a clean
+# local run means a clean CI run.
+#
+#   ./scripts/lint.sh              # whole tree
+#   ./scripts/lint.sh ./internal/service/...
+#
+# Exit codes follow reprolint: 0 clean, 1 findings, 2 usage/load errors.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if [ "$#" -eq 0 ]; then
+    set -- ./...
+fi
+
+exec go run ./cmd/reprolint "$@"
