@@ -40,6 +40,7 @@ func run(args []string, stdout io.Writer) error {
 	support := fs.Float64("support", 0.25, "minimum support in percent")
 	algoName := fs.String("algo", "eclat", "algorithm: eclat, apriori, countdist, datadist, canddist, hybrid, partition, sampling, dhp")
 	reprName := fs.String("repr", "auto", "tid-set representation for Eclat-family algorithms: auto, sparse, bitset")
+	parallel := fs.Int("parallel", 0, "worker goroutines for the real (non-simulated) eclat path; 0 means GOMAXPROCS, 1 forces sequential")
 	maximal := fs.Bool("maximal", false, "mine only maximal frequent itemsets (MaxEclat)")
 	closed := fs.Bool("closed", false, "mine only closed frequent itemsets")
 	hosts := fs.Int("hosts", 1, "simulated hosts H")
@@ -69,6 +70,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *genTx < 0 {
 		return fmt.Errorf("-gen must not be negative, got %d", *genTx)
+	}
+	if *parallel < 0 {
+		return fmt.Errorf("-parallel must not be negative, got %d", *parallel)
 	}
 
 	d, err := loadDatabase(*dbPath, *format, *genTx)
@@ -106,6 +110,7 @@ func run(args []string, stdout io.Writer) error {
 		Hosts:          *hosts,
 		ProcsPerHost:   *procs,
 		Representation: repr,
+		Parallelism:    *parallel,
 	}
 	tr := obsv.NewTrace()
 	ctx := obsv.WithTrace(context.Background(), tr)
@@ -181,6 +186,9 @@ func run(args []string, stdout io.Writer) error {
 
 	if *stats {
 		printPhaseTable(stdout, tr.Spans(), time.Since(start))
+		if info.Parallelism > 0 {
+			fmt.Fprintf(stdout, "Local parallelism: %d workers, %d steals\n", info.Parallelism, info.Steals)
+		}
 	}
 
 	if *report && info.Report != nil {

@@ -69,6 +69,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs.SetOutput(stdout)
 	addr := fs.String("addr", ":8420", "listen address (host:port; port 0 picks an ephemeral port)")
 	workers := fs.Int("workers", runtime.NumCPU(), "mining worker goroutines")
+	parallelBudget := fs.Int("parallel-budget", 0, "total intra-job mining goroutines across concurrent jobs; 0 means GOMAXPROCS (each job gets budget/workers, min 1)")
 	queue := fs.Int("queue", 64, "bounded job-queue depth (submissions beyond it get 429)")
 	cacheMB := fs.Int("cache-mb", 64, "result-cache budget in MiB")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
@@ -87,11 +88,15 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if *cacheMB < 1 {
 		return fmt.Errorf("-cache-mb must be positive, got %d", *cacheMB)
 	}
+	if *parallelBudget < 0 {
+		return fmt.Errorf("-parallel-budget must not be negative, got %d", *parallelBudget)
+	}
 
 	svc := service.New(service.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		CacheBytes: int64(*cacheMB) << 20,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheBytes:     int64(*cacheMB) << 20,
+		ParallelBudget: *parallelBudget,
 	})
 	if err := registerDatasets(svc, datasets, gens); err != nil {
 		return err

@@ -93,10 +93,14 @@ type Options struct {
 	// slice with the scalar merge kernel, ReprBitset forces the
 	// word-packed dense kernel.
 	Representation tidlist.Repr
+	// Workers is the number of real goroutines MineParallelLocal mines
+	// with (0 means runtime.GOMAXPROCS(0)). The sequential and simulated
+	// entry points ignore it.
+	Workers int
 }
 
-// Stats counts the work of a sequential run (the parallel form reports
-// through cluster.Report instead).
+// Stats counts the work of a sequential or shared-memory-parallel run
+// (the simulated parallel forms report through cluster.Report instead).
 type Stats struct {
 	Scans          int
 	Intersections  int64 // tid-set intersections attempted
@@ -106,10 +110,26 @@ type Stats struct {
 	// per-kind split is in Kernel).
 	IntersectOps int64
 	Classes      int // top-level equivalence classes mined
+	// Workers is the number of mining goroutines a MineParallelLocal run
+	// used (1 for sequential runs).
+	Workers int
+	// Steals counts the work-stealing events of a MineParallelLocal run
+	// (always 0 for sequential runs).
+	Steals int64
 	// Kernel is the representation-dispatch accounting of the run: how
 	// many intersections went to the sparse, dense and mixed kernels,
 	// their per-kind work units, and sparse<->dense conversions.
 	Kernel tidlist.KernelStats
+}
+
+// merge folds a worker's counters into the run totals. Scans, Classes,
+// Workers and Steals are run-level figures owned by the coordinator and
+// are deliberately not summed.
+func (s *Stats) merge(w *Stats) {
+	s.Intersections += w.Intersections
+	s.ShortCircuited += w.ShortCircuited
+	s.IntersectOps += w.IntersectOps
+	s.Kernel.Add(w.Kernel)
 }
 
 // member is one itemset of the current level within a class, with its
@@ -129,7 +149,12 @@ type member struct {
 // intersection inner loop, so an expired ctx stops the search promptly
 // without per-intersection overhead. On cancellation the walk simply
 // unwinds; the caller is responsible for reporting ctx.Err().
-func computeFrequent(ctx context.Context, members []member, minsup int, st *Stats, opts Options, emit func(itemset.Itemset, int)) {
+//
+// ar is the caller's scratch arena; a sub-class's member slice and
+// surviving tid-set clones are carved from it and released when the
+// recursion unwinds past the sub-class, so the steady state allocates
+// nothing per itemset (ar may be nil: heap allocation, same results).
+func computeFrequent(ctx context.Context, members []member, minsup int, st *Stats, opts Options, ar *arena, emit func(itemset.Itemset, int)) {
 	// Pairing member i with each j > i yields the class prefixed by
 	// members[i].set, so the recursion needs no separate partitioning
 	// pass: the i-loop enumerates the next level's classes directly.
@@ -143,7 +168,8 @@ func computeFrequent(ctx context.Context, members []member, minsup int, st *Stat
 		if ctx.Err() != nil {
 			return
 		}
-		var next []member
+		mark := ar.mark()
+		next := ar.nextMembers(len(members) - 1 - i)
 		for j := i + 1; j < len(members); j++ {
 			st.Intersections++
 			var tids tidlist.Set
@@ -163,15 +189,16 @@ func computeFrequent(ctx context.Context, members []member, minsup int, st *Stat
 			}
 			next = append(next, member{
 				set:  members[i].set.Join(members[j].set),
-				tids: tidlist.CloneSet(tids),
+				tids: ar.cloneSet(tids),
 			})
 		}
 		for _, m := range next {
 			emit(m.set, m.tids.Support())
 		}
 		if len(next) > 1 {
-			computeFrequent(ctx, next, minsup, st, opts, emit)
+			computeFrequent(ctx, next, minsup, st, opts, ar, emit)
 		}
+		ar.release(mark)
 	}
 }
 
@@ -247,11 +274,57 @@ func MineSequential(d *db.Database, minsup int) (*mining.Result, Stats) {
 // without slowing the intersection inner loop. On cancellation it
 // returns (nil, partial stats, ctx.Err()).
 func MineSequentialOpts(ctx context.Context, d *db.Database, minsup int, opts Options) (*mining.Result, Stats, error) {
+	return mineSequential(ctx, d, minsup, opts, &arena{})
+}
+
+// mineSequential is MineSequentialOpts with an explicit (possibly nil)
+// scratch arena, the knob the allocation benchmarks use to measure the
+// arena's effect.
+func mineSequential(ctx context.Context, d *db.Database, minsup int, opts Options, ar *arena) (*mining.Result, Stats, error) {
 	if minsup < 1 {
 		minsup = 1
 	}
-	res := &mining.Result{MinSup: minsup, NumTransactions: d.Len()}
 	var st Stats
+	st.Workers = 1
+	v := buildVertical(ctx, d, minsup, &st)
+
+	// Asynchronous phase: mine class by class, flushing the intersection
+	// counters to the metrics registry at class granularity.
+	tr := obsv.TraceFrom(ctx)
+	sp := tr.Start("asynchronous")
+	for i := range v.classes {
+		if err := ctx.Err(); err != nil {
+			return nil, st, err
+		}
+		before := st
+		computeFrequent(ctx, classMembers(&v.classes[i], v.lists, opts.Representation, &st.Kernel), minsup, &st, opts, ar, v.res.Add)
+		flushStats(&before, &st)
+		mClasses.Inc()
+	}
+	sp.End()
+	if err := ctx.Err(); err != nil {
+		return nil, st, err
+	}
+
+	v.res.Sort()
+	return v.res, st, nil
+}
+
+// vertical is the output of the initialization and transformation phases
+// shared by MineSequentialOpts and MineParallelLocal: the result seeded
+// with L1 and L2, the pruned equivalence classes, and the global per-pair
+// tid-lists the asynchronous phase mines from.
+type vertical struct {
+	res     *mining.Result
+	classes []eqclass.Class
+	lists   map[tidlist.Pair]tidlist.List
+}
+
+// buildVertical runs the one-scan initialization (global 1- and 2-itemset
+// counts) and the vertical transformation (per-pair tid-lists), recording
+// the two phases on the ctx trace and charging st.Scans/st.Classes.
+func buildVertical(ctx context.Context, d *db.Database, minsup int, st *Stats) *vertical {
+	res := &mining.Result{MinSup: minsup, NumTransactions: d.Len()}
 	tr := obsv.TraceFrom(ctx)
 
 	// Initialization: count 1-itemsets (for the result; Eclat itself never
@@ -277,7 +350,6 @@ func MineSequentialOpts(ctx context.Context, d *db.Database, minsup int, opts Op
 		res.Add(fp.Pair.Itemset(), fp.Count)
 		l2 = append(l2, fp.Pair.Itemset())
 	}
-
 	sp.End()
 
 	// Transformation: build tid-lists for every 2-itemset in a class with
@@ -295,23 +367,5 @@ func MineSequentialOpts(ctx context.Context, d *db.Database, minsup int, opts Op
 	lists := tidlist.BuildPairs(d, want)
 	sp.End()
 
-	// Asynchronous phase: mine class by class, flushing the intersection
-	// counters to the metrics registry at class granularity.
-	sp = tr.Start("asynchronous")
-	for i := range classes {
-		if err := ctx.Err(); err != nil {
-			return nil, st, err
-		}
-		before := st
-		computeFrequent(ctx, classMembers(&classes[i], lists, opts.Representation, &st.Kernel), minsup, &st, opts, res.Add)
-		flushStats(&before, &st)
-		mClasses.Inc()
-	}
-	sp.End()
-	if err := ctx.Err(); err != nil {
-		return nil, st, err
-	}
-
-	res.Sort()
-	return res, st, nil
+	return &vertical{res: res, classes: classes, lists: lists}
 }

@@ -2,7 +2,6 @@ package eclat
 
 import (
 	"context"
-
 	"sort"
 
 	"repro/internal/cluster"
@@ -182,6 +181,7 @@ func MineHybridOpts(cl *cluster.Cluster, d *db.Database, minsup int, opts Option
 		subSched := eqclass.Schedule(sub, pp)
 		var myBytes int64
 		var st Stats
+		ar := &arena{}
 		for i := range sub {
 			if subSched.Owner[i] != p.ID()-leader {
 				continue
@@ -190,7 +190,7 @@ func MineHybridOpts(cl *cluster.Cluster, d *db.Database, minsup int, opts Option
 			for _, m := range members {
 				myBytes += m.tids.SizeBytes()
 			}
-			computeFrequent(context.Background(), members, minsup, &st, opts, local.Add)
+			computeFrequent(context.Background(), members, minsup, &st, opts, ar, local.Add)
 		}
 		p.ChargeScan(myBytes, pp)
 		chargeKernel(p, &st)

@@ -1,0 +1,243 @@
+package eclat
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/eqclass"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+	"repro/internal/obsv"
+)
+
+// Shared-memory parallel mining metrics. Steals and classes are counted
+// once per event by the coordinator path (cheap); per-worker busy time is
+// observed once per worker at run end.
+const (
+	mnSteals       = "eclat_steals_total"
+	mnClassesMined = "eclat_classes_mined_total"
+	mnWorkerBusyNS = "eclat_worker_busy_ns"
+)
+
+var (
+	mSteals       = obsv.Default.Counter(mnSteals, "work-stealing transfers between MineParallelLocal workers")
+	mClassesMined = obsv.Default.Counter(mnClassesMined, "equivalence classes mined by MineParallelLocal workers")
+	mWorkerBusyNS = obsv.Default.Histogram(mnWorkerBusyNS, "per-worker busy nanoseconds of MineParallelLocal runs",
+		[]int64{1_000_000, 10_000_000, 100_000_000, 1_000_000_000, 10_000_000_000})
+)
+
+// classTask is one unit of stealable work: a top-level equivalence class,
+// tagged with its C(s,2) weight so victims can be ranked by the work they
+// still hold.
+type classTask struct {
+	ci     int   // index into the vertical's class slice
+	weight int64 // eqclass weight, ≥ 1 so deque weights stay positive
+}
+
+// wsDeque is one worker's class queue. The owner pops from the front;
+// thieves steal a batch from the back, where the lighter classes sit
+// (deques are seeded heaviest-first), so a steal rebalances without
+// taking the victim's next — likely heaviest — task out from under it.
+//
+// A plain mutex is deliberate: the unit of work is an entire equivalence
+// class (milliseconds to seconds), so deque operations are nowhere near
+// the contention regime that justifies a lock-free Chase-Lev deque.
+type wsDeque struct {
+	mu     sync.Mutex
+	tasks  []classTask
+	weight int64 // sum of queued task weights, guarded by mu
+}
+
+// popFront removes the owner's next task.
+func (q *wsDeque) popFront() (classTask, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.tasks) == 0 {
+		return classTask{}, false
+	}
+	t := q.tasks[0]
+	q.tasks = q.tasks[1:]
+	q.weight -= t.weight
+	return t, true
+}
+
+// queuedWeight is the victim-ranking key (racy reads are fine: stealing
+// only needs a heuristic ranking, and the transfer itself re-checks under
+// both locks).
+func (q *wsDeque) queuedWeight() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.weight
+}
+
+// stealInto moves the back half (rounded up) of q into dst. Both locks
+// are held for the transfer, in deque-index order to rule out deadlock
+// between symmetric thieves, so queued classes are never in limbo: any
+// moment an observer takes a deque's lock, every unmined class is in
+// exactly one deque. Returns the number of classes moved.
+func (q *wsDeque) stealInto(dst *wsDeque, qi, dsti int) int {
+	first, second := q, dst
+	if dsti < qi {
+		first, second = dst, q
+	}
+	first.mu.Lock()
+	defer first.mu.Unlock()
+	second.mu.Lock()
+	defer second.mu.Unlock()
+
+	n := (len(q.tasks) + 1) / 2
+	if n == 0 {
+		return 0
+	}
+	cut := len(q.tasks) - n
+	var moved int64
+	for _, t := range q.tasks[cut:] {
+		moved += t.weight
+	}
+	dst.tasks = append(dst.tasks, q.tasks[cut:]...)
+	dst.weight += moved
+	q.tasks = q.tasks[:cut]
+	q.weight -= moved
+	return n
+}
+
+// MineParallelLocal mines d on opts.Workers real goroutines sharing this
+// process's memory — the paper's asynchronous phase (section 5.3) mapped
+// onto a multicore host instead of the simulated cluster. Initialization
+// and transformation run once on the calling goroutine; the top-level
+// equivalence classes are then dealt to per-worker deques by the greedy
+// C(s,2) weight schedule (section 5.2.1) and mined with work stealing:
+// an idle worker takes the back half of the queue of the victim holding
+// the most queued weight, so one skewed class cannot serialize the run
+// the way it can under the paper's static schedule.
+//
+// The result is byte-identical to MineSequential at every worker count:
+// each class is mined single-threaded into its own slot, slots are
+// concatenated in class-index order (the sequential mining order), and
+// the final Sort is a total order over the distinct itemsets.
+//
+// opts.Workers ≤ 0 means runtime.GOMAXPROCS(0). On context cancellation
+// every worker drains, the partial result is discarded and ctx.Err() is
+// returned; no goroutines outlive the call.
+func MineParallelLocal(ctx context.Context, d *db.Database, minsup int, opts Options) (*mining.Result, Stats, error) {
+	if minsup < 1 {
+		minsup = 1
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	var st Stats
+	st.Workers = workers
+	v := buildVertical(ctx, d, minsup, &st)
+	if err := ctx.Err(); err != nil {
+		return nil, st, err
+	}
+
+	tr := obsv.TraceFrom(ctx)
+	sp := tr.Start("asynchronous")
+
+	// Deal classes to deques with the greedy weighted schedule, then order
+	// each deque heaviest-first so owners start on the big classes while
+	// thieves nibble the light tail.
+	deques := make([]*wsDeque, workers)
+	for w := range deques {
+		deques[w] = &wsDeque{}
+	}
+	sched := eqclass.Schedule(v.classes, workers)
+	for w := 0; w < workers; w++ {
+		q := deques[w]
+		for _, ci := range sched.ClassesOf(w) {
+			q.tasks = append(q.tasks, classTask{ci: ci, weight: v.classes[ci].Weight() + 1})
+			q.weight += q.tasks[len(q.tasks)-1].weight
+		}
+		sort.SliceStable(q.tasks, func(i, j int) bool { return q.tasks[i].weight > q.tasks[j].weight })
+	}
+
+	// classOut[ci] receives class ci's itemsets; only the worker that
+	// popped ci writes the slot, so no lock is needed.
+	classOut := make([][]mining.FrequentItemset, len(v.classes))
+	workerStats := make([]Stats, workers)
+	var steals int64
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			start := time.Now()
+			defer func() { mWorkerBusyNS.Observe(time.Since(start).Nanoseconds()) }()
+
+			wst := &workerStats[self]
+			var prev Stats
+			ar := &arena{}
+			var acc []mining.FrequentItemset
+
+			mine := func(t classTask) {
+				acc = acc[:0]
+				members := classMembers(&v.classes[t.ci], v.lists, opts.Representation, &wst.Kernel)
+				computeFrequent(ctx, members, minsup, wst, opts, ar, func(set itemset.Itemset, sup int) {
+					acc = append(acc, mining.FrequentItemset{Set: set, Support: sup})
+				})
+				out := make([]mining.FrequentItemset, len(acc))
+				copy(out, acc)
+				classOut[t.ci] = out
+				flushStats(&prev, wst)
+				mClassesMined.Inc()
+			}
+
+			for ctx.Err() == nil {
+				if t, ok := deques[self].popFront(); ok {
+					mine(t)
+					continue
+				}
+				// Own deque empty: pick the victim with the most queued
+				// weight and take the back half of its queue.
+				victim, best := -1, int64(0)
+				for i, q := range deques {
+					if i == self {
+						continue
+					}
+					if w := q.queuedWeight(); w > best {
+						victim, best = i, w
+					}
+				}
+				if victim < 0 {
+					return // every deque empty: no class left unowned
+				}
+				if n := deques[victim].stealInto(deques[self], victim, self); n > 0 {
+					atomic.AddInt64(&steals, 1)
+					mSteals.Inc()
+				}
+				// A failed steal (the victim drained between the scan and
+				// the transfer) just rescans; the loop terminates because
+				// the top-level class set is fixed and never grows.
+			}
+		}(w)
+	}
+	wg.Wait()
+	sp.End()
+
+	for w := range workerStats {
+		st.merge(&workerStats[w])
+	}
+	st.Steals = steals
+	if err := ctx.Err(); err != nil {
+		return nil, st, err
+	}
+
+	// Deterministic merge: class-index order is the sequential mining
+	// order, and Sort then imposes the canonical total order, so the bytes
+	// match MineSequential regardless of which worker mined what.
+	for _, out := range classOut {
+		v.res.Itemsets = append(v.res.Itemsets, out...)
+	}
+	v.res.Sort()
+	return v.res, st, nil
+}

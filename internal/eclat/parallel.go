@@ -2,7 +2,6 @@ package eclat
 
 import (
 	"context"
-
 	"sort"
 
 	"repro/internal/cluster"
@@ -217,8 +216,9 @@ func MineOpts(cl *cluster.Cluster, d *db.Database, minsup int, opts Options) (*m
 		p.SetPhase(PhaseAsync)
 		p.ChargeScan(ownedBytes, p.HostProcs())
 		var st Stats
+		ar := &arena{}
 		for _, ci := range sched.ClassesOf(p.ID()) {
-			computeFrequent(context.Background(), classMembers(&classes[ci], lists, opts.Representation, &st.Kernel), minsup, &st, opts, local.Add)
+			computeFrequent(context.Background(), classMembers(&classes[ci], lists, opts.Representation, &st.Kernel), minsup, &st, opts, ar, local.Add)
 		}
 		chargeKernel(p, &st)
 

@@ -31,6 +31,10 @@ type JobRequest struct {
 	// Representation is the tid-set representation for Eclat-family
 	// algorithms: "auto" (default), "sparse" or "bitset".
 	Representation string `json:"representation"`
+	// Parallelism requests local worker goroutines for the real Eclat
+	// path; 0 means the service's per-job share of its parallel budget
+	// (asks beyond the share are clamped to it, negative is a 400).
+	Parallelism int `json:"parallelism"`
 }
 
 // VerticalSizes reports the dataset's vertical-transform size under each
@@ -69,6 +73,8 @@ func errorCode(err error) (int, string) {
 		return http.StatusBadRequest, "invalid_support"
 	case errors.Is(err, repro.ErrUnknownAlgorithm):
 		return http.StatusBadRequest, "unknown_algorithm"
+	case errors.Is(err, repro.ErrInvalidParallelism):
+		return http.StatusBadRequest, "invalid_parallelism"
 	case errors.Is(err, repro.ErrCanceled):
 		return http.StatusConflict, "canceled"
 	default:
@@ -147,6 +153,7 @@ func NewHandler(s *Service) http.Handler {
 			Hosts:          jr.Hosts,
 			ProcsPerHost:   jr.Procs,
 			Representation: repr,
+			Parallelism:    jr.Parallelism,
 		})
 		if err != nil {
 			writeMappedError(w, err)

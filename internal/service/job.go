@@ -108,6 +108,11 @@ type Request struct {
 	// Representation selects the tid-set representation for Eclat-family
 	// algorithms (repro.MineOptions.Representation).
 	Representation repro.Representation
+	// Parallelism requests a worker count for the real Eclat path
+	// (repro.MineOptions.Parallelism). 0 takes the service's per-job share
+	// of the parallel budget; a positive ask is clamped to that share;
+	// negative is rejected at submit time.
+	Parallelism int
 }
 
 // Key identifies a result in the cache. Hosts/ProcsPerHost are
@@ -177,6 +182,11 @@ type View struct {
 	QueueWaitNS int64            `json:"queueWaitNs,omitempty"`
 	DurationNS  int64            `json:"durationNs,omitempty"`
 	Phases      []obsv.PhaseSpan `json:"phases,omitempty"`
+	// Parallelism is the worker count the run actually mined with and
+	// Steals its work-stealing transfers (both 0 until the run finishes,
+	// and for variants that don't report RunInfo).
+	Parallelism int   `json:"parallelism,omitempty"`
+	Steals      int64 `json:"steals,omitempty"`
 }
 
 // Snapshot returns a consistent view of the job.
@@ -208,6 +218,10 @@ func (j *Job) Snapshot() View {
 	}
 	if j.trace != nil {
 		v.Phases = j.trace.Spans()
+	}
+	if j.info != nil {
+		v.Parallelism = j.info.Parallelism
+		v.Steals = j.info.Steals
 	}
 	return v
 }

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro"
@@ -17,6 +18,12 @@ type Config struct {
 	QueueDepth int
 	// CacheBytes bounds the result cache (default 64 MiB).
 	CacheBytes int64
+	// ParallelBudget caps the total mining goroutines across concurrently
+	// running jobs (0 means runtime.GOMAXPROCS(0)). Each job gets
+	// max(1, ParallelBudget/Workers) workers, so job-level concurrency
+	// times intra-job parallelism never oversubscribes the host; a job
+	// request asking for more is clamped to the per-job share.
+	ParallelBudget int
 }
 
 // Live-gauge metric names of the service.
@@ -34,6 +41,10 @@ type Service struct {
 	cache   *Cache
 	mgr     *Manager
 	started time.Time
+	// parallelBudget / jobParallelism are the resolved Config.ParallelBudget
+	// and the per-job worker share derived from it (both fixed at New).
+	parallelBudget int
+	jobParallelism int
 }
 
 // New builds a Service and starts its worker pool. The newest Service
@@ -46,6 +57,14 @@ func New(cfg Config) *Service {
 		started: time.Now(),
 	}
 	s.mgr = NewManager(ManagerConfig{Workers: cfg.Workers, QueueDepth: cfg.QueueDepth}, s.runJob)
+	s.parallelBudget = cfg.ParallelBudget
+	if s.parallelBudget <= 0 {
+		s.parallelBudget = runtime.GOMAXPROCS(0)
+	}
+	s.jobParallelism = s.parallelBudget / s.mgr.cfg.Workers
+	if s.jobParallelism < 1 {
+		s.jobParallelism = 1
+	}
 	obsv.Default.GaugeFunc(mnQueueLen, "jobs waiting in the bounded queue",
 		func() int64 { return int64(s.mgr.QueueLen()) })
 	obsv.Default.GaugeFunc(mnCacheEntries, "entries in the result cache",
@@ -79,6 +98,14 @@ func (s *Service) normalize(req Request) (Request, Key, error) {
 	opts := repro.MineOptions{SupportPct: req.SupportPct, SupportCount: req.SupportCount}
 	minsup, err := opts.MinSup(ds.DB)
 	if err != nil {
+		return req, Key{}, err
+	}
+	// Reject a negative parallelism at submit time (a positive ask is
+	// clamped to the per-job share when the job runs). The cache key
+	// deliberately omits parallelism: MineParallelLocal's results are
+	// byte-identical to sequential mining, so all worker counts share one
+	// entry.
+	if _, err := (repro.MineOptions{Parallelism: req.Parallelism}).Workers(); err != nil {
 		return req, Key{}, err
 	}
 	key := Key{
@@ -118,6 +145,7 @@ func (s *Service) runJob(ctx context.Context, j *Job) (*mining.Result, *repro.Ru
 		Hosts:          j.Req.Hosts,
 		ProcsPerHost:   j.Req.ProcsPerHost,
 		Representation: j.Req.Representation,
+		Parallelism:    s.effectiveParallelism(j.Req.Parallelism),
 	}
 	var res *mining.Result
 	var info *repro.RunInfo
@@ -134,6 +162,18 @@ func (s *Service) runJob(ctx context.Context, j *Job) (*mining.Result, *repro.Ru
 	}
 	s.cache.Put(j.Key, res)
 	return res, info, nil
+}
+
+// effectiveParallelism resolves a job's requested worker count against
+// the per-job share of the parallel budget: 0 takes the full share, a
+// positive ask is capped at the share, so the worst case — every manager
+// worker running a mining job at once — uses at most ParallelBudget
+// goroutines.
+func (s *Service) effectiveParallelism(requested int) int {
+	if requested <= 0 || requested > s.jobParallelism {
+		return s.jobParallelism
+	}
+	return requested
 }
 
 // Job returns a snapshot of the job with the given ID.
@@ -187,35 +227,44 @@ func (s *Service) Shutdown(ctx context.Context) error { return s.mgr.Shutdown(ct
 
 // Stats is the /statsz payload.
 type Stats struct {
-	UptimeSeconds float64    `json:"uptimeSeconds"`
-	Workers       int        `json:"workers"`
-	QueueDepth    int        `json:"queueDepth"`
-	QueueLen      int        `json:"queueLen"`
-	Running       int64      `json:"running"`
-	Submitted     int64      `json:"submitted"`
-	Completed     int64      `json:"completed"`
-	Failed        int64      `json:"failed"`
-	Canceled      int64      `json:"canceled"`
-	Rejected      int64      `json:"rejected"`
-	Cache         CacheStats `json:"cache"`
-	Datasets      int        `json:"datasets"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	Workers       int     `json:"workers"`
+	QueueDepth    int     `json:"queueDepth"`
+	QueueLen      int     `json:"queueLen"`
+	// ParallelBudget is the cap on total mining goroutines across jobs;
+	// JobParallelism the per-job share each running job may use; GOMAXPROCS
+	// the runtime's scheduler width, for judging both against the host.
+	ParallelBudget int        `json:"parallelBudget"`
+	JobParallelism int        `json:"jobParallelism"`
+	GOMAXPROCS     int        `json:"gomaxprocs"`
+	Running        int64      `json:"running"`
+	Submitted      int64      `json:"submitted"`
+	Completed      int64      `json:"completed"`
+	Failed         int64      `json:"failed"`
+	Canceled       int64      `json:"canceled"`
+	Rejected       int64      `json:"rejected"`
+	Cache          CacheStats `json:"cache"`
+	Datasets       int        `json:"datasets"`
 }
 
 // Stats snapshots the service counters.
 func (s *Service) Stats() Stats {
 	m := s.mgr
 	return Stats{
-		UptimeSeconds: time.Since(s.started).Seconds(),
-		Workers:       m.cfg.Workers,
-		QueueDepth:    m.cfg.QueueDepth,
-		QueueLen:      m.QueueLen(),
-		Running:       m.running.Load(),
-		Submitted:     m.submitted.Load(),
-		Completed:     m.completed.Load(),
-		Failed:        m.failed.Load(),
-		Canceled:      m.canceled.Load(),
-		Rejected:      m.rejected.Load(),
-		Cache:         s.cache.Stats(),
-		Datasets:      len(s.reg.List()),
+		UptimeSeconds:  time.Since(s.started).Seconds(),
+		Workers:        m.cfg.Workers,
+		QueueDepth:     m.cfg.QueueDepth,
+		QueueLen:       m.QueueLen(),
+		ParallelBudget: s.parallelBudget,
+		JobParallelism: s.jobParallelism,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Running:        m.running.Load(),
+		Submitted:      m.submitted.Load(),
+		Completed:      m.completed.Load(),
+		Failed:         m.failed.Load(),
+		Canceled:       m.canceled.Load(),
+		Rejected:       m.rejected.Load(),
+		Cache:          s.cache.Stats(),
+		Datasets:       len(s.reg.List()),
 	}
 }

@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"repro/internal/apriori"
@@ -63,6 +64,8 @@ var (
 	// ErrUnknownAlgorithm reports an Algorithm value outside the defined
 	// set.
 	ErrUnknownAlgorithm = errors.New("repro: unknown algorithm")
+	// ErrInvalidParallelism reports a negative MineOptions.Parallelism.
+	ErrInvalidParallelism = errors.New("repro: invalid parallelism")
 	// ErrCanceled wraps the context error when a mine stops early; the
 	// returned error also matches context.Canceled or
 	// context.DeadlineExceeded under errors.Is.
@@ -233,6 +236,17 @@ type MineOptions struct {
 	// maximal/closed variants); the zero value ReprAuto adapts per
 	// equivalence class. Non-Eclat algorithms ignore it.
 	Representation Representation
+	// Parallelism is the number of OS-level worker goroutines the real
+	// (non-simulated) Eclat path mines with: 0 means runtime.GOMAXPROCS(0),
+	// 1 forces the sequential miner, N > 1 runs eclat.MineParallelLocal
+	// with N workers. Negative values are rejected with
+	// ErrInvalidParallelism. Simulated-cluster algorithms and the other
+	// sequential algorithms ignore it (their parallelism is the cluster
+	// shape). Because MineParallelLocal's output is byte-identical to the
+	// sequential miner's, Parallelism never changes the result — only how
+	// fast it arrives — and is therefore not part of the serving layer's
+	// cache identity.
+	Parallelism int
 }
 
 // RunInfo reports how a mining run went.
@@ -255,6 +269,13 @@ type RunInfo struct {
 	// WallNS is the real (wall-clock) duration of the run in
 	// nanoseconds, phase-accounted by Phases.
 	WallNS int64
+	// Parallelism is the number of worker goroutines the run mined with
+	// (1 for sequential paths, 0 for simulated-cluster runs, whose scale
+	// is in Report).
+	Parallelism int
+	// Steals counts work-stealing transfers between workers (0 unless
+	// Parallelism > 1).
+	Steals int64
 }
 
 // MinSup resolves and validates the absolute minimum support count these
@@ -279,6 +300,21 @@ func (o MineOptions) MinSup(d *Database) (int, error) {
 		return 0, fmt.Errorf("%w: MineOptions must set SupportPct or SupportCount (the paper's experiments use SupportPct = %v)",
 			ErrInvalidSupport, DefaultSupportPct)
 	}
+}
+
+// Workers resolves and validates the worker count these options imply for
+// the real Eclat path: Parallelism itself when positive,
+// runtime.GOMAXPROCS(0) when zero, ErrInvalidParallelism when negative.
+// Like MinSup it is the one validated entry point for the knob; the
+// serving layer resolves through it when budgeting per-job workers.
+func (o MineOptions) Workers() (int, error) {
+	if o.Parallelism < 0 {
+		return 0, fmt.Errorf("%w: negative Parallelism %d", ErrInvalidParallelism, o.Parallelism)
+	}
+	if o.Parallelism == 0 {
+		return runtime.GOMAXPROCS(0), nil
+	}
+	return o.Parallelism, nil
 }
 
 func (o MineOptions) clusterConfig() ClusterConfig {
@@ -338,6 +374,9 @@ func Mine(ctx context.Context, d *Database, opts MineOptions) (*Result, *RunInfo
 	}
 	minsup, err := opts.MinSup(d)
 	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := opts.Workers(); err != nil {
 		return nil, nil, err
 	}
 	tr := obsv.TraceFrom(ctx)
@@ -407,11 +446,25 @@ func mine(ctx context.Context, d *Database, opts MineOptions, minsup int, info *
 				return eclat.MineOpts(cl, d, minsup, eclat.Options{Representation: opts.Representation})
 			}, opts)
 		}
-		res, st, err := eclat.MineSequentialOpts(ctx, d, minsup, eclat.Options{Representation: opts.Representation})
+		workers, err := opts.Workers()
+		if err != nil {
+			return nil, err
+		}
+		var res *Result
+		var st eclat.Stats
+		if workers > 1 {
+			res, st, err = eclat.MineParallelLocal(ctx, d, minsup,
+				eclat.Options{Representation: opts.Representation, Workers: workers})
+		} else {
+			res, st, err = eclat.MineSequentialOpts(ctx, d, minsup,
+				eclat.Options{Representation: opts.Representation})
+		}
 		if err != nil {
 			return nil, wrapIfCtxErr(err)
 		}
 		info.Scans = st.Scans
+		info.Parallelism = st.Workers
+		info.Steals = st.Steals
 		return res, nil
 	case AlgoApriori:
 		res, st, err := apriori.Mine(ctx, d, minsup)
@@ -535,6 +588,9 @@ func mineVariant[S any](ctx context.Context, d *Database, opts MineOptions, name
 	}
 	minsup, err := opts.MinSup(d)
 	if err != nil {
+		return nil, err
+	}
+	if _, err := opts.Workers(); err != nil {
 		return nil, err
 	}
 	mineRuns.Inc()

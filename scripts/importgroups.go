@@ -1,0 +1,133 @@
+//go:build ignore
+
+// Command importgroups enforces the repository's import layout: in every
+// import block, the standard-library imports form one contiguous group at
+// the top, separated from the repository's own ("repro/...") imports by a
+// single blank line, and no group mixes the two kinds. gofmt only sorts
+// within existing groups, so an accidental split like
+//
+//	import (
+//		"context"
+//
+//		"sort"
+//	)
+//
+// survives formatting — this check is what catches it.
+//
+// Usage (from the repository root):
+//
+//	go run scripts/importgroups.go [dir ...]
+//
+// Exit code 0 means clean, 1 means violations (printed as file:line:
+// message), 2 means a file failed to parse.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	exit := 0
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				// testdata holds deliberately broken fixture modules; .git
+				// and the like are not Go source.
+				if name := d.Name(); name == "testdata" || strings.HasPrefix(name, ".") && name != "." {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			switch checkFile(path) {
+			case 1:
+				if exit == 0 {
+					exit = 1
+				}
+			case 2:
+				exit = 2
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "importgroups:", err)
+			exit = 2
+		}
+	}
+	os.Exit(exit)
+}
+
+// checkFile returns 0 (clean), 1 (violations) or 2 (parse failure).
+func checkFile(path string) int {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "importgroups:", err)
+		return 2
+	}
+	ret := 0
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT || len(gd.Specs) < 2 {
+			continue
+		}
+		// Split the import block into blank-line-separated groups: a gap
+		// of more than one line between consecutive specs starts a group.
+		type spec struct {
+			path string
+			line int
+		}
+		var groups [][]spec
+		lastLine := -2
+		for _, s := range gd.Specs {
+			is := s.(*ast.ImportSpec)
+			p, _ := strconv.Unquote(is.Path.Value)
+			line := fset.Position(is.Pos()).Line
+			if line > lastLine+1 || len(groups) == 0 {
+				groups = append(groups, nil)
+			}
+			groups[len(groups)-1] = append(groups[len(groups)-1], spec{p, line})
+			lastLine = line
+		}
+		for gi, g := range groups {
+			std := stdlibPath(g[0].path)
+			for _, s := range g[1:] {
+				if stdlibPath(s.path) != std {
+					fmt.Printf("%s:%d: import group mixes standard-library and repository imports\n", path, s.line)
+					ret = 1
+				}
+			}
+			if std && gi > 0 {
+				fmt.Printf("%s:%d: standard-library imports must form one contiguous first group (%q starts group %d)\n",
+					path, g[0].line, g[0].path, gi+1)
+				ret = 1
+			}
+		}
+	}
+	return ret
+}
+
+// stdlibPath reports whether an import path names a standard-library
+// package: no dot in the first path segment and not this module's own
+// "repro" tree.
+func stdlibPath(p string) bool {
+	first, _, _ := strings.Cut(p, "/")
+	return !strings.Contains(first, ".") && first != "repro"
+}

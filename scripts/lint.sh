@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
 # Run the repo's contract lint suite exactly the way CI does, so a clean
-# local run means a clean CI run.
+# local run means a clean CI run: gofmt, the import-grouping check, then
+# reprolint.
 #
 #   ./scripts/lint.sh              # whole tree
 #   ./scripts/lint.sh ./internal/service/...
@@ -13,5 +14,18 @@ cd "$(dirname "$0")/.."
 if [ "$#" -eq 0 ]; then
     set -- ./...
 fi
+
+# gofmt -l prints unformatted files; fixture modules under testdata are
+# deliberately odd and excluded.
+unformatted=$(find . -name '*.go' -not -path '*/testdata/*' -not -path './.git/*' -print0 | xargs -0 gofmt -l)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+# Import layout: stdlib imports form one contiguous first group (gofmt
+# only sorts within groups, so it cannot catch a split group itself).
+go run scripts/importgroups.go
 
 exec go run ./cmd/reprolint "$@"
