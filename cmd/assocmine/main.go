@@ -8,6 +8,8 @@
 //	assocmine -db retail.fimi -format fimi -support 0.5 -maximal
 //	assocmine -gen 50000 -support 0.1 -algo countdist -hosts 4 -procs 2 -report
 //	assocmine -gen 50000 -support 0.25 -stats
+//	assocmine -gen 100000 -support 0.25 -save t10.ds     # persist the vertical dataset
+//	assocmine -load t10.ds -support 0.1                  # remine from the mmap store
 package main
 
 import (
@@ -16,13 +18,16 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 
 	"repro"
 	"repro/internal/db"
 	"repro/internal/mining"
 	"repro/internal/obsv"
+	"repro/internal/store"
 )
 
 func main() {
@@ -50,6 +55,8 @@ func run(args []string, stdout io.Writer) error {
 	report := fs.Bool("report", false, "print the virtual-time cluster report")
 	stats := fs.Bool("stats", false, "print the per-phase time breakdown (paper table 2 style)")
 	outPath := fs.String("o", "", "write the full result (support\\titems per line) to this file")
+	savePath := fs.String("save", "", "persist the loaded database as a stored vertical dataset directory before mining (crash-safe; reusable with -load or a daemon -data-dir)")
+	loadPath := fs.String("load", "", "mine from a stored vertical dataset directory (written by -save); replaces -db/-gen and mines eclat straight from the mmap bundle")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -75,9 +82,42 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("-parallel must not be negative, got %d", *parallel)
 	}
 
-	d, err := loadDatabase(*dbPath, *format, *genTx)
-	if err != nil {
-		return err
+	var (
+		d      *repro.Database
+		stored *store.Dataset
+		numTx  int
+		err    error
+	)
+	if *loadPath != "" {
+		if *dbPath != "" || *genTx > 0 {
+			return fmt.Errorf("-load replaces -db/-gen")
+		}
+		if *savePath != "" {
+			return fmt.Errorf("-save with -load is redundant: the dataset is already stored")
+		}
+		if stored, err = store.OpenDataset(*loadPath); err != nil {
+			return err
+		}
+		defer stored.Close()
+		numTx = stored.Meta().Transactions
+	} else {
+		if d, err = loadDatabase(*dbPath, *format, *genTx); err != nil {
+			return err
+		}
+		numTx = d.Len()
+	}
+
+	if *savePath != "" {
+		source := *dbPath
+		if source == "" {
+			source = fmt.Sprintf("generated T10.I6 n=%d", *genTx)
+		}
+		name := strings.TrimSuffix(filepath.Base(*savePath), ".ds")
+		meta := store.DatasetMeta(name, source, d)
+		if err := store.CreateDataset(*savePath, meta, d, store.VerticalLists(d)); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "saved dataset %s (%d transactions) to %s\n", name, numTx, *savePath)
 	}
 
 	algos := map[string]repro.Algorithm{
@@ -114,31 +154,54 @@ func run(args []string, stdout io.Writer) error {
 	}
 	tr := obsv.NewTrace()
 	ctx := obsv.WithTrace(context.Background(), tr)
+	// horizontal loads the horizontal database, decoding it from the
+	// stored dataset when the run came from -load.
+	horizontal := func() (*repro.Database, error) {
+		if d != nil {
+			return d, nil
+		}
+		var herr error
+		d, herr = stored.Horizontal()
+		return d, herr
+	}
 	var res *repro.Result
 	var info *repro.RunInfo
 	kind := "frequent"
 	switch {
 	case *maximal:
 		kind = "maximal frequent"
-		res, err = repro.MineMaximal(ctx, d, opts)
+		if d, err = horizontal(); err == nil {
+			res, err = repro.MineMaximal(ctx, d, opts)
+		}
 	case *closed:
 		kind = "closed frequent"
-		res, err = repro.MineClosed(ctx, d, opts)
+		if d, err = horizontal(); err == nil {
+			res, err = repro.MineClosed(ctx, d, opts)
+		}
+	case stored != nil && algo == repro.AlgoEclat && *hosts == 1 && *procs == 1:
+		// The store-backed fast path: eclat mines the mapped vertical
+		// transform directly, no horizontal scan at all.
+		res, info, err = repro.MineVertical(ctx, repro.VerticalInput{
+			NumTransactions: numTx,
+			Items:           stored.Sets(repr),
+		}, opts)
 	default:
-		res, info, err = repro.Mine(ctx, d, opts)
+		if d, err = horizontal(); err == nil {
+			res, info, err = repro.Mine(ctx, d, opts)
+		}
 	}
 	if err != nil {
 		return err
 	}
 	if info == nil { // maximal/closed return no RunInfo
-		minsup, err := opts.MinSup(d)
+		minsup, err := repro.MineOptions{SupportPct: opts.SupportPct, SupportCount: opts.SupportCount}.MinSupN(numTx)
 		if err != nil {
 			return err
 		}
 		info = &repro.RunInfo{Algorithm: algo, MinSup: minsup}
 	}
 	fmt.Fprintf(stdout, "%v mined %d %s itemsets (minsup %d of %d transactions, max size %d) in %v\n",
-		info.Algorithm, res.Len(), kind, info.MinSup, d.Len(), res.MaxK(), time.Since(start).Round(time.Millisecond))
+		info.Algorithm, res.Len(), kind, info.MinSup, numTx, res.MaxK(), time.Since(start).Round(time.Millisecond))
 
 	byK := res.CountsByK()
 	ks := make([]int, 0, len(byK))
@@ -158,7 +221,7 @@ func run(args []string, stdout io.Writer) error {
 			break
 		}
 		fmt.Fprintf(stdout, "  %-24v sup=%d (%.2f%%)\n", f.Set, f.Support,
-			100*float64(f.Support)/float64(d.Len()))
+			100*float64(f.Support)/float64(numTx))
 	}
 
 	if *minConf > 0 {

@@ -73,6 +73,65 @@ func TestRunWritesResult(t *testing.T) {
 	}
 }
 
+// TestRunSaveAndLoad round-trips a dataset through the persistent
+// store: -save writes a dataset directory, -load mines from it with the
+// same output as the original run, and the variants fall back to the
+// stored horizontal data.
+func TestRunSaveAndLoad(t *testing.T) {
+	in := writeFIMI(t, strings.Repeat("1 2 3\n1 2\n2 3 4\n", 30))
+	dsPath := filepath.Join(t.TempDir(), "tri.ds")
+	origOut := filepath.Join(t.TempDir(), "orig.txt")
+	var out bytes.Buffer
+	if err := run([]string{"-db", in, "-format", "fimi", "-support", "10", "-save", dsPath, "-o", origOut}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "saved dataset tri") {
+		t.Fatalf("save output:\n%s", out.String())
+	}
+
+	for _, extra := range [][]string{
+		{},
+		{"-repr", "sparse"},
+		{"-repr", "bitset"},
+		{"-parallel", "2"},
+		{"-maximal"},
+		{"-algo", "apriori"},
+	} {
+		loadOut := filepath.Join(t.TempDir(), "load.txt")
+		out.Reset()
+		args := append([]string{"-load", dsPath, "-support", "10", "-o", loadOut}, extra...)
+		if err := run(args, &out); err != nil {
+			t.Fatalf("%v: %v", extra, err)
+		}
+		if len(extra) > 0 && (extra[0] == "-maximal" || extra[0] == "-algo") {
+			continue // variants don't match the full result byte-for-byte
+		}
+		got, err := os.ReadFile(loadOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := os.ReadFile(origOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%v: -load result differs from the original mine", extra)
+		}
+	}
+
+	// -load excludes the other input sources, and -save with -load is
+	// rejected.
+	if err := run([]string{"-load", dsPath, "-gen", "100"}, &out); err == nil {
+		t.Fatal("-load with -gen should fail")
+	}
+	if err := run([]string{"-load", dsPath, "-save", dsPath + "2"}, &out); err == nil {
+		t.Fatal("-load with -save should fail")
+	}
+	if err := run([]string{"-load", filepath.Join(t.TempDir(), "missing.ds")}, &out); err == nil {
+		t.Fatal("loading a missing dataset should fail")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{}, &out); err == nil {

@@ -7,6 +7,7 @@
 //
 //	assocmined -addr :8420 -gen t10=100000
 //	assocmined -dataset retail=retail.fimi,fimi -dataset big=big.db -workers 8
+//	assocmined -data-dir /var/lib/assocmined -gen t10=100000   # persists; restarts skip the rebuild
 //
 // API:
 //
@@ -19,6 +20,8 @@
 //	GET    /v1/jobs/{id}/result  result text (support<TAB>items per line)
 //	DELETE /v1/jobs/{id}         cancel
 //	GET    /v1/datasets          registered datasets
+//	POST   /v1/datasets          register a dataset (persists under -data-dir)
+//	DELETE /v1/datasets/{name}   remove a dataset (409 while jobs reference it)
 //	GET    /healthz, /statsz     liveness and counters
 //	GET    /metricsz             metrics registry (expvar JSON; ?format=prometheus for text exposition)
 //	GET    /debug/pprof/         runtime profiling (profile, heap, goroutine, trace, ...)
@@ -47,6 +50,7 @@ import (
 	"repro"
 	"repro/internal/db"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
@@ -73,6 +77,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	queue := fs.Int("queue", 64, "bounded job-queue depth (submissions beyond it get 429)")
 	cacheMB := fs.Int("cache-mb", 64, "result-cache budget in MiB")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	dataDir := fs.String("data-dir", "", "persistent dataset store directory; datasets registered by flag or HTTP persist there and the daemon restarts without rebuilding")
 	var datasets, gens repeatFlag
 	fs.Var(&datasets, "dataset", "register a dataset: name=path[,binary|fimi] (repeatable; format inferred from extension when omitted)")
 	fs.Var(&gens, "gen", "register a generated T10.I6 dataset: name=numTransactions (repeatable)")
@@ -92,12 +97,26 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return fmt.Errorf("-parallel-budget must not be negative, got %d", *parallelBudget)
 	}
 
-	svc := service.New(service.Config{
+	logf := func(format string, args ...any) { fmt.Fprintf(stdout, format+"\n", args...) }
+	var st *store.Store
+	if *dataDir != "" {
+		var err error
+		if st, err = store.Open(*dataDir, logf); err != nil {
+			return fmt.Errorf("opening data dir %s: %w", *dataDir, err)
+		}
+		defer st.Close()
+	}
+	svc, err := service.New(service.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheBytes:     int64(*cacheMB) << 20,
 		ParallelBudget: *parallelBudget,
+		Store:          st,
+		Logf:           logf,
 	})
+	if err != nil {
+		return err
+	}
 	if err := registerDatasets(svc, datasets, gens); err != nil {
 		return err
 	}
@@ -137,13 +156,22 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 }
 
 // registerDatasets loads every -dataset and -gen spec into the service's
-// registry. With no specs at all, it registers a small generated demo
-// dataset so the daemon is immediately usable.
+// registry. Specs whose names the persistent store already holds are
+// skipped — a restarted daemon keeps its flags without rebuilding the
+// data. With no specs and no stored datasets, it registers a small
+// generated demo dataset so the daemon is immediately usable.
 func registerDatasets(svc *service.Service, datasets, gens []string) error {
+	persisted := make(map[string]bool)
+	for _, info := range svc.Datasets() {
+		persisted[info.Name] = true
+	}
 	for _, spec := range datasets {
 		name, rest, ok := strings.Cut(spec, "=")
 		if !ok || name == "" || rest == "" {
 			return fmt.Errorf("bad -dataset %q (want name=path[,format])", spec)
+		}
+		if persisted[name] {
+			continue
 		}
 		path, format, _ := strings.Cut(rest, ",")
 		d, err := loadDatabase(path, format)
@@ -163,6 +191,9 @@ func registerDatasets(svc *service.Service, datasets, gens []string) error {
 		if err != nil || n < 1 {
 			return fmt.Errorf("bad -gen %q: numTransactions must be a positive integer", spec)
 		}
+		if persisted[name] {
+			continue
+		}
 		d, err := repro.Generate(repro.StandardConfig(n))
 		if err != nil {
 			return err
@@ -171,7 +202,7 @@ func registerDatasets(svc *service.Service, datasets, gens []string) error {
 			return err
 		}
 	}
-	if len(datasets) == 0 && len(gens) == 0 {
+	if len(datasets) == 0 && len(gens) == 0 && len(persisted) == 0 {
 		d, err := repro.Generate(repro.StandardConfig(5000))
 		if err != nil {
 			return err

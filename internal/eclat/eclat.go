@@ -287,27 +287,37 @@ func mineSequential(ctx context.Context, d *db.Database, minsup int, opts Option
 	var st Stats
 	st.Workers = 1
 	v := buildVertical(ctx, d, minsup, &st)
+	res, err := mineClassesSequential(ctx, v, minsup, opts, ar, &st)
+	if err != nil {
+		return nil, st, err
+	}
+	return res, st, nil
+}
 
-	// Asynchronous phase: mine class by class, flushing the intersection
-	// counters to the metrics registry at class granularity.
+// mineClassesSequential is the asynchronous phase shared by every
+// single-goroutine entry point (horizontal MineSequentialOpts, vertical
+// MineVerticalLocal): mine class by class, flushing the intersection
+// counters to the metrics registry at class granularity, then sort into
+// the canonical order.
+func mineClassesSequential(ctx context.Context, v *vertical, minsup int, opts Options, ar *arena, st *Stats) (*mining.Result, error) {
 	tr := obsv.TraceFrom(ctx)
 	sp := tr.Start("asynchronous")
 	for i := range v.classes {
 		if err := ctx.Err(); err != nil {
-			return nil, st, err
+			return nil, err
 		}
-		before := st
-		computeFrequent(ctx, classMembers(&v.classes[i], v.lists, opts.Representation, &st.Kernel), minsup, &st, opts, ar, v.res.Add)
-		flushStats(&before, &st)
+		before := *st
+		computeFrequent(ctx, classMembers(&v.classes[i], v.lists, opts.Representation, &st.Kernel), minsup, st, opts, ar, v.res.Add)
+		flushStats(&before, st)
 		mClasses.Inc()
 	}
 	sp.End()
 	if err := ctx.Err(); err != nil {
-		return nil, st, err
+		return nil, err
 	}
 
 	v.res.Sort()
-	return v.res, st, nil
+	return v.res, nil
 }
 
 // vertical is the output of the initialization and transformation phases

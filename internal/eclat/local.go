@@ -139,7 +139,19 @@ func MineParallelLocal(ctx context.Context, d *db.Database, minsup int, opts Opt
 	if err := ctx.Err(); err != nil {
 		return nil, st, err
 	}
+	res, err := mineClassesParallel(ctx, v, minsup, workers, opts, &st)
+	if err != nil {
+		return nil, st, err
+	}
+	return res, st, nil
+}
 
+// mineClassesParallel is the work-stealing asynchronous phase shared by
+// the horizontal (MineParallelLocal) and vertical (MineVerticalLocal)
+// entry points: deal the top-level classes to per-worker deques, mine
+// with stealing, merge deterministically. Worker counters are folded
+// into st; st.Steals is overwritten with the run's steal count.
+func mineClassesParallel(ctx context.Context, v *vertical, minsup, workers int, opts Options, st *Stats) (*mining.Result, error) {
 	tr := obsv.TraceFrom(ctx)
 	sp := tr.Start("asynchronous")
 
@@ -229,7 +241,7 @@ func MineParallelLocal(ctx context.Context, d *db.Database, minsup int, opts Opt
 	}
 	st.Steals = steals
 	if err := ctx.Err(); err != nil {
-		return nil, st, err
+		return nil, err
 	}
 
 	// Deterministic merge: class-index order is the sequential mining
@@ -239,5 +251,5 @@ func MineParallelLocal(ctx context.Context, d *db.Database, minsup int, opts Opt
 		v.res.Itemsets = append(v.res.Itemsets, out...)
 	}
 	v.res.Sort()
-	return v.res, st, nil
+	return v.res, nil
 }

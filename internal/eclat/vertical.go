@@ -1,0 +1,136 @@
+package eclat
+
+import (
+	"context"
+	"runtime"
+
+	"repro/internal/eqclass"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+	"repro/internal/obsv"
+	"repro/internal/tidlist"
+)
+
+// VerticalInput is a dataset already in the paper's vertical layout: one
+// tid-set per item, as served zero-copy by the persistent store
+// (internal/store) or memoized by the service registry. Mining from it
+// skips the horizontal scans entirely — the property the store exists to
+// buy — and the sets are treated as immutable operands throughout (a
+// mapped view must never be written, so they are never used as kernel
+// scratch).
+type VerticalInput struct {
+	// NumTransactions is |D|, needed for percentage supports.
+	NumTransactions int
+	// Items holds the tid-set of each item (index = item id); nil entries
+	// are items with no transactions.
+	Items []tidlist.Set
+}
+
+// MineVerticalLocal mines a vertical dataset on this host: L1 is read
+// off the per-item supports, L2 comes from pairwise short-circuited
+// intersections of the frequent items' tid-sets, and the class recursion
+// then proceeds exactly as in MineSequential/MineParallelLocal (whose
+// class-mining cores it shares). The result is byte-identical to mining
+// the corresponding horizontal database with the same minsup and
+// options: both paths produce the same L1/L2 (a pair is frequent in the
+// intersection iff its co-occurrence count passes minsup) and the same
+// sorted pair tid-lists, and Result.Sort imposes the canonical order.
+//
+// Stats.Scans is always 0 — no horizontal pass happens — which is the
+// figure restart-without-rebuild tests assert on. opts.Workers > 1 mines
+// classes with the work-stealing pool; ≤ 1 mines sequentially.
+func MineVerticalLocal(ctx context.Context, in VerticalInput, minsup int, opts Options) (*mining.Result, Stats, error) {
+	if minsup < 1 {
+		minsup = 1
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	var st Stats
+	st.Workers = workers
+	v := buildVerticalFromSets(ctx, in, minsup, &st)
+	if err := ctx.Err(); err != nil {
+		return nil, st, err
+	}
+	var res *mining.Result
+	var err error
+	if workers > 1 {
+		res, err = mineClassesParallel(ctx, v, minsup, workers, opts, &st)
+	} else {
+		res, err = mineClassesSequential(ctx, v, minsup, opts, &arena{}, &st)
+	}
+	if err != nil {
+		return nil, st, err
+	}
+	return res, st, nil
+}
+
+// buildVerticalFromSets is buildVertical's counterpart for data that is
+// already vertical: the same (res, classes, lists) bundle, built from
+// per-item tid-sets instead of horizontal scans. Everything — L1, L2,
+// class partitioning — happens under the "initialization" span; there is
+// no transformation phase because the data arrives transformed, so
+// tracing-based tests can assert the phase never ran.
+func buildVerticalFromSets(ctx context.Context, in VerticalInput, minsup int, st *Stats) *vertical {
+	res := &mining.Result{MinSup: minsup, NumTransactions: in.NumTransactions}
+	tr := obsv.TraceFrom(ctx)
+	sp := tr.Start("initialization")
+	defer sp.End()
+
+	frequent := make([]int, 0, len(in.Items))
+	for it, s := range in.Items {
+		if s == nil {
+			continue
+		}
+		if c := s.Support(); c >= minsup {
+			res.Add(itemset.Itemset{itemset.Item(it)}, c)
+			frequent = append(frequent, it)
+		}
+	}
+
+	// L2: pairwise intersections over frequent items, short-circuited on
+	// minsup. Aborted results live only in scratch; surviving pair lists
+	// are copied out as sorted sparse lists — the same bytes BuildPairs
+	// produces on the horizontal path, since intersection preserves tid
+	// order.
+	var scratch tidlist.Set
+	lists := make(map[tidlist.Pair]tidlist.List)
+	var l2 []itemset.Itemset
+	for i := 0; i < len(frequent) && ctx.Err() == nil; i++ {
+		a := frequent[i]
+		for j := i + 1; j < len(frequent); j++ {
+			b := frequent[j]
+			st.Intersections++
+			tids, ops, ok := tidlist.IntersectSetsSC(scratch, in.Items[a], in.Items[b], minsup, &st.Kernel)
+			st.IntersectOps += int64(ops)
+			scratch = tids
+			if !ok {
+				st.ShortCircuited++
+				continue
+			}
+			set := itemset.Itemset{itemset.Item(a), itemset.Item(b)}
+			res.Add(set, tids.Support())
+			l2 = append(l2, set)
+			lists[tidlist.Pair{A: itemset.Item(a), B: itemset.Item(b)}] = append(tidlist.List(nil), tidlist.TIDsOf(tids)...)
+		}
+	}
+
+	classes := eqclass.PruneSingletons(eqclass.Partition(l2))
+	st.Classes = len(classes)
+	// Drop pair lists no surviving class needs (singleton classes generate
+	// no candidates), mirroring buildVertical's want-set discipline.
+	want := make(map[tidlist.Pair]bool, len(lists))
+	for _, c := range classes {
+		for _, m := range c.Members {
+			want[tidlist.Pair{A: m[0], B: m[1]}] = true
+		}
+	}
+	for p := range lists {
+		if !want[p] {
+			delete(lists, p)
+		}
+	}
+	return &vertical{res: res, classes: classes, lists: lists}
+}

@@ -124,6 +124,23 @@ func (c *Cache) Put(k Key, res *mining.Result) {
 	}
 }
 
+// DropDataset removes every entry keyed to the named dataset — the
+// invalidation RemoveDataset needs so a later dataset registered under
+// the same name cannot be served another dataset's results.
+func (c *Cache) DropDataset(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if ent := el.Value.(*cacheEntry); ent.key.Dataset == name {
+			c.ll.Remove(el)
+			delete(c.index, ent.key)
+			c.sizeBytes -= ent.bytes
+		}
+		el = next
+	}
+}
+
 // Len is the number of cached entries.
 func (c *Cache) Len() int {
 	c.mu.Lock()

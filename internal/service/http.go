@@ -6,9 +6,12 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"strconv"
+	"strings"
 
 	"repro"
+	"repro/internal/db"
 	"repro/internal/mining"
 	"repro/internal/obsv"
 )
@@ -35,6 +38,20 @@ type JobRequest struct {
 	// path; 0 means the service's per-job share of its parallel budget
 	// (asks beyond the share are clamped to it, negative is a 400).
 	Parallelism int `json:"parallelism"`
+}
+
+// DatasetRequest is the JSON body of POST /v1/datasets. Exactly one of
+// Gen and Path selects the data source.
+type DatasetRequest struct {
+	// Name is the registry key (required).
+	Name string `json:"name"`
+	// Gen, when positive, generates a standard T10.I6 dataset with this
+	// many transactions.
+	Gen int `json:"gen,omitempty"`
+	// Path loads a daemon-local database file; Format is "binary", "fimi"
+	// or "" to infer from the extension (.fimi/.dat/.txt are FIMI text).
+	Path   string `json:"path,omitempty"`
+	Format string `json:"format,omitempty"`
 }
 
 // VerticalSizes reports the dataset's vertical-transform size under each
@@ -67,6 +84,10 @@ func errorCode(err error) (int, string) {
 		return http.StatusServiceUnavailable, "shutting_down"
 	case errors.Is(err, ErrUnknownDataset):
 		return http.StatusNotFound, "unknown_dataset"
+	case errors.Is(err, ErrDatasetBusy):
+		return http.StatusConflict, "dataset_busy"
+	case errors.Is(err, ErrDatasetExists):
+		return http.StatusConflict, "dataset_exists"
 	case errors.Is(err, ErrUnknownJob):
 		return http.StatusNotFound, "unknown_job"
 	case errors.Is(err, repro.ErrInvalidSupport):
@@ -112,7 +133,9 @@ func writeMappedError(w http.ResponseWriter, err error) {
 //	GET    /v1/jobs/{id}/result  finished result in the WriteResult text format
 //	DELETE /v1/jobs/{id}      cancel a job
 //	GET    /v1/datasets       registered datasets
+//	POST   /v1/datasets       register a dataset (persists when the daemon has -data-dir)
 //	GET    /v1/datasets/{name}  dataset detail with top items (memoized vertical transform)
+//	DELETE /v1/datasets/{name}  remove a dataset (409 while jobs reference it)
 //	GET    /healthz           liveness
 //	GET    /statsz            queue/worker/cache counters
 //	GET    /metricsz          metrics registry (expvar JSON or ?format=prometheus)
@@ -212,6 +235,55 @@ func NewHandler(s *Service) http.Handler {
 		writeJSON(w, http.StatusOK, s.Datasets())
 	})
 
+	mux.HandleFunc("POST /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
+		var dr DatasetRequest
+		if err := json.NewDecoder(r.Body).Decode(&dr); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		if dr.Name == "" {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("dataset name is required"))
+			return
+		}
+		var (
+			d      *db.Database
+			source string
+			err    error
+		)
+		switch {
+		case dr.Gen > 0 && dr.Path != "":
+			writeError(w, http.StatusBadRequest, fmt.Errorf("gen and path are mutually exclusive"))
+			return
+		case dr.Gen > 0:
+			d, err = repro.Generate(repro.StandardConfig(dr.Gen))
+			source = fmt.Sprintf("generated T10.I6 n=%d", dr.Gen)
+		case dr.Path != "":
+			d, err = loadDatasetFile(dr.Path, dr.Format)
+			source = dr.Path
+		default:
+			writeError(w, http.StatusBadRequest, fmt.Errorf("one of gen or path is required"))
+			return
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("dataset %s: %w", dr.Name, err))
+			return
+		}
+		info, err := s.RegisterDataset(dr.Name, source, d)
+		if err != nil {
+			writeMappedError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, info)
+	})
+
+	mux.HandleFunc("DELETE /v1/datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.RemoveDataset(r.PathValue("name")); err != nil {
+			writeMappedError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
 	mux.HandleFunc("GET /v1/datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
 		ds, err := s.Dataset(r.PathValue("name"))
 		if err != nil {
@@ -233,16 +305,9 @@ func NewHandler(s *Service) http.Handler {
 			TopItems []ItemSupport `json:"topItems"`
 			Vertical VerticalSizes `json:"vertical"`
 		}{
-			DatasetInfo: DatasetInfo{
-				Name:         ds.Name,
-				Source:       ds.Source,
-				Transactions: ds.DB.Len(),
-				NumItems:     ds.DB.NumItems,
-				AvgLen:       ds.DB.AvgLen(),
-				SizeBytes:    ds.DB.SizeBytes(),
-			},
-			TopItems: ds.TopItems(n),
-			Vertical: VerticalSizes{SparseBytes: sparse, DenseBytes: dense, AutoBytes: auto},
+			DatasetInfo: ds.Info(),
+			TopItems:    ds.TopItems(n),
+			Vertical:    VerticalSizes{SparseBytes: sparse, DenseBytes: dense, AutoBytes: auto},
 		})
 	})
 
@@ -267,4 +332,32 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
 	return mux
+}
+
+// loadDatasetFile reads a daemon-local database file for POST
+// /v1/datasets; format "" infers from the extension (.fimi/.dat/.txt are
+// FIMI text, everything else binary).
+func loadDatasetFile(path, format string) (*db.Database, error) {
+	if format == "" {
+		format = "binary"
+		if i := strings.LastIndexByte(path, '.'); i >= 0 {
+			switch strings.ToLower(path[i+1:]) {
+			case "fimi", "dat", "txt":
+				format = "fimi"
+			}
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch format {
+	case "binary":
+		return db.Decode(f)
+	case "fimi":
+		return db.DecodeFIMI(f, 0)
+	default:
+		return nil, fmt.Errorf("unknown format %q (want binary or fimi)", format)
+	}
 }

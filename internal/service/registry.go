@@ -8,41 +8,101 @@ import (
 
 	"repro/internal/db"
 	"repro/internal/itemset"
+	"repro/internal/store"
 	"repro/internal/tidlist"
 )
 
 // ErrUnknownDataset is returned for dataset names not in the registry.
 var ErrUnknownDataset = errors.New("service: unknown dataset")
 
-// Dataset is one registered database. The horizontal data is loaded once
-// and held immutably; the vertical tid-list transformation (one tid-list
-// per item) is computed lazily on first use and memoized — once per
-// representation — so repeated item-level queries never rescan the
-// horizontal data and never re-encode a transform they already have.
+// ErrDatasetExists is returned by Add for names already registered.
+var ErrDatasetExists = errors.New("service: dataset already registered")
+
+// Dataset is one registered database, backed either by in-memory
+// horizontal data or by the persistent store's mapping. The vertical
+// tid-list transformation (one tid-list per item) is computed lazily on
+// first use and memoized — once per representation — so repeated
+// item-level queries never rescan the horizontal data and never
+// re-encode a transform they already have. For store-backed datasets the
+// sparse transform is served zero-copy from the mapped bundle (no
+// horizontal pass at all), the dense transform is served from the
+// mapping when a previous process spilled it, and the horizontal data is
+// loaded from disk only if an algorithm actually scans it.
 type Dataset struct {
 	// Name is the registry key.
 	Name string
 	// Source describes where the data came from (file path, "generated",
-	// ...), for /v1/datasets.
+	// "stored", ...), for /v1/datasets.
 	Source string
-	// DB is the immutable horizontal database.
-	DB *db.Database
+
+	// info carries the dataset-shape figures; always available without
+	// touching horizontal data.
+	info DatasetInfo
+
+	// Exactly one of memDB (in-memory registration) and stored
+	// (store-backed) is non-nil at construction; memDB may be filled
+	// later by a lazy Database() load.
+	memDB  *db.Database
+	stored *store.Dataset
+
+	dbOnce sync.Once
+	dbErr  error
+
+	// logf receives spill warnings (nil: discarded).
+	logf func(format string, args ...any)
 
 	verticalOnce sync.Once
 	vertical     []tidlist.List // index = item; nil until first use
 
 	bitsetOnce sync.Once
 	bitsets    []*tidlist.Bitset // index = item; nil until first use
+
+	// The three VerticalSets slices, memoized per representation so jobs
+	// never rebuild them (ReprAuto in particular re-ran EncodedSize over
+	// every item on each call before this cache existed).
+	sparseSetsOnce sync.Once
+	sparseSets     []tidlist.Set
+	bitsetSetsOnce sync.Once
+	bitsetSets     []tidlist.Set
+	autoSetsOnce   sync.Once
+	autoSets       []tidlist.Set
+}
+
+// StoreBacked reports whether this dataset serves its vertical transform
+// from the persistent store's mapping.
+func (ds *Dataset) StoreBacked() bool { return ds.stored != nil }
+
+// Info returns the dataset-shape summary without loading any data.
+func (ds *Dataset) Info() DatasetInfo { return ds.info }
+
+// Database returns the horizontal database, loading it from the store on
+// first use for store-backed datasets. The vertical mining path never
+// calls this; it exists for the algorithms that genuinely scan
+// horizontal data (Apriori, the cluster simulations, ...).
+func (ds *Dataset) Database() (*db.Database, error) {
+	ds.dbOnce.Do(func() {
+		if ds.memDB != nil {
+			return
+		}
+		ds.memDB, ds.dbErr = ds.stored.Horizontal()
+	})
+	return ds.memDB, ds.dbErr
 }
 
 // Vertical returns the memoized per-item tid-lists of the dataset — the
-// paper's vertical layout at the 1-itemset level. The first call costs
-// one pass over the horizontal data; later calls are free. The returned
-// slice and its lists are shared and must not be mutated.
+// paper's vertical layout at the 1-itemset level. In-memory datasets pay
+// one pass over the horizontal data on first call; store-backed datasets
+// return views over the mapped bundle and never scan. The returned slice
+// and its lists are shared and must not be mutated (store-backed lists
+// alias read-only mapped memory).
 func (ds *Dataset) Vertical() []tidlist.List {
 	ds.verticalOnce.Do(func() {
-		lists := make([]tidlist.List, ds.DB.NumItems)
-		for _, tx := range ds.DB.Transactions {
+		if ds.stored != nil {
+			ds.vertical = ds.stored.SparseLists()
+			return
+		}
+		lists := make([]tidlist.List, ds.memDB.NumItems)
+		for _, tx := range ds.memDB.Transactions {
 			for _, it := range tx.Items {
 				lists[it] = append(lists[it], tx.TID)
 			}
@@ -53,17 +113,37 @@ func (ds *Dataset) Vertical() []tidlist.List {
 }
 
 // VerticalBitsets returns the memoized dense encoding of the vertical
-// transform (one Bitset per item; empty items get an empty Bitset). The
-// first call re-encodes the sparse transform once; later calls are free.
+// transform (one Bitset per item; empty items get an empty Bitset).
+// Store-backed datasets serve it from the mapping when a previous
+// process spilled it; otherwise the transform is computed once and then
+// spilled to the store so the next open of the dataset gets it for free.
 // Shared — must not be mutated.
 func (ds *Dataset) VerticalBitsets() []*tidlist.Bitset {
 	ds.bitsetOnce.Do(func() {
+		if ds.stored != nil {
+			if stored, ok := ds.stored.Bitsets(); ok {
+				sets := make([]*tidlist.Bitset, len(stored))
+				for it, b := range stored {
+					if b == nil {
+						b = tidlist.NewBitset(nil)
+					}
+					sets[it] = b
+				}
+				ds.bitsets = sets
+				return
+			}
+		}
 		vert := ds.Vertical()
 		sets := make([]*tidlist.Bitset, len(vert))
 		for it, l := range vert {
 			sets[it] = tidlist.NewBitset(l)
 		}
 		ds.bitsets = sets
+		if ds.stored != nil {
+			if err := ds.stored.AppendBitsets(sets); err != nil && ds.logf != nil {
+				ds.logf("service: spilling dense transform of %q failed: %v", ds.Name, err)
+			}
+		}
 	})
 	return ds.bitsets
 }
@@ -71,33 +151,49 @@ func (ds *Dataset) VerticalBitsets() []*tidlist.Bitset {
 // VerticalSets returns the memoized vertical transform under the given
 // representation as []tidlist.Set (ReprAuto picks per item by density —
 // each item's list in whichever encoding is smaller, mixing
-// representations within one dataset). Shared — must not be mutated.
+// representations within one dataset). Each representation's slice is
+// built once and shared — must not be mutated.
 func (ds *Dataset) VerticalSets(r tidlist.Repr) []tidlist.Set {
-	vert := ds.Vertical()
-	out := make([]tidlist.Set, len(vert))
 	switch r {
 	case tidlist.ReprBitset:
-		for it, b := range ds.VerticalBitsets() {
-			out[it] = b
-		}
+		ds.bitsetSetsOnce.Do(func() {
+			dense := ds.VerticalBitsets()
+			out := make([]tidlist.Set, len(dense))
+			for it, b := range dense {
+				out[it] = b
+			}
+			ds.bitsetSets = out
+		})
+		return ds.bitsetSets
 	case tidlist.ReprSparse:
-		for it, l := range vert {
-			out[it] = l
-		}
-	default: // ReprAuto: per-item cheapest encoding
-		var dense []*tidlist.Bitset
-		for it, l := range vert {
-			if _, enc := tidlist.EncodedSize(l, tidlist.ReprAuto); enc == tidlist.ReprBitset {
-				if dense == nil {
-					dense = ds.VerticalBitsets()
-				}
-				out[it] = dense[it]
-			} else {
+		ds.sparseSetsOnce.Do(func() {
+			vert := ds.Vertical()
+			out := make([]tidlist.Set, len(vert))
+			for it, l := range vert {
 				out[it] = l
 			}
-		}
+			ds.sparseSets = out
+		})
+		return ds.sparseSets
+	default: // ReprAuto: per-item cheapest encoding
+		ds.autoSetsOnce.Do(func() {
+			vert := ds.Vertical()
+			out := make([]tidlist.Set, len(vert))
+			var dense []*tidlist.Bitset
+			for it, l := range vert {
+				if _, enc := tidlist.EncodedSize(l, tidlist.ReprAuto); enc == tidlist.ReprBitset {
+					if dense == nil {
+						dense = ds.VerticalBitsets()
+					}
+					out[it] = dense[it]
+				} else {
+					out[it] = l
+				}
+			}
+			ds.autoSets = out
+		})
+		return ds.autoSets
 	}
-	return out
 }
 
 // VerticalSizes reports the encoded size of the whole vertical transform
@@ -149,22 +245,76 @@ type DatasetInfo struct {
 	NumItems     int     `json:"numItems"`
 	AvgLen       float64 `json:"avgLen"`
 	SizeBytes    int64   `json:"sizeBytes"`
+	// Stored reports whether the dataset is persisted in the daemon's
+	// data directory (and therefore survives restarts).
+	Stored bool `json:"stored,omitempty"`
 }
 
 // Registry holds the registered datasets. Registration happens at daemon
-// startup (and in tests); lookups are concurrent.
+// startup and over HTTP; lookups are concurrent. With a store attached,
+// Add persists new datasets and Remove evicts them from disk.
 type Registry struct {
 	mu    sync.RWMutex
 	byKey map[string]*Dataset
 	names []string
+	st    *store.Store
+	logf  func(format string, args ...any)
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty registry with no persistence.
 func NewRegistry() *Registry {
 	return &Registry{byKey: make(map[string]*Dataset)}
 }
 
-// Add registers d under name; duplicate names are an error.
+// AttachStore wires the persistent store into the registry: every
+// dataset the store already holds is registered store-backed (in sorted
+// name order), and subsequent Add/Remove calls persist through it. logf
+// receives spill warnings; nil discards them.
+func (r *Registry) AttachStore(st *store.Store, logf func(format string, args ...any)) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.st != nil {
+		return fmt.Errorf("service: registry already has a store attached")
+	}
+	r.st = st
+	r.logf = logf
+	for _, name := range st.Names() {
+		if _, ok := r.byKey[name]; ok {
+			return fmt.Errorf("service: stored dataset %q collides with a registered one", name)
+		}
+		sd, err := st.Get(name)
+		if err != nil {
+			return err
+		}
+		r.insertLocked(storeBackedDataset(sd, logf))
+	}
+	return nil
+}
+
+// storeBackedDataset wraps an opened stored dataset for the registry.
+func storeBackedDataset(sd *store.Dataset, logf func(format string, args ...any)) *Dataset {
+	m := sd.Meta()
+	return &Dataset{
+		Name:   m.Name,
+		Source: m.Source,
+		info: DatasetInfo{
+			Name:         m.Name,
+			Source:       m.Source,
+			Transactions: m.Transactions,
+			NumItems:     m.NumItems,
+			AvgLen:       m.AvgLen,
+			SizeBytes:    m.SizeBytes,
+			Stored:       true,
+		},
+		stored: sd,
+		logf:   logf,
+	}
+}
+
+// Add registers d under name; duplicate names are ErrDatasetExists. With
+// a store attached the dataset is persisted first (crash-safe) and
+// registered store-backed, so even the registering process mines from
+// the mapping.
 func (r *Registry) Add(name, source string, d *db.Database) (*Dataset, error) {
 	if name == "" {
 		return nil, fmt.Errorf("service: empty dataset name")
@@ -175,12 +325,65 @@ func (r *Registry) Add(name, source string, d *db.Database) (*Dataset, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.byKey[name]; ok {
-		return nil, fmt.Errorf("service: dataset %q already registered", name)
+		return nil, fmt.Errorf("%w: %q", ErrDatasetExists, name)
 	}
-	ds := &Dataset{Name: name, Source: source, DB: d}
-	r.byKey[name] = ds
-	r.names = append(r.names, name)
+	var ds *Dataset
+	if r.st != nil {
+		sd, err := r.st.Register(store.DatasetMeta(name, source, d), d, store.VerticalLists(d))
+		if err != nil {
+			return nil, err
+		}
+		ds = storeBackedDataset(sd, r.logf)
+	} else {
+		ds = &Dataset{
+			Name:   name,
+			Source: source,
+			info: DatasetInfo{
+				Name:         name,
+				Source:       source,
+				Transactions: d.Len(),
+				NumItems:     d.NumItems,
+				AvgLen:       d.AvgLen(),
+				SizeBytes:    d.SizeBytes(),
+			},
+			memDB: d,
+		}
+	}
+	r.insertLocked(ds)
 	return ds, nil
+}
+
+// insertLocked adds ds to the map and name order; r.mu must be held.
+func (r *Registry) insertLocked(ds *Dataset) {
+	r.byKey[ds.Name] = ds
+	r.names = append(r.names, ds.Name)
+}
+
+// Remove unregisters name, deleting it from the persistent store when
+// the dataset is store-backed. Views already handed out stay valid until
+// the store is closed. Unknown names are ErrUnknownDataset. Whether the
+// dataset is safe to remove (no jobs referencing it) is the caller's
+// check — the registry has no job visibility.
+func (r *Registry) Remove(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ds, ok := r.byKey[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	if ds.stored != nil && r.st != nil {
+		if err := r.st.Remove(name); err != nil {
+			return err
+		}
+	}
+	delete(r.byKey, name)
+	for i, n := range r.names {
+		if n == name {
+			r.names = append(r.names[:i], r.names[i+1:]...)
+			break
+		}
+	}
+	return nil
 }
 
 // Get looks a dataset up by name.
@@ -200,15 +403,7 @@ func (r *Registry) List() []DatasetInfo {
 	defer r.mu.RUnlock()
 	out := make([]DatasetInfo, 0, len(r.names))
 	for _, name := range r.names {
-		ds := r.byKey[name]
-		out = append(out, DatasetInfo{
-			Name:         ds.Name,
-			Source:       ds.Source,
-			Transactions: ds.DB.Len(),
-			NumItems:     ds.DB.NumItems,
-			AvgLen:       ds.DB.AvgLen(),
-			SizeBytes:    ds.DB.SizeBytes(),
-		})
+		out = append(out, r.byKey[name].info)
 	}
 	return out
 }

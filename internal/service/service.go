@@ -2,13 +2,16 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"time"
 
 	"repro"
+	"repro/internal/db"
 	"repro/internal/mining"
 	"repro/internal/obsv"
+	"repro/internal/store"
 )
 
 // Config sizes a Service.
@@ -24,7 +27,20 @@ type Config struct {
 	// times intra-job parallelism never oversubscribes the host; a job
 	// request asking for more is clamped to the per-job share.
 	ParallelBudget int
+	// Store, when non-nil, makes the registry store-backed: previously
+	// persisted datasets are registered at construction, new
+	// registrations persist, and eligible Eclat jobs mine from the
+	// store's mapping with zero horizontal scans. The caller owns the
+	// store's lifetime (Close after Shutdown).
+	Store *store.Store
+	// Logf receives registry warnings (failed transform spills, ...);
+	// nil discards them.
+	Logf func(format string, args ...any)
 }
+
+// ErrDatasetBusy is returned by RemoveDataset while jobs still reference
+// the dataset; HTTP maps it to 409 Conflict.
+var ErrDatasetBusy = errors.New("service: dataset busy")
 
 // Live-gauge metric names of the service.
 const (
@@ -49,12 +65,20 @@ type Service struct {
 
 // New builds a Service and starts its worker pool. The newest Service
 // owns the live-state gauges in the default metrics registry (tests that
-// build several services hand the names forward; a daemon has one).
-func New(cfg Config) *Service {
+// build several services hand the names forward; a daemon has one). With
+// cfg.Store set, every dataset the store holds is registered before New
+// returns, so a restarted daemon serves its persisted datasets without
+// rebuilding anything; the only error paths are store-attachment ones.
+func New(cfg Config) (*Service, error) {
 	s := &Service{
 		reg:     NewRegistry(),
 		cache:   NewCache(cfg.CacheBytes),
 		started: time.Now(),
+	}
+	if cfg.Store != nil {
+		if err := s.reg.AttachStore(cfg.Store, cfg.Logf); err != nil {
+			return nil, err
+		}
 	}
 	s.mgr = NewManager(ManagerConfig{Workers: cfg.Workers, QueueDepth: cfg.QueueDepth}, s.runJob)
 	s.parallelBudget = cfg.ParallelBudget
@@ -73,7 +97,7 @@ func New(cfg Config) *Service {
 		func() int64 { return s.cache.Stats().SizeBytes })
 	obsv.Default.GaugeFunc(mnDatasets, "registered datasets",
 		func() int64 { return int64(len(s.reg.List())) })
-	return s
+	return s, nil
 }
 
 // Registry exposes the dataset registry for startup-time registration.
@@ -95,8 +119,10 @@ func (s *Service) normalize(req Request) (Request, Key, error) {
 	if req.Variant == "" {
 		req.Variant = VariantAll
 	}
+	// MinSupN resolves from the dataset-shape metadata, so submission
+	// never loads a store-backed dataset's horizontal data.
 	opts := repro.MineOptions{SupportPct: req.SupportPct, SupportCount: req.SupportCount}
-	minsup, err := opts.MinSup(ds.DB)
+	minsup, err := opts.MinSupN(ds.Info().Transactions)
 	if err != nil {
 		return req, Key{}, err
 	}
@@ -149,19 +175,49 @@ func (s *Service) runJob(ctx context.Context, j *Job) (*mining.Result, *repro.Ru
 	}
 	var res *mining.Result
 	var info *repro.RunInfo
-	switch j.Req.Variant {
-	case VariantMaximal:
-		res, err = repro.MineMaximal(ctx, ds.DB, opts)
-	case VariantClosed:
-		res, err = repro.MineClosed(ctx, ds.DB, opts)
+	switch {
+	case j.Req.Variant == VariantMaximal:
+		d, derr := ds.Database()
+		if derr != nil {
+			return nil, nil, derr
+		}
+		res, err = repro.MineMaximal(ctx, d, opts)
+	case j.Req.Variant == VariantClosed:
+		d, derr := ds.Database()
+		if derr != nil {
+			return nil, nil, derr
+		}
+		res, err = repro.MineClosed(ctx, d, opts)
+	case verticalEligible(ds, j.Req):
+		// Store-backed fast path: mine straight from the mapped vertical
+		// transform, zero horizontal scans. Byte-identical to the
+		// horizontal path (see repro.MineVertical), so the cache identity
+		// is unchanged.
+		res, info, err = repro.MineVertical(ctx, repro.VerticalInput{
+			NumTransactions: ds.Info().Transactions,
+			Items:           ds.VerticalSets(j.Req.Representation),
+		}, opts)
 	default:
-		res, info, err = repro.Mine(ctx, ds.DB, opts)
+		d, derr := ds.Database()
+		if derr != nil {
+			return nil, nil, derr
+		}
+		res, info, err = repro.Mine(ctx, d, opts)
 	}
 	if err != nil {
 		return nil, nil, err
 	}
 	s.cache.Put(j.Key, res)
 	return res, info, nil
+}
+
+// verticalEligible reports whether a job can take the store-backed
+// vertical path: plain local Eclat over a dataset whose vertical
+// transform is served from the persistent store's mapping.
+func verticalEligible(ds *Dataset, req Request) bool {
+	return ds.StoreBacked() &&
+		req.Algorithm == repro.AlgoEclat &&
+		req.Hosts <= 1 && req.ProcsPerHost <= 1
 }
 
 // effectiveParallelism resolves a job's requested worker count against
@@ -221,6 +277,37 @@ func (s *Service) Datasets() []DatasetInfo { return s.reg.List() }
 
 // Dataset returns one dataset for detail queries.
 func (s *Service) Dataset(name string) (*Dataset, error) { return s.reg.Get(name) }
+
+// RegisterDataset registers d under name (persisting it when the service
+// has a store). It is the HTTP registration path; startup-time flag
+// registration goes through Registry() directly.
+func (s *Service) RegisterDataset(name, source string, d *db.Database) (DatasetInfo, error) {
+	ds, err := s.reg.Add(name, source, d)
+	if err != nil {
+		return DatasetInfo{}, err
+	}
+	return ds.Info(), nil
+}
+
+// RemoveDataset evicts name from the registry (and from the persistent
+// store, when the dataset is stored). A dataset referenced by any
+// non-terminal job is ErrDatasetBusy; cached results for it are dropped
+// so a later dataset of the same name cannot serve stale entries.
+func (s *Service) RemoveDataset(name string) error {
+	if _, err := s.reg.Get(name); err != nil {
+		return err
+	}
+	for _, v := range s.mgr.List() {
+		if v.Dataset == name && !v.Status.Terminal() {
+			return fmt.Errorf("%w: %q has job %s %s", ErrDatasetBusy, name, v.ID, v.Status)
+		}
+	}
+	if err := s.reg.Remove(name); err != nil {
+		return err
+	}
+	s.cache.DropDataset(name)
+	return nil
+}
 
 // Shutdown drains the job queue and workers (see Manager.Shutdown).
 func (s *Service) Shutdown(ctx context.Context) error { return s.mgr.Shutdown(ctx) }

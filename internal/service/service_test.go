@@ -21,7 +21,10 @@ func genDataset(t testing.TB, tx int) *db.Database {
 
 func newTestService(t testing.TB, cfg Config, tx int) *Service {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(func() { s.Shutdown(context.Background()) })
 	if _, err := s.Registry().Add("t10", "generated", genDataset(t, tx)); err != nil {
 		t.Fatal(err)
@@ -49,7 +52,11 @@ func TestServiceMineMatchesDirectCall(t *testing.T) {
 		t.Fatal(err)
 	}
 	ds, _ := s.Registry().Get("t10")
-	want, _, err := repro.Mine(context.Background(), ds.DB, repro.MineOptions{SupportPct: 1.0})
+	dsDB, err := ds.Database()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := repro.Mine(context.Background(), dsDB, repro.MineOptions{SupportPct: 1.0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +98,7 @@ func TestServiceSecondSubmissionHitsCache(t *testing.T) {
 
 	// An equivalent request phrased as an absolute count shares the entry.
 	ds, _ := s.Registry().Get("t10")
-	minsup, err := repro.MineOptions{SupportPct: 2.0}.MinSup(ds.DB)
+	minsup, err := repro.MineOptions{SupportPct: 2.0}.MinSupN(ds.Info().Transactions)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +191,10 @@ func BenchmarkServiceQueries(b *testing.B) {
 	b.Run("uncached", func(b *testing.B) {
 		// A one-entry-sized cache plus a rotating support threshold keeps
 		// every query a miss, so each iteration pays for a full mine.
-		s := New(Config{Workers: 1, QueueDepth: 2, CacheBytes: 1})
+		s, err := New(Config{Workers: 1, QueueDepth: 2, CacheBytes: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
 		defer s.Shutdown(context.Background())
 		if _, err := s.Registry().Add("t10", "generated", d); err != nil {
 			b.Fatal(err)
@@ -205,7 +215,10 @@ func BenchmarkServiceQueries(b *testing.B) {
 	})
 
 	b.Run("cached", func(b *testing.B) {
-		s := New(Config{Workers: 1, QueueDepth: 2})
+		s, err := New(Config{Workers: 1, QueueDepth: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
 		defer s.Shutdown(context.Background())
 		if _, err := s.Registry().Add("t10", "generated", d); err != nil {
 			b.Fatal(err)

@@ -1,0 +1,142 @@
+// Package store is the persistent vertical dataset store: pack-style
+// append-only bundle files holding the tid-lists of every item in a
+// dataset, a JSON index mapping item → bundle record, and mmap-backed
+// reads that expose stored tid-lists directly as tidlist.Sets without
+// copying. Registration is crash-safe — datasets are written under a
+// temporary name, fsynced, and atomically renamed into place — and a
+// torn tail from an interrupted spill append is truncated on open, while
+// corruption inside the committed extent surfaces as ErrCorruptBundle.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Bundle file layout (all integers little-endian):
+//
+//	header   magic uint32 | version uint32 | reserved uint64     (16 B)
+//	record   item uint32 | enc uint32 | support uint32 |
+//	         payloadLen uint32 | crc uint32 | pad uint32         (24 B)
+//	         payload (payloadLen bytes, zero-padded to 8 B)
+//	record   ...
+//
+// Records are padded to 8-byte boundaries so every payload starts
+// 8-aligned, which keeps bitset words 8-aligned and sparse tids
+// 4-aligned inside the mapping — the precondition for the zero-copy
+// decoders in internal/tidlist. The crc is crc32.IEEE over the first 16
+// header bytes and the unpadded payload, so a torn or bit-flipped record
+// is detected before its bytes are ever aliased as a Set.
+const (
+	bundleMagic      = 0x5ec10db5
+	bundleVersion    = 1
+	bundleHeaderSize = 16
+	recordHeaderSize = 24
+)
+
+// Tid-list encodings stored in bundle records.
+const (
+	// EncSparse is the canonical encoding: sorted tids, 4 bytes each.
+	EncSparse = 1
+	// EncBitset is the spilled dense encoding: base+count header then
+	// 64-bit words (see tidlist.AppendBitsetBytes).
+	EncBitset = 2
+)
+
+// ErrCorruptBundle reports a checksum, bound, or header mismatch inside
+// the committed extent of a bundle. Callers detect it with errors.Is;
+// Open treats it as "skip this dataset with a warning", never a crash.
+var ErrCorruptBundle = errors.New("store: corrupt bundle")
+
+// Record locates one tid-list inside the bundle, as serialized into the
+// dataset index.
+type Record struct {
+	// Item is the item whose tid-list this record holds.
+	Item int `json:"item"`
+	// Enc is EncSparse or EncBitset.
+	Enc int `json:"enc"`
+	// Support is the tid count, duplicated from the payload so support
+	// queries never touch the bundle.
+	Support int `json:"support"`
+	// Offset is the file offset of the record header.
+	Offset int64 `json:"offset"`
+	// Length is the unpadded payload length in bytes.
+	Length int64 `json:"length"`
+}
+
+// paddedLen rounds a payload length up to the 8-byte record alignment.
+func paddedLen(n int64) int64 { return (n + 7) &^ 7 }
+
+// end returns the file offset one past the record's padded payload.
+func (r Record) end() int64 { return r.Offset + recordHeaderSize + paddedLen(r.Length) }
+
+// appendBundleHeader appends the 16-byte bundle file header.
+func appendBundleHeader(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, bundleMagic)
+	dst = binary.LittleEndian.AppendUint32(dst, bundleVersion)
+	return binary.LittleEndian.AppendUint64(dst, 0)
+}
+
+// checkBundleHeader validates the mapped file's magic and version.
+func checkBundleHeader(b []byte) error {
+	if len(b) < bundleHeaderSize {
+		return fmt.Errorf("%w: %d-byte file is shorter than the header", ErrCorruptBundle, len(b))
+	}
+	if m := binary.LittleEndian.Uint32(b); m != bundleMagic {
+		return fmt.Errorf("%w: bad magic %#x", ErrCorruptBundle, m)
+	}
+	if v := binary.LittleEndian.Uint32(b[4:]); v != bundleVersion {
+		return fmt.Errorf("%w: unsupported format version %d", ErrCorruptBundle, v)
+	}
+	return nil
+}
+
+// appendRecord appends a full record (header, payload, padding) for the
+// given item/encoding at the current end of dst and returns the extended
+// buffer plus the index entry describing it. offset is the file offset
+// dst's end corresponds to.
+func appendRecord(dst []byte, offset int64, item, enc int, support int, payload []byte) ([]byte, Record) {
+	rec := Record{Item: item, Enc: enc, Support: support, Offset: offset, Length: int64(len(payload))}
+	hdr := make([]byte, 0, recordHeaderSize)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(item))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(enc))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(support))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(payload)))
+	crc := crc32.NewIEEE()
+	crc.Write(hdr)
+	crc.Write(payload)
+	hdr = binary.LittleEndian.AppendUint32(hdr, crc.Sum32())
+	hdr = binary.LittleEndian.AppendUint32(hdr, 0)
+	dst = append(dst, hdr...)
+	dst = append(dst, payload...)
+	for i := int64(len(payload)); i < paddedLen(int64(len(payload))); i++ {
+		dst = append(dst, 0)
+	}
+	return dst, rec
+}
+
+// recordPayload bounds-checks and checksum-verifies the record r inside
+// the mapped bundle b and returns its unpadded payload as a view over b.
+func recordPayload(b []byte, r Record) ([]byte, error) {
+	if r.Offset < bundleHeaderSize || r.Offset%8 != 0 || r.Length < 0 || r.end() > int64(len(b)) {
+		return nil, fmt.Errorf("%w: record for item %d at [%d,%d) outside committed extent %d",
+			ErrCorruptBundle, r.Item, r.Offset, r.end(), len(b))
+	}
+	hdr := b[r.Offset : r.Offset+recordHeaderSize]
+	if int(binary.LittleEndian.Uint32(hdr)) != r.Item ||
+		int(binary.LittleEndian.Uint32(hdr[4:])) != r.Enc ||
+		int(binary.LittleEndian.Uint32(hdr[8:])) != r.Support ||
+		int64(binary.LittleEndian.Uint32(hdr[12:])) != r.Length {
+		return nil, fmt.Errorf("%w: record header for item %d disagrees with index", ErrCorruptBundle, r.Item)
+	}
+	payload := b[r.Offset+recordHeaderSize : r.Offset+recordHeaderSize+r.Length]
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:16])
+	crc.Write(payload)
+	if crc.Sum32() != binary.LittleEndian.Uint32(hdr[16:]) {
+		return nil, fmt.Errorf("%w: checksum mismatch for item %d", ErrCorruptBundle, r.Item)
+	}
+	return payload, nil
+}

@@ -1,0 +1,20 @@
+//go:build !unix
+
+package store
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile reads size bytes of f into memory on platforms without mmap
+// support. Views decoded from the buffer behave identically to mapped
+// views (immutable, alive until cleanup), they just cost a full read at
+// open instead of lazy page faults.
+func mapFile(f *os.File, size int64) (data []byte, cleanup func() error, err error) {
+	b := make([]byte, size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), b); err != nil {
+		return nil, nil, err
+	}
+	return b, func() error { return nil }, nil
+}

@@ -1,0 +1,25 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only. The returned cleanup releases
+// the mapping; data must not be accessed after calling it. On unix this
+// is a real mmap — dataset opens cost page-table setup, not a read of
+// the bundle — and the kernel keeps the pages valid even after the
+// backing file is unlinked, which is what lets Remove delete a dataset's
+// files while mapped views are still referenced.
+func mapFile(f *os.File, size int64) (data []byte, cleanup func() error, err error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, func() error { return syscall.Munmap(b) }, nil
+}

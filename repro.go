@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"time"
 
@@ -287,6 +288,16 @@ type RunInfo struct {
 // silent mine at an implicit threshold — pass DefaultSupportPct
 // explicitly for the paper's setting.
 func (o MineOptions) MinSup(d *Database) (int, error) {
+	return o.MinSupN(d.Len())
+}
+
+// MinSupN is MinSup for callers that know only the transaction count —
+// the store-backed serving path, which resolves thresholds from dataset
+// metadata without loading the horizontal data. It applies the same
+// validation and the same ceil-based percentage conversion, so a
+// percentage and its absolute count keep one cache identity regardless
+// of which path resolved them.
+func (o MineOptions) MinSupN(numTransactions int) (int, error) {
 	switch {
 	case o.SupportCount < 0:
 		return 0, fmt.Errorf("%w: negative SupportCount %d", ErrInvalidSupport, o.SupportCount)
@@ -295,7 +306,11 @@ func (o MineOptions) MinSup(d *Database) (int, error) {
 	case o.SupportCount > 0:
 		return o.SupportCount, nil
 	case o.SupportPct > 0:
-		return d.MinSupCount(o.SupportPct), nil
+		c := int(math.Ceil(o.SupportPct / 100 * float64(numTransactions)))
+		if c < 1 {
+			c = 1
+		}
+		return c, nil
 	default:
 		return 0, fmt.Errorf("%w: MineOptions must set SupportPct or SupportCount (the paper's experiments use SupportPct = %v)",
 			ErrInvalidSupport, DefaultSupportPct)
@@ -407,6 +422,62 @@ func Mine(ctx context.Context, d *Database, opts MineOptions) (*Result, *RunInfo
 // Deprecated: use Mine, which now takes a context.
 func MineContext(ctx context.Context, d *Database, opts MineOptions) (*Result, *RunInfo, error) {
 	return Mine(ctx, d, opts)
+}
+
+// VerticalInput is a dataset already in the paper's vertical layout: one
+// immutable tid-set per item plus the transaction count. The persistent
+// store (internal/store) serves these as zero-copy views over its
+// mapping; the service registry memoizes them per representation.
+type VerticalInput = eclat.VerticalInput
+
+// MineVertical is Mine for data that is already vertical: it mines all
+// frequent itemsets directly from per-item tid-sets, with zero
+// horizontal scans (RunInfo.Scans is always 0) and a result
+// byte-identical to Mine on the corresponding horizontal database. Only
+// the real (non-simulated) Eclat path supports this input, so
+// opts.Algorithm must be AlgoEclat and Hosts/ProcsPerHost/Cluster must
+// be unset; anything else is ErrUnknownAlgorithm. Tracing, metrics and
+// cancellation behave exactly as in Mine.
+func MineVertical(ctx context.Context, in VerticalInput, opts MineOptions) (*Result, *RunInfo, error) {
+	if opts.Algorithm != AlgoEclat || opts.Hosts > 1 || opts.ProcsPerHost > 1 || opts.Cluster != nil {
+		return nil, nil, fmt.Errorf("%w: MineVertical supports only local %v", ErrUnknownAlgorithm, AlgoEclat)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, wrapCanceled(err)
+	}
+	minsup, err := opts.MinSupN(in.NumTransactions)
+	if err != nil {
+		return nil, nil, err
+	}
+	workers, err := opts.Workers()
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := obsv.TraceFrom(ctx)
+	if tr == nil {
+		tr = obsv.NewTrace()
+		ctx = obsv.WithTrace(ctx, tr)
+	}
+	mineRuns.Inc()
+	start := time.Now()
+	pre := len(tr.Spans())
+	info := &RunInfo{Algorithm: AlgoEclat, MinSup: minsup}
+	res, st, err := eclat.MineVerticalLocal(ctx, in, minsup,
+		eclat.Options{Representation: opts.Representation, Workers: workers})
+	if err != nil {
+		mineErrors.Inc()
+		return nil, nil, wrapIfCtxErr(err)
+	}
+	info.Scans = st.Scans
+	info.Parallelism = st.Workers
+	info.Steals = st.Steals
+	info.WallNS = time.Since(start).Nanoseconds()
+	if spans := tr.Spans(); pre <= len(spans) {
+		info.Phases = spans[pre:]
+	}
+	mineDuration.Observe(info.WallNS)
+	observePhases(info.Phases)
+	return res, info, nil
 }
 
 // observePhases records wall-clock phase durations into per-phase

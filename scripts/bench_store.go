@@ -1,0 +1,151 @@
+//go:build ignore
+
+// Command bench_store runs the persistent-store benchmarks
+// (BenchmarkStoreOpen / BenchmarkStoreMine in internal/store) and writes
+// the results to BENCH_store.json at the repository root — the committed
+// perf-trajectory baseline for the dataset store: cold open vs in-memory
+// rebuild vs warm mmap views, and mine-from-store vs mine-from-heap.
+//
+// Usage (from the repository root):
+//
+//	go run scripts/bench_store.go [-benchtime 20x] [-count 3] [-o BENCH_store.json]
+//
+// With -count > 1 the fastest run per benchmark is kept, the usual way
+// to suppress scheduling noise in committed snapshots.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line of the snapshot.
+type Result struct {
+	// Benchmark is the top-level benchmark name ("StoreOpen" or
+	// "StoreMine").
+	Benchmark string `json:"benchmark"`
+	// Transactions is the dataset size (the n= label).
+	Transactions int `json:"transactions"`
+	// Case is the sub-case: cold/rebuild/warm for StoreOpen,
+	// store/heap for StoreMine.
+	Case string `json:"case"`
+	// NsPerOp is the fastest observed time per operation.
+	NsPerOp float64 `json:"nsPerOp"`
+	// BytesPerOp / AllocsPerOp come from ReportAllocs accounting.
+	BytesPerOp  float64 `json:"bytesPerOp"`
+	AllocsPerOp float64 `json:"allocsPerOp"`
+}
+
+// Snapshot is the BENCH_store.json document.
+type Snapshot struct {
+	GoVersion string   `json:"goVersion"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Benchtime string   `json:"benchtime"`
+	Results   []Result `json:"results"`
+}
+
+var benchLine = regexp.MustCompile(
+	`^Benchmark(StoreOpen|StoreMine)/n=(\d+)/(?:mode|source)=([a-z]+)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+
+func main() {
+	benchtime := flag.String("benchtime", "20x", "go test -benchtime value")
+	count := flag.Int("count", 3, "go test -count value; the fastest run per benchmark is kept")
+	out := flag.String("o", "BENCH_store.json", "output file")
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "./internal/store",
+		"-run", "^$", "-bench", "^BenchmarkStore",
+		"-benchtime", *benchtime, "-count", strconv.Itoa(*count))
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench_store: go test -bench failed:", err)
+		os.Exit(1)
+	}
+
+	best := map[[3]string]Result{}
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[4], 64)
+		if err != nil {
+			continue
+		}
+		n, _ := strconv.Atoi(m[2])
+		r := Result{Benchmark: m[1], Transactions: n, Case: m[3], NsPerOp: ns}
+		r.BytesPerOp, r.AllocsPerOp = parseMem(m[5])
+		key := [3]string{r.Benchmark, m[2], r.Case}
+		if prev, ok := best[key]; !ok || r.NsPerOp < prev.NsPerOp {
+			best[key] = r
+		}
+	}
+	if len(best) == 0 {
+		fmt.Fprintln(os.Stderr, "bench_store: no benchmark lines parsed")
+		os.Exit(1)
+	}
+
+	snap := Snapshot{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Benchtime: *benchtime,
+	}
+	for _, r := range best {
+		snap.Results = append(snap.Results, r)
+	}
+	sort.Slice(snap.Results, func(i, j int) bool {
+		a, b := snap.Results[i], snap.Results[j]
+		if a.Benchmark != b.Benchmark {
+			return a.Benchmark < b.Benchmark
+		}
+		if a.Transactions != b.Transactions {
+			return a.Transactions < b.Transactions
+		}
+		return a.Case < b.Case
+	})
+
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench_store:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench_store:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d results)\n", *out, len(snap.Results))
+}
+
+// parseMem extracts "N B/op" and "M allocs/op" from the tail of a
+// benchmark line (absent when the run did not report allocations).
+func parseMem(tail string) (bytesPerOp, allocsPerOp float64) {
+	fields := strings.Fields(tail)
+	for i := 0; i+1 < len(fields); i++ {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "B/op":
+			bytesPerOp = v
+		case "allocs/op":
+			allocsPerOp = v
+		}
+	}
+	return bytesPerOp, allocsPerOp
+}
