@@ -44,7 +44,7 @@ func run(args []string, stdout io.Writer) error {
 	genTx := fs.Int("gen", 0, "generate a T10.I6 database with this many transactions instead of reading one")
 	support := fs.Float64("support", 0.25, "minimum support in percent")
 	algoName := fs.String("algo", "eclat", "algorithm: eclat, apriori, countdist, datadist, canddist, hybrid, partition, sampling, dhp")
-	reprName := fs.String("repr", "auto", "tid-set representation for Eclat-family algorithms: auto, sparse, bitset")
+	reprName := fs.String("repr", "auto", "tid-set representation for Eclat-family algorithms: auto, sparse, bitset, roaring")
 	parallel := fs.Int("parallel", 0, "worker goroutines for the real (non-simulated) eclat path; 0 means GOMAXPROCS, 1 forces sequential")
 	maximal := fs.Bool("maximal", false, "mine only maximal frequent itemsets (MaxEclat)")
 	closed := fs.Bool("closed", false, "mine only closed frequent itemsets")
@@ -154,15 +154,15 @@ func run(args []string, stdout io.Writer) error {
 	}
 	tr := obsv.NewTrace()
 	ctx := obsv.WithTrace(context.Background(), tr)
-	// horizontal loads the horizontal database, decoding it from the
-	// stored dataset when the run came from -load.
-	horizontal := func() (*repro.Database, error) {
-		if d != nil {
-			return d, nil
-		}
-		var herr error
-		d, herr = stored.Horizontal()
-		return d, herr
+	// The mining input is a repro.Source either way: -load serves the
+	// stored dataset (vertical views over the mapping, horizontal decoded
+	// only if an algorithm scans it), everything else wraps the in-memory
+	// database. MineFrom picks the path, so no branching on input shape.
+	var src repro.Source
+	if stored != nil {
+		src = stored
+	} else {
+		src = repro.HorizontalSource(d)
 	}
 	var res *repro.Result
 	var info *repro.RunInfo
@@ -170,25 +170,16 @@ func run(args []string, stdout io.Writer) error {
 	switch {
 	case *maximal:
 		kind = "maximal frequent"
-		if d, err = horizontal(); err == nil {
+		if d, err = src.Horizontal(); err == nil {
 			res, err = repro.MineMaximal(ctx, d, opts)
 		}
 	case *closed:
 		kind = "closed frequent"
-		if d, err = horizontal(); err == nil {
+		if d, err = src.Horizontal(); err == nil {
 			res, err = repro.MineClosed(ctx, d, opts)
 		}
-	case stored != nil && algo == repro.AlgoEclat && *hosts == 1 && *procs == 1:
-		// The store-backed fast path: eclat mines the mapped vertical
-		// transform directly, no horizontal scan at all.
-		res, info, err = repro.MineVertical(ctx, repro.VerticalInput{
-			NumTransactions: numTx,
-			Items:           stored.Sets(repr),
-		}, opts)
 	default:
-		if d, err = horizontal(); err == nil {
-			res, info, err = repro.Mine(ctx, d, opts)
-		}
+		res, info, err = repro.MineFrom(ctx, src, opts)
 	}
 	if err != nil {
 		return err

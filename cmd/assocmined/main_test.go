@@ -842,10 +842,16 @@ func TestJobPhaseSpanAccounting(t *testing.T) {
 		names[sp.Name] = true
 		sum += sp.DurationNS
 	}
-	for _, want := range []string{"initialization", "transformation", "asynchronous"} {
+	// Eclat jobs mine from the registry's memoized vertical transform
+	// (repro.MineFrom), so the horizontal transformation phase never
+	// runs — only initialization and the asynchronous class recursion.
+	for _, want := range []string{"initialization", "asynchronous"} {
 		if !names[want] {
 			t.Fatalf("phase %q missing from job view (got %v)", want, done.Phases)
 		}
+	}
+	if names["transformation"] {
+		t.Fatalf("vertical mining path ran the horizontal transformation phase (got %v)", done.Phases)
 	}
 	if sum <= 0 || sum > done.DurationNS {
 		t.Fatalf("phase sum %d outside (0, job duration %d]", sum, done.DurationNS)

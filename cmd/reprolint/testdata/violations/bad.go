@@ -12,5 +12,9 @@ func MineBad(minsup int) error { return nil }
 // helper seeds ctxfirst: context in second position.
 func helper(n int, ctx context.Context) error { return ctx.Err() }
 
+// MineClosedContext seeds ctxfirst's declaration ban: reintroducing a
+// retired wrapper name is rejected even with a context-first signature.
+func MineClosedContext(ctx context.Context, minsup int) error { return ctx.Err() }
+
 // compare seeds senterr: identity comparison of a context sentinel.
 func compare(err error) bool { return err == context.Canceled }

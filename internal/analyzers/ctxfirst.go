@@ -6,13 +6,16 @@ import (
 )
 
 // deprecatedMiners maps qualified function names to their context-first
-// replacement. Calling any of them is a ctxfirst diagnostic: the public
-// wrappers survive only for out-of-tree compatibility, and the internal
-// *Ctx spellings were folded into the canonical entry points.
+// replacement. Both calling and re-declaring any of them is a ctxfirst
+// diagnostic: the public *Context wrappers were deleted outright when
+// repro.Source/MineFrom landed, and the internal *Ctx spellings were
+// folded into the canonical entry points — none of the names may come
+// back.
 var deprecatedMiners = map[string]string{
 	"repro.MineContext":                      "repro.Mine",
 	"repro.MineMaximalContext":               "repro.MineMaximal",
 	"repro.MineClosedContext":                "repro.MineClosed",
+	"repro.MineVertical":                     "repro.MineFrom",
 	"repro/internal/eclat.MineSequentialCtx": "eclat.MineSequentialOpts",
 	"repro/internal/apriori.MineCtx":         "apriori.Mine",
 }
@@ -20,12 +23,12 @@ var deprecatedMiners = map[string]string{
 // CtxFirst enforces the context-first API contract introduced by the
 // observability PR: a context.Context parameter must come first in any
 // function signature, the exported Mine* entry points of the public
-// repro package must take a context, and the deprecated
-// *Context/*Ctx wrapper names must not gain new in-repo callers.
+// repro package must take a context, and the retired *Context/*Ctx
+// wrapper names must neither gain callers nor be declared again.
 var CtxFirst = &Analyzer{
 	Name: "ctxfirst",
 	Doc: "context.Context parameters must be first; exported repro.Mine* entry points " +
-		"must take a context; calls to the deprecated *Context/*Ctx mining wrappers are forbidden",
+		"must take a context; the retired *Context/*Ctx mining wrappers may not be called or redeclared",
 	Run: runCtxFirst,
 }
 
@@ -36,6 +39,23 @@ func runCtxFirst(pass *Pass) {
 			checkPublicMiners(pass, f)
 		}
 		checkDeprecatedCalls(pass, f)
+		checkDeprecatedDecls(pass, f)
+	}
+}
+
+// checkDeprecatedDecls flags any top-level function declaration that
+// reintroduces a retired wrapper name in its original package — the
+// deletion is permanent, not a renaming opportunity.
+func checkDeprecatedDecls(pass *Pass, f *File) {
+	for _, decl := range f.AST.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Recv != nil {
+			continue
+		}
+		qualified := pass.Pkg.ImportPath + "." + fn.Name.Name
+		if repl, banned := deprecatedMiners[qualified]; banned {
+			pass.Reportf(fn.Name.Pos(), "declaration of retired %s; the name was deleted in favor of %s and must not return", qualified, repl)
+		}
 	}
 }
 

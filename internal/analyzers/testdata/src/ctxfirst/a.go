@@ -22,3 +22,10 @@ func callers(ctx context.Context, minsup int) {
 	MineContext(ctx, minsup)             // want `call to deprecated repro\.MineContext; use the context-first repro\.Mine`
 	eclat.MineSequentialCtx(ctx, minsup) // want `call to deprecated repro/internal/eclat\.MineSequentialCtx; use the context-first eclat\.MineSequentialOpts`
 }
+
+// Reintroducing a retired wrapper name is flagged at the declaration,
+// even though the signature is context-first.
+func MineContext(ctx context.Context, minsup int) error { return ctx.Err() } // want `declaration of retired repro\.MineContext; the name was deleted in favor of repro\.Mine and must not return`
+
+// MineVertical was folded into MineFrom; its name may not come back.
+func MineVertical(ctx context.Context, minsup int) error { return ctx.Err() } // want `declaration of retired repro\.MineVertical; the name was deleted in favor of repro\.MineFrom and must not return`

@@ -90,7 +90,8 @@ type charmChild struct {
 
 // applyCharmRepr resolves the representation against the root level's
 // density (CHARM has no L2 equivalence classes; the root item lists are
-// the per-run analog) and re-encodes the roots when the bitset wins.
+// the per-run analog) and re-encodes the roots when a packed encoding
+// (bitset or roaring) wins.
 func applyCharmRepr(roots []*charmNode, repr tidlist.Repr, ks *tidlist.KernelStats) {
 	chosen := repr
 	if repr == tidlist.ReprAuto {
@@ -115,11 +116,11 @@ func applyCharmRepr(roots []*charmNode, repr tidlist.Repr, ks *tidlist.KernelSta
 		}
 		chosen = tidlist.ChooseRepr(repr, sum/len(roots), int(hi-lo)+1)
 	}
-	if chosen != tidlist.ReprBitset {
-		return
-	}
-	for _, n := range roots {
-		n.tids = tidlist.Convert(n.tids, tidlist.ReprBitset, ks)
+	switch chosen {
+	case tidlist.ReprBitset, tidlist.ReprRoaring:
+		for _, n := range roots {
+			n.tids = tidlist.Convert(n.tids, chosen, ks)
+		}
 	}
 }
 

@@ -39,6 +39,7 @@ const (
 	mnIntersectOps  = "eclat_intersect_ops_total"
 	mnTidlistBytes  = "eclat_tidlist_bytes_total"
 	mnClasses       = "eclat_classes_total"
+	mnDiffsetsUsed  = "eclat_diffset_classes_total"
 )
 
 var (
@@ -47,6 +48,7 @@ var (
 	mIntersectOps  = obsv.Default.Counter(mnIntersectOps, "tid-set kernel operations performed (element comparisons or words)")
 	mTidlistBytes  = obsv.Default.Counter(mnTidlistBytes, "tid-set bytes touched by intersections")
 	mClasses       = obsv.Default.Counter(mnClasses, "top-level equivalence classes mined")
+	mDiffsetsUsed  = obsv.Default.Counter(mnDiffsetsUsed, "sub-classes switched to the dEclat diffset representation")
 )
 
 // tidBytes is the in-memory size of one sparse tid-list element.
@@ -59,7 +61,10 @@ func flushStats(prev, cur *Stats) {
 	mShortCircuit.Add(cur.ShortCircuited - prev.ShortCircuited)
 	mIntersectOps.Add(cur.IntersectOps - prev.IntersectOps)
 	mTidlistBytes.Add((cur.Kernel.SparseOps()-prev.Kernel.SparseOps())*tidBytes +
-		(cur.Kernel.WordsTouched()-prev.Kernel.WordsTouched())*8)
+		(cur.Kernel.WordsTouched()-prev.Kernel.WordsTouched())*8 +
+		(cur.Kernel.RoaringElemOps()-prev.Kernel.RoaringElemOps())*2 +
+		(cur.Kernel.RoaringWords()-prev.Kernel.RoaringWords())*8)
+	mDiffsetsUsed.Add(cur.DiffsetClasses - prev.DiffsetClasses)
 	cur.Kernel.Flush(&prev.Kernel)
 }
 
@@ -91,8 +96,20 @@ type Options struct {
 	// recursion mines through: ReprAuto (the zero value) decides per
 	// equivalence class by density, ReprSparse forces the paper's sorted
 	// slice with the scalar merge kernel, ReprBitset forces the
-	// word-packed dense kernel.
+	// word-packed dense kernel, ReprRoaring forces the containerized
+	// compressed kernels.
 	Representation tidlist.Repr
+	// NoDiffsets disables the dEclat diffset transition: every sub-class
+	// carries full tid-lists even past the density break-even where
+	// diffsets become the smaller encoding. The zero value (diffsets on)
+	// is the default; the ablation benchmarks flip this to isolate the
+	// transition's effect.
+	NoDiffsets bool
+	// DiffsetBreakEven overrides the density threshold at which a
+	// sub-class switches to diffsets (see DefaultDiffsetBreakEven).
+	// Zero means the measured default; values > 1 never switch (useful
+	// in tests that pin the tid-list path without the NoDiffsets knob).
+	DiffsetBreakEven float64
 	// Workers is the number of real goroutines MineParallelLocal mines
 	// with (0 means runtime.GOMAXPROCS(0)). The sequential and simulated
 	// entry points ignore it.
@@ -116,9 +133,14 @@ type Stats struct {
 	// Steals counts the work-stealing events of a MineParallelLocal run
 	// (always 0 for sequential runs).
 	Steals int64
+	// DiffsetClasses counts the sub-classes the recursion switched to
+	// the dEclat diffset representation (0 when Options.NoDiffsets is
+	// set or nothing crossed the density break-even).
+	DiffsetClasses int64
 	// Kernel is the representation-dispatch accounting of the run: how
-	// many intersections went to the sparse, dense and mixed kernels,
-	// their per-kind work units, and sparse<->dense conversions.
+	// many intersections went to the sparse, dense, mixed and roaring
+	// kernels, their per-kind work units, and representation
+	// conversions.
 	Kernel tidlist.KernelStats
 }
 
@@ -129,6 +151,7 @@ func (s *Stats) merge(w *Stats) {
 	s.Intersections += w.Intersections
 	s.ShortCircuited += w.ShortCircuited
 	s.IntersectOps += w.IntersectOps
+	s.DiffsetClasses += w.DiffsetClasses
 	s.Kernel.Add(w.Kernel)
 }
 
@@ -163,10 +186,20 @@ func computeFrequent(ctx context.Context, members []member, minsup int, st *Stat
 	// functions recover its storage when the representation matches, so
 	// the buffer-reuse discipline of the sparse-only loop survives the
 	// abstraction.
+	breakEven := diffsetBreakEven(opts)
+	var span int
+	if breakEven > 0 {
+		span = classSpan(members)
+	}
 	var scratch tidlist.Set
 	for i := 0; i < len(members)-1; i++ {
 		if ctx.Err() != nil {
 			return
+		}
+		if breakEven > 0 && diffsetWins(members, i, span, breakEven) {
+			st.DiffsetClasses++
+			diffTransition(ctx, members, i, minsup, st, ar, emit)
+			continue
 		}
 		mark := ar.mark()
 		next := ar.nextMembers(len(members) - 1 - i)
@@ -202,6 +235,148 @@ func computeFrequent(ctx context.Context, members []member, minsup int, st *Stat
 	}
 }
 
+// DefaultDiffsetBreakEven is the measured density break-even of the
+// dEclat diffset transition: when the estimated support retention of a
+// sub-class's children (partner density over the class span) reaches
+// this fraction, d(PXY) = t(PX) \ t(PY) is smaller than t(PXY) and the
+// difference kernels touch fewer bytes per level than the intersection
+// kernels at the same support. The 0.5 crossover follows directly from
+// |d(PXY)| = sup(PX) - sup(PXY): the diffset is the smaller encoding
+// exactly when a child keeps more than half its parent's tids, and the
+// kernel measurements in BENCH_kernels.json (see EXPERIMENTS.md) put
+// the measured ns/op crossing at the same grid point — diff beats
+// intersect from the 50% density row down to ~12.5% only on bytes
+// touched in deeper levels, and on both bytes and first-transition cost
+// at ≥ 50%.
+const DefaultDiffsetBreakEven = 0.5
+
+// diffsetBreakEven resolves the run's diffset-transition threshold:
+// 0 disables the transition entirely.
+func diffsetBreakEven(opts Options) float64 {
+	if opts.NoDiffsets {
+		return 0
+	}
+	if opts.DiffsetBreakEven > 0 {
+		return opts.DiffsetBreakEven
+	}
+	return DefaultDiffsetBreakEven
+}
+
+// classSpan is the tid span covered by a class's members — the density
+// denominator shared by the representation policy and the diffset gate.
+func classSpan(members []member) int {
+	lo, hi, any := itemset.TID(0), itemset.TID(0), false
+	for _, m := range members {
+		l, h, ok := tidlist.Bounds(m.tids)
+		if !ok {
+			continue
+		}
+		if !any || l < lo {
+			lo = l
+		}
+		if !any || h > hi {
+			hi = h
+		}
+		any = true
+	}
+	if !any {
+		return 0
+	}
+	return int(hi-lo) + 1
+}
+
+// diffsetWins estimates whether the children of members[i] will retain
+// enough of their parent's support for diffsets to be the smaller
+// encoding: under independence a child PXY keeps a fraction of t(PX)
+// close to the partner's density sup(PY)/span, so the partners' average
+// density is the retention estimate compared against the break-even.
+func diffsetWins(members []member, i, span int, breakEven float64) bool {
+	if span <= 0 {
+		return false
+	}
+	sum := 0
+	for j := i + 1; j < len(members); j++ {
+		sum += members[j].tids.Support()
+	}
+	n := len(members) - 1 - i
+	return float64(sum) >= breakEven*float64(span)*float64(n)
+}
+
+// diffTransition opens the sub-class prefixed by members[i] in diffset
+// form — the dEclat first transition: each child carries
+// d(PXY) = t(PX) \ t(PY) with sup(PXY) = sup(PX) - |d(PXY)|, and the
+// recursion below continues in computeFrequentDiffCtx. The emitted
+// (itemset, support) pairs are identical to the tid-list path's (tested
+// property); only the intermediate encoding differs.
+func diffTransition(ctx context.Context, members []member, i, minsup int, st *Stats, ar *arena, emit func(itemset.Itemset, int)) {
+	mark := ar.mark()
+	defer ar.release(mark)
+	var scratch tidlist.Set
+	next := make([]dmember, 0, len(members)-1-i)
+	supI := members[i].tids.Support()
+	for j := i + 1; j < len(members); j++ {
+		st.Intersections++
+		diffs, ops := tidlist.DiffSets(scratch, members[i].tids, members[j].tids, &st.Kernel)
+		st.IntersectOps += int64(ops)
+		scratch = diffs
+		sup := supI - diffs.Support()
+		if sup < minsup {
+			continue
+		}
+		next = append(next, dmember{
+			set:   members[i].set.Join(members[j].set),
+			diffs: ar.cloneSet(diffs),
+			sup:   sup,
+		})
+	}
+	for _, m := range next {
+		emit(m.set, m.sup)
+	}
+	if len(next) > 1 {
+		computeFrequentDiffCtx(ctx, next, minsup, st, ar, emit)
+	}
+}
+
+// computeFrequentDiffCtx is computeFrequent in diffset form: members
+// share a common prefix and carry diffsets relative to their shared
+// parent, with d(PXY) = d(PY) \ d(PX) and
+// sup(PXY) = sup(PX) - |d(PXY)|. There is no §5.3 short-circuit here —
+// the support is known only after the full difference — but the sets
+// shrink level over level instead of the supports, which is exactly the
+// trade the break-even gate prices.
+func computeFrequentDiffCtx(ctx context.Context, members []dmember, minsup int, st *Stats, ar *arena, emit func(itemset.Itemset, int)) {
+	var scratch tidlist.Set
+	for i := 0; i < len(members)-1; i++ {
+		if ctx.Err() != nil {
+			return
+		}
+		mark := ar.mark()
+		next := make([]dmember, 0, len(members)-1-i)
+		for j := i + 1; j < len(members); j++ {
+			st.Intersections++
+			diffs, ops := tidlist.DiffSets(scratch, members[j].diffs, members[i].diffs, &st.Kernel)
+			st.IntersectOps += int64(ops)
+			scratch = diffs
+			sup := members[i].sup - diffs.Support()
+			if sup < minsup {
+				continue
+			}
+			next = append(next, dmember{
+				set:   members[i].set.Join(members[j].set),
+				diffs: ar.cloneSet(diffs),
+				sup:   sup,
+			})
+		}
+		for _, m := range next {
+			emit(m.set, m.sup)
+		}
+		if len(next) > 1 {
+			computeFrequentDiffCtx(ctx, next, minsup, st, ar, emit)
+		}
+		ar.release(mark)
+	}
+}
+
 // classMembers assembles the sorted member list of one L2 equivalence
 // class from the global pair tid-list map, then applies the per-class
 // representation policy: with ReprAuto the class density (average member
@@ -219,36 +394,29 @@ func classMembers(class *eqclass.Class, lists map[tidlist.Pair]tidlist.List, rep
 }
 
 // applyClassRepr resolves repr against the class's density and, when the
-// outcome is the bitset, re-encodes every member in place.
+// outcome is one of the packed encodings (bitset or roaring), re-encodes
+// every member in place.
 func applyClassRepr(members []member, repr tidlist.Repr, ks *tidlist.KernelStats) {
 	chosen := repr
 	if repr == tidlist.ReprAuto {
-		lo, hi, any := itemset.TID(0), itemset.TID(0), false
+		if len(members) == 0 {
+			return
+		}
+		span := classSpan(members)
+		if span == 0 {
+			return
+		}
 		sum := 0
 		for _, m := range members {
 			sum += m.tids.Support()
-			l, h, ok := tidlist.Bounds(m.tids)
-			if !ok {
-				continue
-			}
-			if !any || l < lo {
-				lo = l
-			}
-			if !any || h > hi {
-				hi = h
-			}
-			any = true
 		}
-		if !any || len(members) == 0 {
-			return
+		chosen = tidlist.ChooseRepr(repr, sum/len(members), span)
+	}
+	switch chosen {
+	case tidlist.ReprBitset, tidlist.ReprRoaring:
+		for i := range members {
+			members[i].tids = tidlist.Convert(members[i].tids, chosen, ks)
 		}
-		chosen = tidlist.ChooseRepr(repr, sum/len(members), int(hi-lo)+1)
-	}
-	if chosen != tidlist.ReprBitset {
-		return
-	}
-	for i := range members {
-		members[i].tids = tidlist.Convert(members[i].tids, tidlist.ReprBitset, ks)
 	}
 }
 

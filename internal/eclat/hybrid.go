@@ -186,10 +186,14 @@ func MineHybridOpts(cl *cluster.Cluster, d *db.Database, minsup int, opts Option
 			if subSched.Owner[i] != p.ID()-leader {
 				continue
 			}
-			members := classMembers(&sub[i], lists, opts.Representation, &st.Kernel)
-			for _, m := range members {
-				myBytes += m.tids.SizeBytes()
+			// The read-back is charged at the lists' encoded (on-disk)
+			// size — the same basis the transformation write used — not at
+			// the size of the in-memory sets classMembers materializes.
+			for _, m := range sub[i].Members {
+				n, _ := tidlist.EncodedSize(lists[tidlist.Pair{A: m[0], B: m[1]}], opts.Representation)
+				myBytes += n
 			}
+			members := classMembers(&sub[i], lists, opts.Representation, &st.Kernel)
 			computeFrequent(context.Background(), members, minsup, &st, opts, ar, local.Add)
 		}
 		p.ChargeScan(myBytes, pp)

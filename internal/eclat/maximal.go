@@ -114,26 +114,20 @@ func computeMaximal(members []member, minsup int, st *MaxStats, emit func(itemse
 	}
 
 	// Top-down lookahead: the class's top itemset is the union of all
-	// members; its tid-list is the intersection of all member lists. Each
-	// step reads the previous step's result as an operand, so no scratch
-	// is shared across iterations. When a step short-circuits, its partial
-	// result is discarded along with the lookahead — the partial-prefix
-	// contract (ok=false means the set is unusable) is respected by
-	// abandoning the whole chain.
+	// members; its tid-list is the k-way intersection of all member
+	// lists. The k-way kernel folds smallest-support-first and rotates
+	// its two scratch buffers, so a long prefix costs at most two
+	// intermediate allocations and the §5.3 bound aborts the fold as
+	// early as the operand order allows. On abort the partial result is
+	// discarded with the lookahead (the ok=false contract).
 	st.Lookaheads++
-	top := members[0].tids
-	feasible := true
-	for i := 1; i < len(members) && feasible; i++ {
-		st.Intersections++
-		tids, ops, ok := tidlist.IntersectSetsSC(nil, top, members[i].tids, minsup, &st.Kernel)
-		st.IntersectOps += int64(ops)
-		if !ok {
-			st.ShortCircuited++
-			feasible = false
-			break
-		}
-		top = tids
+	opSets := make([]tidlist.Set, len(members))
+	for i, m := range members {
+		opSets[i] = m.tids
 	}
+	top, ops, folds, feasible := tidlist.IntersectKSetsSC(opSets, minsup, &st.Kernel)
+	st.Intersections += int64(folds)
+	st.IntersectOps += int64(ops)
 	if feasible {
 		st.LookaheadHits++
 		union := members[0].set
@@ -143,6 +137,7 @@ func computeMaximal(members []member, minsup int, st *MaxStats, emit func(itemse
 		emit(union, top.Support())
 		return
 	}
+	st.ShortCircuited++
 
 	// Bottom-up expansion, emitting members with no frequent extension.
 	var scratch tidlist.Set

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/db"
 	"repro/internal/gen"
+	"repro/internal/itemset"
 	"repro/internal/mining"
 	"repro/internal/testutil"
 	"repro/internal/tidlist"
@@ -54,7 +55,7 @@ var reprVariants = []struct {
 	}},
 }
 
-var allReprs = []tidlist.Repr{tidlist.ReprSparse, tidlist.ReprBitset, tidlist.ReprAuto}
+var allReprs = []tidlist.Repr{tidlist.ReprSparse, tidlist.ReprBitset, tidlist.ReprRoaring, tidlist.ReprAuto}
 
 // TestAllVariantsAgreeAcrossRepresentations is the acceptance criterion
 // for the representation layer: every eclat variant must produce
@@ -144,6 +145,81 @@ func TestAdaptivePolicySwitchesByDensity(t *testing.T) {
 	_, st, _ = MineSequentialOpts(context.Background(), sparse, 2, Options{Representation: tidlist.ReprAuto})
 	if st.Kernel.DenseIntersections() != 0 {
 		t.Fatalf("auto on sparse data dispatched %d dense intersections", st.Kernel.DenseIntersections())
+	}
+}
+
+// TestRoaringRunDispatchesContainerKernel is the roaring analog of the
+// dense-kernel guard: an explicit roaring run must record containerized
+// dispatches and container work, and a sparse run must record none.
+func TestRoaringRunDispatchesContainerKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	d := testutil.RandomDB(rng, 200, 12, 7)
+	_, st, _ := MineSequentialOpts(context.Background(), d, 4, Options{Representation: tidlist.ReprRoaring})
+	if st.Intersections == 0 {
+		t.Skip("no intersections at this support; adjust test data")
+	}
+	if st.Kernel.RoaringIntersections() == 0 {
+		t.Fatal("explicit roaring run performed no containerized dispatches")
+	}
+	if st.Kernel.RoaringElemOps()+st.Kernel.RoaringWords() == 0 {
+		t.Fatal("containerized dispatches must record container work")
+	}
+	_, st, _ = MineSequentialOpts(context.Background(), d, 4, Options{Representation: tidlist.ReprSparse})
+	if st.Kernel.RoaringIntersections() != 0 {
+		t.Fatal("explicit sparse run dispatched to the roaring kernel")
+	}
+}
+
+// TestDiffsetTransitionByDensity pins the dEclat gate's two sides: dense
+// classes (children retain most of their parent's support) must switch
+// sub-classes to diffsets by default, the NoDiffsets ablation must not,
+// and both must mine identical itemsets under every representation.
+func TestDiffsetTransitionByDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	// Each transaction keeps all but one of 6 items: every pair retains
+	// ~2/3 of the transactions and every extension ~3/4 of its parent,
+	// comfortably above the 0.5 break-even.
+	dense := &db.Database{NumItems: 6}
+	for i := 0; i < 200; i++ {
+		drop := rng.Intn(6)
+		var items []itemset.Item
+		for it := 0; it < 6; it++ {
+			if it != drop {
+				items = append(items, itemset.Item(it))
+			}
+		}
+		dense.Transactions = append(dense.Transactions, db.Transaction{
+			TID:   itemset.TID(i),
+			Items: itemset.New(items...),
+		})
+	}
+	for _, r := range allReprs {
+		want, stOff, _ := MineSequentialOpts(context.Background(), dense, 2,
+			Options{Representation: r, NoDiffsets: true})
+		if stOff.DiffsetClasses != 0 {
+			t.Fatalf("repr %v: NoDiffsets run still switched %d sub-classes", r, stOff.DiffsetClasses)
+		}
+		got, stOn, _ := MineSequentialOpts(context.Background(), dense, 2, Options{Representation: r})
+		if stOn.DiffsetClasses == 0 {
+			t.Fatalf("repr %v: dense data never crossed the diffset break-even", r)
+		}
+		if !mining.Equal(got, want) {
+			t.Fatalf("repr %v: diffset-first output differs from tid-list output:\n%s",
+				r, mining.Diff(got, want))
+		}
+	}
+	// Sparse data sits far below the break-even: the default must keep
+	// tid-lists so the §5.3 short-circuit stays in play.
+	sparse := testutil.RandomDB(rng, 4000, 120, 4)
+	_, st, _ := MineSequentialOpts(context.Background(), sparse, 2, Options{Representation: tidlist.ReprAuto})
+	if st.DiffsetClasses != 0 {
+		t.Fatalf("sparse data switched %d sub-classes to diffsets below the break-even", st.DiffsetClasses)
+	}
+	// A break-even above 1 can never be met by a retention estimate.
+	_, st, _ = MineSequentialOpts(context.Background(), dense, 2,
+		Options{Representation: tidlist.ReprAuto, DiffsetBreakEven: 1.5})
+	if st.DiffsetClasses != 0 {
+		t.Fatalf("DiffsetBreakEven 1.5 still switched %d sub-classes", st.DiffsetClasses)
 	}
 }
 

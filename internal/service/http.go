@@ -57,9 +57,10 @@ type DatasetRequest struct {
 // VerticalSizes reports the dataset's vertical-transform size under each
 // tid-set encoding (the auto figure picks the cheaper encoding per item).
 type VerticalSizes struct {
-	SparseBytes int64 `json:"sparseBytes"`
-	DenseBytes  int64 `json:"denseBytes"`
-	AutoBytes   int64 `json:"autoBytes"`
+	SparseBytes  int64 `json:"sparseBytes"`
+	DenseBytes   int64 `json:"denseBytes"`
+	RoaringBytes int64 `json:"roaringBytes"`
+	AutoBytes    int64 `json:"autoBytes"`
 }
 
 // apiError is the structured error body: {"error":{"code","message"}}.
@@ -96,6 +97,8 @@ func errorCode(err error) (int, string) {
 		return http.StatusBadRequest, "unknown_algorithm"
 	case errors.Is(err, repro.ErrInvalidParallelism):
 		return http.StatusBadRequest, "invalid_parallelism"
+	case errors.Is(err, repro.ErrInvalidRepresentation):
+		return http.StatusBadRequest, "invalid_representation"
 	case errors.Is(err, repro.ErrCanceled):
 		return http.StatusConflict, "canceled"
 	default:
@@ -299,7 +302,7 @@ func NewHandler(s *Service) http.Handler {
 			}
 			n = v
 		}
-		sparse, dense, auto := ds.VerticalSizes()
+		sparse, dense, roaring, auto := ds.VerticalSizes()
 		writeJSON(w, http.StatusOK, struct {
 			DatasetInfo
 			TopItems []ItemSupport `json:"topItems"`
@@ -307,7 +310,7 @@ func NewHandler(s *Service) http.Handler {
 		}{
 			DatasetInfo: ds.Info(),
 			TopItems:    ds.TopItems(n),
-			Vertical:    VerticalSizes{SparseBytes: sparse, DenseBytes: dense, AutoBytes: auto},
+			Vertical:    VerticalSizes{SparseBytes: sparse, DenseBytes: dense, RoaringBytes: roaring, AutoBytes: auto},
 		})
 	})
 

@@ -6,11 +6,16 @@ import (
 	"sort"
 	"sync"
 
+	"repro"
 	"repro/internal/db"
 	"repro/internal/itemset"
 	"repro/internal/store"
 	"repro/internal/tidlist"
 )
+
+// Registered datasets are repro.Sources: runJob hands them straight to
+// repro.MineFrom, which picks the vertical or horizontal path itself.
+var _ repro.Source = (*Dataset)(nil)
 
 // ErrUnknownDataset is returned for dataset names not in the registry.
 var ErrUnknownDataset = errors.New("service: unknown dataset")
@@ -57,15 +62,20 @@ type Dataset struct {
 	bitsetOnce sync.Once
 	bitsets    []*tidlist.Bitset // index = item; nil until first use
 
-	// The three VerticalSets slices, memoized per representation so jobs
+	roaringOnce sync.Once
+	roarings    []*tidlist.Roaring // index = item; nil until first use
+
+	// The four VerticalSets slices, memoized per representation so jobs
 	// never rebuild them (ReprAuto in particular re-ran EncodedSize over
 	// every item on each call before this cache existed).
-	sparseSetsOnce sync.Once
-	sparseSets     []tidlist.Set
-	bitsetSetsOnce sync.Once
-	bitsetSets     []tidlist.Set
-	autoSetsOnce   sync.Once
-	autoSets       []tidlist.Set
+	sparseSetsOnce  sync.Once
+	sparseSets      []tidlist.Set
+	bitsetSetsOnce  sync.Once
+	bitsetSets      []tidlist.Set
+	roaringSetsOnce sync.Once
+	roaringSets     []tidlist.Set
+	autoSetsOnce    sync.Once
+	autoSets        []tidlist.Set
 }
 
 // StoreBacked reports whether this dataset serves its vertical transform
@@ -74,6 +84,16 @@ func (ds *Dataset) StoreBacked() bool { return ds.stored != nil }
 
 // Info returns the dataset-shape summary without loading any data.
 func (ds *Dataset) Info() DatasetInfo { return ds.info }
+
+// NumTransactions is |D|, read off the registered shape metadata.
+// Together with Horizontal and VerticalSets it makes *Dataset a
+// repro.Source: runJob hands datasets straight to repro.MineFrom without
+// branching on where the data lives.
+func (ds *Dataset) NumTransactions() int { return ds.info.Transactions }
+
+// Horizontal returns the horizontal database (repro.Source spelling of
+// Database).
+func (ds *Dataset) Horizontal() (*db.Database, error) { return ds.Database() }
 
 // Database returns the horizontal database, loading it from the store on
 // first use for store-backed datasets. The vertical mining path never
@@ -148,12 +168,51 @@ func (ds *Dataset) VerticalBitsets() []*tidlist.Bitset {
 	return ds.bitsets
 }
 
+// VerticalRoarings returns the memoized containerized encoding of the
+// vertical transform (one Roaring per item; empty items get an empty
+// Roaring). Store-backed datasets serve it from the mapping when a
+// previous process spilled it; otherwise the transform is computed once
+// and spilled so the next open gets it for free. Shared — must not be
+// mutated.
+func (ds *Dataset) VerticalRoarings() []*tidlist.Roaring {
+	ds.roaringOnce.Do(func() {
+		if ds.stored != nil {
+			if stored, ok := ds.stored.Roarings(); ok {
+				sets := make([]*tidlist.Roaring, len(stored))
+				for it, r := range stored {
+					if r == nil {
+						r = tidlist.NewRoaring(nil)
+					}
+					sets[it] = r
+				}
+				ds.roarings = sets
+				return
+			}
+		}
+		vert := ds.Vertical()
+		sets := make([]*tidlist.Roaring, len(vert))
+		for it, l := range vert {
+			sets[it] = tidlist.NewRoaring(l)
+		}
+		ds.roarings = sets
+		if ds.stored != nil {
+			if err := ds.stored.AppendRoarings(sets); err != nil && ds.logf != nil {
+				ds.logf("service: spilling containerized transform of %q failed: %v", ds.Name, err)
+			}
+		}
+	})
+	return ds.roarings
+}
+
 // VerticalSets returns the memoized vertical transform under the given
 // representation as []tidlist.Set (ReprAuto picks per item by density —
 // each item's list in whichever encoding is smaller, mixing
 // representations within one dataset). Each representation's slice is
-// built once and shared — must not be mutated.
-func (ds *Dataset) VerticalSets(r tidlist.Repr) []tidlist.Set {
+// built once and shared — must not be mutated. ok is always true (the
+// repro.Source contract): store-backed datasets serve views over the
+// mapping, in-memory datasets pay one memoized transform pass, so every
+// local Eclat job mines scan-free from here.
+func (ds *Dataset) VerticalSets(r tidlist.Repr) ([]tidlist.Set, bool) {
 	switch r {
 	case tidlist.ReprBitset:
 		ds.bitsetSetsOnce.Do(func() {
@@ -164,7 +223,7 @@ func (ds *Dataset) VerticalSets(r tidlist.Repr) []tidlist.Set {
 			}
 			ds.bitsetSets = out
 		})
-		return ds.bitsetSets
+		return ds.bitsetSets, true
 	case tidlist.ReprSparse:
 		ds.sparseSetsOnce.Do(func() {
 			vert := ds.Vertical()
@@ -174,39 +233,57 @@ func (ds *Dataset) VerticalSets(r tidlist.Repr) []tidlist.Set {
 			}
 			ds.sparseSets = out
 		})
-		return ds.sparseSets
+		return ds.sparseSets, true
+	case tidlist.ReprRoaring:
+		ds.roaringSetsOnce.Do(func() {
+			roarings := ds.VerticalRoarings()
+			out := make([]tidlist.Set, len(roarings))
+			for it, r := range roarings {
+				out[it] = r
+			}
+			ds.roaringSets = out
+		})
+		return ds.roaringSets, true
 	default: // ReprAuto: per-item cheapest encoding
 		ds.autoSetsOnce.Do(func() {
 			vert := ds.Vertical()
 			out := make([]tidlist.Set, len(vert))
 			var dense []*tidlist.Bitset
+			var roarings []*tidlist.Roaring
 			for it, l := range vert {
-				if _, enc := tidlist.EncodedSize(l, tidlist.ReprAuto); enc == tidlist.ReprBitset {
+				switch _, enc := tidlist.EncodedSize(l, tidlist.ReprAuto); enc {
+				case tidlist.ReprBitset:
 					if dense == nil {
 						dense = ds.VerticalBitsets()
 					}
 					out[it] = dense[it]
-				} else {
+				case tidlist.ReprRoaring:
+					if roarings == nil {
+						roarings = ds.VerticalRoarings()
+					}
+					out[it] = roarings[it]
+				default:
 					out[it] = l
 				}
 			}
 			ds.autoSets = out
 		})
-		return ds.autoSets
+		return ds.autoSets, true
 	}
 }
 
 // VerticalSizes reports the encoded size of the whole vertical transform
 // under each representation — the dataset-detail figures that let a
 // caller see which encoding its tid-lists favor.
-func (ds *Dataset) VerticalSizes() (sparse, dense, auto int64) {
+func (ds *Dataset) VerticalSizes() (sparse, dense, roaring, auto int64) {
 	for _, l := range ds.Vertical() {
 		s, _ := tidlist.EncodedSize(l, tidlist.ReprSparse)
 		d, _ := tidlist.EncodedSize(l, tidlist.ReprBitset)
+		r, _ := tidlist.EncodedSize(l, tidlist.ReprRoaring)
 		a, _ := tidlist.EncodedSize(l, tidlist.ReprAuto)
-		sparse, dense, auto = sparse+s, dense+d, auto+a
+		sparse, dense, roaring, auto = sparse+s, dense+d, roaring+r, auto+a
 	}
-	return sparse, dense, auto
+	return sparse, dense, roaring, auto
 }
 
 // ItemSupport is one item with its support count.

@@ -70,13 +70,17 @@ func TestDatasetVerticalSetsMemoizedPerRepresentation(t *testing.T) {
 	if &b1[0] != &b2[0] {
 		t.Fatal("VerticalBitsets recomputed instead of memoized")
 	}
-	sparse := ds.VerticalSets(tidlist.ReprSparse)
-	dense := ds.VerticalSets(tidlist.ReprBitset)
-	auto := ds.VerticalSets(tidlist.ReprAuto)
+	sparse, _ := ds.VerticalSets(tidlist.ReprSparse)
+	dense, _ := ds.VerticalSets(tidlist.ReprBitset)
+	roaring, ok := ds.VerticalSets(tidlist.ReprRoaring)
+	if !ok {
+		t.Fatal("VerticalSets must always serve the repro.Source vertical view")
+	}
+	auto, _ := ds.VerticalSets(tidlist.ReprAuto)
 	vert := ds.Vertical()
 	for it := range vert {
 		want := vert[it]
-		for _, sets := range [][]tidlist.Set{sparse, dense, auto} {
+		for _, sets := range [][]tidlist.Set{sparse, dense, roaring, auto} {
 			got := tidlist.TIDsOf(sets[it])
 			if len(got) != len(want) {
 				t.Fatalf("item %d: %d tids, want %d", it, len(got), len(want))
@@ -93,12 +97,15 @@ func TestDatasetVerticalSetsMemoizedPerRepresentation(t *testing.T) {
 		if vert[it].Support() > 0 && dense[it].Repr() != tidlist.ReprBitset {
 			t.Fatalf("item %d: dense transform has repr %v", it, dense[it].Repr())
 		}
+		if vert[it].Support() > 0 && roaring[it].Repr() != tidlist.ReprRoaring {
+			t.Fatalf("item %d: roaring transform has repr %v", it, roaring[it].Repr())
+		}
 	}
-	// The auto transform never ships an item in the more expensive
+	// The auto transform never ships an item in a more expensive
 	// encoding, so its total size is the VerticalSizes auto figure.
-	sp, de, au := ds.VerticalSizes()
-	if au > sp || au > de {
-		t.Fatalf("auto size %d exceeds sparse %d or dense %d", au, sp, de)
+	sp, de, ro, au := ds.VerticalSizes()
+	if au > sp || au > de || au > ro {
+		t.Fatalf("auto size %d exceeds sparse %d, dense %d, or roaring %d", au, sp, de, ro)
 	}
 	var autoSum int64
 	for _, s := range auto {

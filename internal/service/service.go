@@ -175,49 +175,32 @@ func (s *Service) runJob(ctx context.Context, j *Job) (*mining.Result, *repro.Ru
 	}
 	var res *mining.Result
 	var info *repro.RunInfo
-	switch {
-	case j.Req.Variant == VariantMaximal:
+	switch j.Req.Variant {
+	case VariantMaximal:
 		d, derr := ds.Database()
 		if derr != nil {
 			return nil, nil, derr
 		}
 		res, err = repro.MineMaximal(ctx, d, opts)
-	case j.Req.Variant == VariantClosed:
+	case VariantClosed:
 		d, derr := ds.Database()
 		if derr != nil {
 			return nil, nil, derr
 		}
 		res, err = repro.MineClosed(ctx, d, opts)
-	case verticalEligible(ds, j.Req):
-		// Store-backed fast path: mine straight from the mapped vertical
-		// transform, zero horizontal scans. Byte-identical to the
-		// horizontal path (see repro.MineVertical), so the cache identity
-		// is unchanged.
-		res, info, err = repro.MineVertical(ctx, repro.VerticalInput{
-			NumTransactions: ds.Info().Transactions,
-			Items:           ds.VerticalSets(j.Req.Representation),
-		}, opts)
 	default:
-		d, derr := ds.Database()
-		if derr != nil {
-			return nil, nil, derr
-		}
-		res, info, err = repro.Mine(ctx, d, opts)
+		// The dataset is a repro.Source: MineFrom mines local Eclat jobs
+		// straight from the memoized vertical transform (zero horizontal
+		// scans, mapped views for store-backed datasets) and materializes
+		// the horizontal database for everything else. Both paths are
+		// byte-identical, so the cache identity is unchanged.
+		res, info, err = repro.MineFrom(ctx, ds, opts)
 	}
 	if err != nil {
 		return nil, nil, err
 	}
 	s.cache.Put(j.Key, res)
 	return res, info, nil
-}
-
-// verticalEligible reports whether a job can take the store-backed
-// vertical path: plain local Eclat over a dataset whose vertical
-// transform is served from the persistent store's mapping.
-func verticalEligible(ds *Dataset, req Request) bool {
-	return ds.StoreBacked() &&
-		req.Algorithm == repro.AlgoEclat &&
-		req.Hosts <= 1 && req.ProcsPerHost <= 1
 }
 
 // effectiveParallelism resolves a job's requested worker count against

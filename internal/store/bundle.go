@@ -43,6 +43,12 @@ const (
 	// EncBitset is the spilled dense encoding: base+count header then
 	// 64-bit words (see tidlist.AppendBitsetBytes).
 	EncBitset = 2
+	// EncRoaring is the spilled containerized encoding: count/container
+	// header, per-container descriptors, then 8-byte-padded container
+	// payloads (see tidlist.AppendRoaringBytes). Record payloads start
+	// 8-aligned in the mapping, so decoded containers alias the mapped
+	// bytes zero-copy.
+	EncRoaring = 3
 )
 
 // ErrCorruptBundle reports a checksum, bound, or header mismatch inside
@@ -55,7 +61,7 @@ var ErrCorruptBundle = errors.New("store: corrupt bundle")
 type Record struct {
 	// Item is the item whose tid-list this record holds.
 	Item int `json:"item"`
-	// Enc is EncSparse or EncBitset.
+	// Enc is EncSparse, EncBitset or EncRoaring.
 	Enc int `json:"enc"`
 	// Support is the tid count, duplicated from the payload so support
 	// queries never touch the bundle.

@@ -79,8 +79,9 @@ type Dataset struct {
 	data    []byte
 	cleanup func() error
 
-	sparse  []tidlist.List    // index = item; nil where no record
-	bitsets []*tidlist.Bitset // index = item; nil where not spilled
+	sparse   []tidlist.List     // index = item; nil where no record
+	bitsets  []*tidlist.Bitset  // index = item; nil where not spilled
+	roarings []*tidlist.Roaring // index = item; nil where not spilled
 
 	horizOnce sync.Once
 	horiz     *db.Database
@@ -234,6 +235,7 @@ func (ds *Dataset) decode() error {
 	}
 	ds.sparse = make([]tidlist.List, ds.idx.Meta.NumItems)
 	ds.bitsets = make([]*tidlist.Bitset, ds.idx.Meta.NumItems)
+	ds.roarings = make([]*tidlist.Roaring, ds.idx.Meta.NumItems)
 	for _, rec := range ds.idx.Records {
 		if rec.Item < 0 || rec.Item >= ds.idx.Meta.NumItems {
 			return fmt.Errorf("%w: record for out-of-range item %d", ErrCorruptBundle, rec.Item)
@@ -263,6 +265,16 @@ func (ds *Dataset) decode() error {
 					ErrCorruptBundle, rec.Item, b.Support(), rec.Support)
 			}
 			ds.bitsets[rec.Item] = b
+		case EncRoaring:
+			r, err := tidlist.RoaringFromBytes(payload)
+			if err != nil {
+				return fmt.Errorf("%w: item %d: %v", ErrCorruptBundle, rec.Item, err)
+			}
+			if r.Support() != rec.Support {
+				return fmt.Errorf("%w: item %d roaring has support %d, index says %d",
+					ErrCorruptBundle, rec.Item, r.Support(), rec.Support)
+			}
+			ds.roarings[rec.Item] = r
 		default:
 			return fmt.Errorf("%w: item %d has unknown encoding %d", ErrCorruptBundle, rec.Item, rec.Enc)
 		}
@@ -272,6 +284,18 @@ func (ds *Dataset) decode() error {
 
 // Meta returns the dataset header.
 func (ds *Dataset) Meta() Meta { return ds.idx.Meta }
+
+// NumTransactions is |D|, read off the dataset header. Together with
+// Horizontal and VerticalSets it makes *Dataset a repro.Source, so
+// callers hand a stored dataset straight to repro.MineFrom.
+func (ds *Dataset) NumTransactions() int { return ds.idx.Meta.Transactions }
+
+// VerticalSets is Sets with the repro.Source ok contract: the store
+// always serves the vertical transform without a horizontal scan, so ok
+// is always true.
+func (ds *Dataset) VerticalSets(r tidlist.Repr) ([]tidlist.Set, bool) {
+	return ds.Sets(r), true
+}
 
 // SparseLists returns the per-item sparse tid-lists as views over the
 // mapping (index = item; nil for items with no transactions). The slice
@@ -290,6 +314,18 @@ func (ds *Dataset) Bitsets() ([]*tidlist.Bitset, bool) {
 	return ds.bitsets, true
 }
 
+// Roarings returns the spilled containerized transform as views over the
+// mapping, or ok=false when the stored roarings do not cover every
+// non-empty item.
+func (ds *Dataset) Roarings() ([]*tidlist.Roaring, bool) {
+	for item, l := range ds.sparse {
+		if len(l) > 0 && ds.roarings[item] == nil {
+			return nil, false
+		}
+	}
+	return ds.roarings, true
+}
+
 // Sets returns the vertical transform as []tidlist.Set under the given
 // representation, served from the mapping wherever possible: sparse
 // straight from the bundle, bitset from a previous spill (or encoded in
@@ -304,19 +340,30 @@ func (ds *Dataset) Sets(r tidlist.Repr) []tidlist.Set {
 		}
 		return tidlist.NewBitset(ds.sparse[item])
 	}
+	roaring := func(item int) *tidlist.Roaring {
+		if rr := ds.roarings[item]; rr != nil {
+			return rr
+		}
+		return tidlist.NewRoaring(ds.sparse[item])
+	}
 	for item, l := range ds.sparse {
 		if len(l) == 0 {
 			continue
 		}
-		switch {
-		case r == tidlist.ReprBitset:
+		switch r {
+		case tidlist.ReprBitset:
 			out[item] = dense(item)
-		case r == tidlist.ReprSparse:
+		case tidlist.ReprRoaring:
+			out[item] = roaring(item)
+		case tidlist.ReprSparse:
 			out[item] = l
-		default: // ReprAuto
-			if _, enc := tidlist.EncodedSize(l, tidlist.ReprAuto); enc == tidlist.ReprBitset {
+		default: // ReprAuto: cheapest of the three encodings per item
+			switch _, enc := tidlist.EncodedSize(l, tidlist.ReprAuto); enc {
+			case tidlist.ReprBitset:
 				out[item] = dense(item)
-			} else {
+			case tidlist.ReprRoaring:
+				out[item] = roaring(item)
+			default:
 				out[item] = l
 			}
 		}
@@ -350,9 +397,36 @@ func (ds *Dataset) Horizontal() (*db.Database, error) {
 // (as returned by Dataset.VerticalBitsets); nil and empty entries are
 // skipped.
 func (ds *Dataset) AppendBitsets(bs []*tidlist.Bitset) error {
+	return ds.appendSpill(EncBitset, len(bs), func(item int) (int, func([]byte) []byte) {
+		b := bs[item]
+		if b == nil || b.Support() == 0 {
+			return 0, nil
+		}
+		return b.Support(), func(p []byte) []byte { return tidlist.AppendBitsetBytes(p, b) }
+	})
+}
+
+// AppendRoarings spills the containerized transform to disk with the
+// same crash-safe append protocol as AppendBitsets. rs is indexed by
+// item; nil and empty entries are skipped.
+func (ds *Dataset) AppendRoarings(rs []*tidlist.Roaring) error {
+	return ds.appendSpill(EncRoaring, len(rs), func(item int) (int, func([]byte) []byte) {
+		r := rs[item]
+		if r == nil || r.Support() == 0 {
+			return 0, nil
+		}
+		return r.Support(), func(p []byte) []byte { return tidlist.AppendRoaringBytes(p, r) }
+	})
+}
+
+// appendSpill implements the shared spill-append protocol: records for
+// every item in [0, n) with a payload (per the get callback) and no
+// existing record under enc are appended past the committed extent, the
+// bundle is fsynced, and only then is the index atomically replaced.
+func (ds *Dataset) appendSpill(enc, n int, get func(item int) (support int, encode func([]byte) []byte)) error {
 	covered := make(map[int]bool)
 	for _, rec := range ds.idx.Records {
-		if rec.Enc == EncBitset {
+		if rec.Enc == enc {
 			covered[rec.Item] = true
 		}
 	}
@@ -361,13 +435,17 @@ func (ds *Dataset) AppendBitsets(bs []*tidlist.Bitset) error {
 	idx.Records = append([]Record(nil), ds.idx.Records...)
 	off := ds.idx.BundleBytes
 	var payload []byte
-	for item, b := range bs {
-		if b == nil || b.Support() == 0 || item >= ds.idx.Meta.NumItems || covered[item] {
+	for item := 0; item < n; item++ {
+		if item >= ds.idx.Meta.NumItems || covered[item] {
 			continue
 		}
-		payload = tidlist.AppendBitsetBytes(payload[:0], b)
+		support, encode := get(item)
+		if encode == nil {
+			continue
+		}
+		payload = encode(payload[:0])
 		var rec Record
-		buf, rec = appendRecord(buf, off+int64(len(buf)), item, EncBitset, b.Support(), payload)
+		buf, rec = appendRecord(buf, off+int64(len(buf)), item, enc, support, payload)
 		idx.Records = append(idx.Records, rec)
 	}
 	if len(buf) == 0 {
@@ -422,7 +500,7 @@ func (ds *Dataset) Close() error {
 			storeBytesMapped.Add(-int64(len(ds.data)))
 			ds.closeErr = ds.cleanup()
 		}
-		ds.data, ds.sparse, ds.bitsets = nil, nil, nil
+		ds.data, ds.sparse, ds.bitsets, ds.roarings = nil, nil, nil, nil
 	})
 	return ds.closeErr
 }

@@ -27,12 +27,19 @@ func benchTidList(rng *rand.Rand, n, universe int) List {
 	return out
 }
 
-// BenchmarkIntersectKernels compares the three intersection kernels —
-// sparse merge, dense AND+popcount, and the adaptive policy's pick —
-// across densities spanning both sides of DenseThreshold (~3.1%). This
-// is the perf baseline behind the representation layer: the dense kernel
-// should win clearly on dense inputs (>= ~5%) and lose to the merge once
-// the tids spread out; adaptive should track the winner.
+// BenchmarkIntersectKernels compares the intersection kernels — sparse
+// merge, dense AND+popcount, containerized roaring, and the adaptive
+// policy's pick — across densities spanning both sides of
+// DenseThreshold (~3.1%). This is the perf baseline behind the
+// representation layer: the dense kernel should win clearly on dense
+// inputs (>= ~5%) and lose to the merge once the tids spread out, the
+// roaring containers should track the per-chunk winner everywhere, and
+// adaptive should track the global winner.
+//
+// The diffset row measures the dEclat difference kernel (DiffSets) on
+// the same operands in their adaptively chosen encoding — the cost of
+// the first diffset transition at that density, the number the
+// break-even rule in DESIGN.md §5 is derived from.
 //
 // scripts/bench_kernels.go runs this benchmark and writes the committed
 // BENCH_kernels.json snapshot.
@@ -54,14 +61,18 @@ func BenchmarkIntersectKernels(b *testing.B) {
 		x := benchTidList(rng, n, d.universe)
 		y := benchTidList(rng, n, d.universe)
 		dx, dy := NewBitset(x), NewBitset(y)
+		rx, ry := NewRoaring(x), NewRoaring(y)
 		auto := ChooseRepr(ReprAuto, n, d.universe)
 		kernels := []struct {
 			name string
 			a, b Set
+			diff bool
 		}{
-			{"sparse", x, y},
-			{"bitset", dx, dy},
-			{"adaptive", asRepr(x, auto), asRepr(y, auto)},
+			{"sparse", x, y, false},
+			{"bitset", dx, dy, false},
+			{"roaring", rx, ry, false},
+			{"adaptive", asRepr(x, auto), asRepr(y, auto), false},
+			{"diffset", asRepr(x, auto), asRepr(y, auto), true},
 		}
 		for _, k := range kernels {
 			b.Run(fmt.Sprintf("density=%s/kernel=%s", d.name, k.name), func(b *testing.B) {
@@ -69,8 +80,14 @@ func BenchmarkIntersectKernels(b *testing.B) {
 				var scratch Set
 				b.ReportAllocs()
 				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					scratch, _ = IntersectSets(scratch, k.a, k.b, &ks)
+				if k.diff {
+					for i := 0; i < b.N; i++ {
+						scratch, _ = DiffSets(scratch, k.a, k.b, &ks)
+					}
+				} else {
+					for i := 0; i < b.N; i++ {
+						scratch, _ = IntersectSets(scratch, k.a, k.b, &ks)
+					}
 				}
 				b.ReportMetric(float64(scratch.Support()), "tids")
 			})
@@ -102,6 +119,7 @@ func BenchmarkIntersectKernelsSC(b *testing.B) {
 		}{
 			{"sparse", x, y},
 			{"bitset", dx, dy},
+			{"roaring", NewRoaring(x), NewRoaring(y)},
 		}
 		for _, k := range kernels {
 			b.Run(fmt.Sprintf("density=%s/kernel=%s", d.name, k.name), func(b *testing.B) {

@@ -12,7 +12,9 @@ import (
 // Every pair of bytes becomes one candidate tid, reduced modulo a
 // universe derived from the same input so the fuzzer explores both dense
 // (small universe) and sparse (large universe) regimes — the two sides
-// of the adaptive policy.
+// of the adaptive policy. Universes above 64K spread the tids across
+// multiple roaring chunks (stretched so candidates land near chunk
+// boundaries), exercising the key-merge and container-boundary paths.
 func fuzzList(raw []byte, universe uint32) List {
 	if universe == 0 {
 		universe = 1
@@ -20,7 +22,14 @@ func fuzzList(raw []byte, universe uint32) List {
 	seen := map[itemset.TID]bool{}
 	for i := 0; i+1 < len(raw); i += 2 {
 		v := uint32(binary.LittleEndian.Uint16(raw[i:]))
-		seen[itemset.TID(v%universe)] = true
+		if universe > 1<<16 {
+			// Scale 16-bit candidates up so they cover the wider universe;
+			// keep the low bits so values straddle chunk boundaries.
+			v = (v * (universe >> 16)) % universe
+		} else {
+			v %= universe
+		}
+		seen[itemset.TID(v)] = true
 	}
 	out := make(List, 0, len(seen))
 	for tid := range seen {
@@ -30,9 +39,10 @@ func fuzzList(raw []byte, universe uint32) List {
 	return out
 }
 
-// fuzzUniverse maps the selector byte onto 64..65536 tids, covering
-// densities from well above DenseThreshold down to well below it.
-func fuzzUniverse(sel uint8) uint32 { return 64 << (sel % 11) }
+// fuzzUniverse maps the selector byte onto 64..2^23 tids, covering
+// densities from well above DenseThreshold down to well below it and
+// tid spans from a fraction of one roaring chunk up to 128 chunks.
+func fuzzUniverse(sel uint8) uint32 { return 64 << (sel % 18) }
 
 func fuzzSeed(f *testing.F) {
 	f.Add([]byte{1, 0, 2, 0, 3, 0}, []byte{2, 0, 3, 0, 4, 0}, uint8(0), uint8(2))
@@ -116,31 +126,55 @@ func FuzzShortCircuitKernels(f *testing.F) {
 	})
 }
 
-// FuzzRoundTrip proves sparse -> dense -> sparse conversion is lossless
-// and that both encodings agree on Support, Bounds, and HashTIDs.
+// FuzzRoundTrip proves sparse -> packed -> sparse conversion is lossless
+// for both packed encodings and that all representations agree on
+// Support, Bounds, HashTIDs, Contains, and the stable serialization.
 func FuzzRoundTrip(f *testing.F) {
 	fuzzSeed(f)
 	f.Fuzz(func(t *testing.T, ra, _ []byte, sel, _ uint8) {
 		l := fuzzList(ra, fuzzUniverse(sel))
-		var ks KernelStats
-		dense := Convert(l, ReprBitset, &ks)
-		back := TIDsOf(Convert(dense, ReprSparse, &ks))
-		if !equalTIDs(back, l) {
-			t.Fatalf("round trip: %v -> %v", l, back)
-		}
-		if dense.Support() != len(l) {
-			t.Fatalf("dense Support %d, want %d", dense.Support(), len(l))
-		}
-		if HashTIDs(dense) != HashTIDs(l) {
-			t.Fatal("HashTIDs disagrees across representations")
-		}
 		slo, shi, sok := Bounds(l)
-		dlo, dhi, dok := Bounds(dense)
-		if sok != dok || slo != dlo || shi != dhi {
-			t.Fatalf("Bounds disagree: sparse %d..%d/%v dense %d..%d/%v", slo, shi, sok, dlo, dhi, dok)
+		var ks KernelStats
+		for _, r := range []Repr{ReprBitset, ReprRoaring} {
+			packed := Convert(l, r, &ks)
+			back := TIDsOf(Convert(packed, ReprSparse, &ks))
+			if !equalTIDs(back, l) {
+				t.Fatalf("%v round trip: %v -> %v", r, l, back)
+			}
+			if packed.Support() != len(l) {
+				t.Fatalf("%v Support %d, want %d", r, packed.Support(), len(l))
+			}
+			if HashTIDs(packed) != HashTIDs(l) {
+				t.Fatalf("%v HashTIDs disagrees with sparse", r)
+			}
+			plo, phi, pok := Bounds(packed)
+			if sok != pok || slo != plo || shi != phi {
+				t.Fatalf("Bounds disagree: sparse %d..%d/%v %v %d..%d/%v", slo, shi, sok, r, plo, phi, pok)
+			}
+			if n, _ := EncodedSize(l, r); len(l) > 0 && n != packed.SizeBytes() {
+				t.Fatalf("%v EncodedSize %d != SizeBytes %d", r, n, packed.SizeBytes())
+			}
 		}
-		if n, _ := EncodedSize(l, ReprBitset); len(l) > 0 && n != dense.SizeBytes() {
-			t.Fatalf("EncodedSize %d != SizeBytes %d", n, dense.SizeBytes())
+		// Roaring-specific: the stable serialization round trips and
+		// Contains answers agree with membership near chunk boundaries.
+		roaring := NewRoaring(l)
+		dec, err := RoaringFromBytes(AppendRoaringBytes(nil, roaring))
+		if err != nil {
+			t.Fatalf("RoaringFromBytes: %v", err)
+		}
+		if !equalTIDs(dec.TIDs(), l) {
+			t.Fatalf("roaring serialization round trip: %v -> %v", l, dec.TIDs())
+		}
+		member := map[itemset.TID]bool{}
+		for _, tid := range l {
+			member[tid] = true
+		}
+		for _, tid := range l {
+			for _, probe := range []itemset.TID{tid, tid + 1, tid - 1} {
+				if probe >= 0 && roaring.Contains(probe) != member[probe] {
+					t.Fatalf("roaring Contains(%d) = %v, want %v", probe, roaring.Contains(probe), member[probe])
+				}
+			}
 		}
 	})
 }

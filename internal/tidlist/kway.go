@@ -1,0 +1,63 @@
+package tidlist
+
+import "sort"
+
+// IntersectKSetsSC intersects k sets under the minimum-support short
+// circuit — the k-way path for long prefixes. A candidate deep in the
+// lattice is the intersection of many member lists at once (MaxEclat's
+// class-collapse lookahead is the canonical site: the class's top
+// itemset's tid-set is the intersection of every member's), and folding
+// them through one call beats a hand-rolled chain two ways: the operands
+// are folded smallest-support-first, so the accumulator shrinks as early
+// as possible and the §5.3 bound can abort the chain before the large
+// lists are ever touched, and the two intermediate buffers are rotated
+// internally, so the whole fold allocates at most two results no matter
+// how long the prefix is.
+//
+// ops is the total kernel operations across all folds, folds the number
+// of pairwise kernel dispatches actually performed (< len(sets)-1 when
+// the bound aborts early). When ok is false the returned set is an
+// unusable partial retained only for storage reuse — the same contract
+// as IntersectSetsSC. Operands are never modified; a single operand is
+// returned as-is. Zero operands yield (nil, 0, 0, false).
+func IntersectKSetsSC(sets []Set, minsup int, ks *KernelStats) (result Set, ops, folds int, ok bool) {
+	switch len(sets) {
+	case 0:
+		return nil, 0, 0, false
+	case 1:
+		return sets[0], 0, 0, sets[0].Support() >= minsup
+	}
+	// Fold order: ascending support, indirected so the caller's slice
+	// stays untouched.
+	order := make([]int, len(sets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		sa, sb := sets[order[a]].Support(), sets[order[b]].Support()
+		if sa != sb {
+			return sa < sb
+		}
+		return order[a] < order[b]
+	})
+
+	acc := sets[order[0]]
+	var spare Set // result buffer from two folds ago, free for reuse
+	first := true
+	for _, oi := range order[1:] {
+		out, n, o := IntersectSetsSC(spare, acc, sets[oi], minsup, ks)
+		ops += n
+		folds++
+		if first {
+			// acc was a caller operand; nothing to recycle yet.
+			spare, first = nil, false
+		} else {
+			spare = acc
+		}
+		acc = out
+		if !o {
+			return acc, ops, folds, false
+		}
+	}
+	return acc, ops, folds, true
+}

@@ -1,0 +1,210 @@
+package tidlist
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/itemset"
+)
+
+// seqList returns [start, start+n) as a List.
+func seqList(start itemset.TID, n int) List {
+	l := make(List, n)
+	for i := range l {
+		l[i] = start + itemset.TID(i)
+	}
+	return l
+}
+
+func TestRoaringContainerShapes(t *testing.T) {
+	// One long run: the run container wins.
+	r := NewRoaring(seqList(10, 5000))
+	if len(r.ctrs) != 1 || r.ctrs[0].kind != ctRun {
+		t.Fatalf("5000-tid run encoded as kind %d in %d containers, want one run container", r.ctrs[0].kind, len(r.ctrs))
+	}
+	// Every other tid over a word-dense span: bitmap.
+	var dense List
+	for i := 0; i < 4096; i += 2 {
+		dense = append(dense, itemset.TID(i))
+	}
+	r = NewRoaring(dense)
+	if len(r.ctrs) != 1 || r.ctrs[0].kind != ctBitmap {
+		t.Fatalf("alternating tids encoded as kind %d, want bitmap", r.ctrs[0].kind)
+	}
+	// Widely scattered tids within a chunk: array.
+	var scattered List
+	for i := 0; i < 100; i++ {
+		scattered = append(scattered, itemset.TID(i*601))
+	}
+	r = NewRoaring(scattered)
+	if len(r.ctrs) != 1 || r.ctrs[0].kind != ctArray {
+		t.Fatalf("scattered tids encoded as kind %d, want array", r.ctrs[0].kind)
+	}
+	// The bitmap window is trimmed: members far from the chunk start
+	// must not pay for leading words.
+	r = NewRoaring(seqList(60000, 64).Clone())
+	if c := &r.ctrs[0]; c.kind == ctBitmap && len(c.words) > 2 {
+		t.Fatalf("trimmed bitmap spans %d words, want <= 2", len(c.words))
+	}
+}
+
+func TestRoaringChunkBoundaries(t *testing.T) {
+	// Members on both sides of a chunk boundary land in distinct
+	// containers and survive every accessor.
+	l := mk(chunkSize-2, chunkSize-1, chunkSize, chunkSize+1, 3*chunkSize-1, 3*chunkSize)
+	r := NewRoaring(l)
+	if len(r.keys) != 4 {
+		t.Fatalf("boundary list occupies %d chunks, want 4 (%v)", len(r.keys), r.keys)
+	}
+	if !equalTIDs(r.TIDs(), l) {
+		t.Fatalf("round trip: %v -> %v", l, r.TIDs())
+	}
+	for _, tid := range l {
+		if !r.Contains(tid) {
+			t.Fatalf("Contains(%d) = false", tid)
+		}
+	}
+	for _, tid := range []itemset.TID{0, chunkSize - 3, chunkSize + 2, 2 * chunkSize, 3*chunkSize + 1} {
+		if r.Contains(tid) {
+			t.Fatalf("Contains(%d) = true", tid)
+		}
+	}
+	// A run crossing the boundary splits into per-chunk runs and still
+	// intersects correctly with a straddling operand.
+	a := seqList(chunkSize-100, 200)
+	b := seqList(chunkSize-50, 100)
+	var ks KernelStats
+	got, _ := IntersectSets(nil, NewRoaring(a), NewRoaring(b), &ks)
+	if !equalTIDs(TIDsOf(got), Intersect(a, b)) {
+		t.Fatalf("boundary-straddling intersection wrong: %v", TIDsOf(got))
+	}
+}
+
+func TestRoaringSetTIDsReuse(t *testing.T) {
+	// Repacking a Roaring must fully replace its contents, whatever the
+	// prior shapes were, while reusing storage.
+	rng := rand.New(rand.NewSource(71))
+	r := &Roaring{}
+	for trial := 0; trial < 200; trial++ {
+		var l List
+		switch trial % 3 {
+		case 0:
+			l = randomList(rng, 300, 10*chunkSize)
+		case 1:
+			l = seqList(itemset.TID(rng.Intn(3*chunkSize)), 1+rng.Intn(5000))
+		default:
+			l = randomList(rng, 50, 500)
+		}
+		r.SetTIDs(l)
+		if !equalTIDs(r.TIDs(), l) {
+			t.Fatalf("trial %d: SetTIDs reuse lost tids", trial)
+		}
+		if r.Support() != len(l) {
+			t.Fatalf("trial %d: Support %d, want %d", trial, r.Support(), len(l))
+		}
+	}
+	r.SetTIDs(nil)
+	if r.Support() != 0 || len(r.keys) != 0 {
+		t.Fatal("SetTIDs(nil) must empty the set")
+	}
+}
+
+func TestRoaringSerializationRejectsCorruption(t *testing.T) {
+	l := mk(1, 2, 3, 100, chunkSize+5, chunkSize+6)
+	enc := AppendRoaringBytes(nil, NewRoaring(l))
+	if _, err := RoaringFromBytes(enc); err != nil {
+		t.Fatalf("clean payload rejected: %v", err)
+	}
+	// Truncations anywhere must fail, never panic or mis-decode.
+	for cut := 1; cut < len(enc); cut++ {
+		if _, err := RoaringFromBytes(enc[:cut]); err == nil {
+			// A shorter prefix may only be accepted if it is itself a
+			// complete payload — impossible here since count stays 6.
+			t.Fatalf("truncated payload (%d of %d bytes) accepted", cut, len(enc))
+		}
+	}
+	corrupt := func(off int, v byte) []byte {
+		c := append([]byte(nil), enc...)
+		c[off] = v
+		return c
+	}
+	// Header count mismatch.
+	if _, err := RoaringFromBytes(corrupt(0, 99)); err == nil {
+		t.Fatal("count mismatch accepted")
+	}
+	// Unknown container kind in the first descriptor.
+	if _, err := RoaringFromBytes(corrupt(roaringPayloadHeader+2, 7)); err == nil {
+		t.Fatal("unknown container kind accepted")
+	}
+	// Unsorted keys: overwrite the second descriptor's key with the first's.
+	if _, err := RoaringFromBytes(corrupt(roaringPayloadHeader+8, enc[roaringPayloadHeader])); err == nil {
+		t.Fatal("non-increasing keys accepted")
+	}
+	// Zero-container payload with a nonzero header length.
+	bad := append([]byte(nil), enc[:roaringPayloadHeader]...)
+	bad[4], bad[5], bad[6], bad[7] = 0, 0, 0, 0
+	if _, err := RoaringFromBytes(bad); err == nil {
+		t.Fatal("zero container count accepted")
+	}
+	// Empty payload is the empty set.
+	if r, err := RoaringFromBytes(nil); err != nil || r.Support() != 0 {
+		t.Fatalf("empty payload: %v, support %d", err, r.Support())
+	}
+}
+
+func TestRoaringSerializationUnalignedCopies(t *testing.T) {
+	// Decoding from an odd offset must fall back to copying and still
+	// produce the same set (the zero-copy path needs 8-byte alignment).
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 50; trial++ {
+		l := randomList(rng, 200, 5*chunkSize)
+		enc := AppendRoaringBytes(nil, NewRoaring(l))
+		buf := append(make([]byte, 1, 1+len(enc)), enc...)
+		dec, err := RoaringFromBytes(buf[1:])
+		if err != nil {
+			t.Fatalf("unaligned decode: %v", err)
+		}
+		if !equalTIDs(dec.TIDs(), l) {
+			t.Fatalf("unaligned decode lost tids")
+		}
+	}
+}
+
+func TestRoaringCloneIndependence(t *testing.T) {
+	l := seqList(100, 1000)
+	r := NewRoaring(l)
+	c := r.Clone()
+	r.SetTIDs(mk(1, 2, 3))
+	if !equalTIDs(c.TIDs(), l) {
+		t.Fatal("Clone shares storage with the original")
+	}
+}
+
+// TestRoaringDiffAllKindPairs drives ctrAndNot across every (a kind,
+// b kind) pairing by constructing shape-forcing operands in one chunk.
+func TestRoaringDiffAllKindPairs(t *testing.T) {
+	shapes := map[string]List{
+		"array": {3, 700, 1400, 9000, 30000},
+		"bitmap": func() List {
+			var l List
+			for i := 0; i < 2048; i += 2 {
+				l = append(l, itemset.TID(i))
+			}
+			return l
+		}(),
+		"run": seqList(500, 4000),
+	}
+	for an, a := range shapes {
+		for bn, b := range shapes {
+			var ks KernelStats
+			got, _ := DiffSets(nil, NewRoaring(a), NewRoaring(b), &ks)
+			if want := Diff(a, b); !equalTIDs(TIDsOf(got), want) {
+				t.Fatalf("%s \\ %s: got %d tids, want %d", an, bn, got.Support(), len(want))
+			}
+			gotI, _ := IntersectSets(nil, NewRoaring(a), NewRoaring(b), &ks)
+			if want := Intersect(a, b); !equalTIDs(TIDsOf(gotI), want) {
+				t.Fatalf("%s ∩ %s: got %d tids, want %d", an, bn, gotI.Support(), len(want))
+			}
+		}
+	}
+}

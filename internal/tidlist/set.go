@@ -1,6 +1,7 @@
 package tidlist
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 
@@ -24,7 +25,17 @@ const (
 	// ReprBitset is the word-packed dense bitset (64 TIDs per word,
 	// AND + popcount intersection).
 	ReprBitset
+	// ReprRoaring is the containerized compressed bitset: 64K-tid
+	// chunks holding array, bitmap or run containers, with kernels
+	// dispatched per container pair.
+	ReprRoaring
 )
+
+// ErrInvalidRepresentation reports an unknown representation name.
+// ParseRepr errors wrap it, so every layer — Options validation, the
+// CLI flag, the daemon's job field — can classify with errors.Is and
+// map it to one client-facing failure (HTTP 400 on the daemon).
+var ErrInvalidRepresentation = errors.New("tidlist: invalid representation")
 
 // String names the representation as the -repr flag spells it.
 func (r Repr) String() string {
@@ -35,12 +46,15 @@ func (r Repr) String() string {
 		return "sparse"
 	case ReprBitset:
 		return "bitset"
+	case ReprRoaring:
+		return "roaring"
 	default:
 		return fmt.Sprintf("Repr(%d)", uint8(r))
 	}
 }
 
-// ParseRepr parses a representation name; "" means ReprAuto.
+// ParseRepr parses a representation name; "" means ReprAuto. Unknown
+// names fail with an error wrapping ErrInvalidRepresentation.
 func ParseRepr(s string) (Repr, error) {
 	switch s {
 	case "", "auto":
@@ -49,8 +63,10 @@ func ParseRepr(s string) (Repr, error) {
 		return ReprSparse, nil
 	case "bitset", "dense":
 		return ReprBitset, nil
+	case "roaring", "compressed":
+		return ReprRoaring, nil
 	default:
-		return 0, fmt.Errorf("tidlist: unknown representation %q (want auto, sparse or bitset)", s)
+		return 0, fmt.Errorf("%w: %q (want auto, sparse, bitset or roaring)", ErrInvalidRepresentation, s)
 	}
 }
 
@@ -62,10 +78,21 @@ func ParseRepr(s string) (Repr, error) {
 // switch point.
 const DenseThreshold = 1.0 / 32
 
+// RoaringSpanChunks is the tid-span (in 64K chunks) above which the
+// adaptive policy prefers the containerized representation over a flat
+// bitset for dense classes: within a few chunks the two word kernels
+// are equivalent and the flat bitset is simpler, but across a wide span
+// the per-chunk trimming and key-merge chunk skipping pay for the
+// container dispatch (the committed BENCH_kernels.json rows calibrate
+// this).
+const RoaringSpanChunks = 4
+
 // ChooseRepr resolves a representation: an explicit request passes
-// through, and ReprAuto picks ReprBitset when the density support/tidRange
-// reaches DenseThreshold. support is the (average) cardinality of the
-// tid-sets under consideration and tidRange the span of TIDs they cover.
+// through, and ReprAuto picks a packed representation when the density
+// support/tidRange reaches DenseThreshold — the flat bitset for spans
+// within RoaringSpanChunks chunks, the containerized roaring form
+// beyond it. support is the (average) cardinality of the tid-sets under
+// consideration and tidRange the span of TIDs they cover.
 func ChooseRepr(r Repr, support, tidRange int) Repr {
 	if r != ReprAuto {
 		return r
@@ -74,6 +101,9 @@ func ChooseRepr(r Repr, support, tidRange int) Repr {
 		return ReprSparse
 	}
 	if float64(support) >= DenseThreshold*float64(tidRange) {
+		if tidRange > RoaringSpanChunks*chunkSize {
+			return ReprRoaring
+		}
 		return ReprBitset
 	}
 	return ReprSparse
@@ -100,6 +130,7 @@ type Set interface {
 var (
 	_ Set = List(nil)
 	_ Set = (*Bitset)(nil)
+	_ Set = (*Roaring)(nil)
 )
 
 // SparseList is the sorted-slice representation under its role name: the
@@ -129,6 +160,8 @@ func CloneSet(s Set) Set {
 		return v.Clone()
 	case *Bitset:
 		return v.Clone()
+	case *Roaring:
+		return v.Clone()
 	default:
 		return TIDsOf(s)
 	}
@@ -145,6 +178,8 @@ func Convert(s Set, r Repr, ks *KernelStats) Set {
 	switch r {
 	case ReprBitset:
 		return NewBitset(TIDsOf(s))
+	case ReprRoaring:
+		return NewRoaring(TIDsOf(s))
 	default:
 		return TIDsOf(s).Clone()
 	}
@@ -155,12 +190,15 @@ func Convert(s Set, r Repr, ks *KernelStats) Set {
 // process metrics registry at class granularity, keeping atomics off the
 // per-intersection path (same discipline as eclat's Stats).
 type KernelStats struct {
-	sparseIntersections int64 // scalar merge-kernel dispatches
-	denseIntersections  int64 // word-kernel dispatches
-	mixedIntersections  int64 // sparse-probe-into-bitset dispatches
-	sparseOps           int64 // element comparisons by the merge kernel
-	wordsTouched        int64 // 64-bit words visited by the dense kernel
-	conversions         int64 // sparse<->dense re-encodings
+	sparseIntersections  int64 // scalar merge-kernel dispatches
+	denseIntersections   int64 // word-kernel dispatches
+	mixedIntersections   int64 // sparse-probe-into-packed dispatches
+	roaringIntersections int64 // containerized-kernel dispatches
+	sparseOps            int64 // element comparisons by the merge kernel
+	wordsTouched         int64 // 64-bit words visited by the dense kernel
+	roaringElemOps       int64 // uint16 element / run-pair comparisons in containers
+	roaringWords         int64 // 64-bit words touched by bitmap containers
+	conversions          int64 // representation re-encodings
 }
 
 // SparseOps returns the element comparisons performed by sparse (and
@@ -172,40 +210,90 @@ func (k *KernelStats) SparseOps() int64 { return k.sparseOps }
 // the unit the cluster model charges at OpBitsetWord cost.
 func (k *KernelStats) WordsTouched() int64 { return k.wordsTouched }
 
-// Conversions returns the number of sparse<->dense re-encodings.
+// Conversions returns the number of representation re-encodings.
 func (k *KernelStats) Conversions() int64 { return k.conversions }
 
 // DenseIntersections returns the number of word-kernel dispatches.
 func (k *KernelStats) DenseIntersections() int64 { return k.denseIntersections }
+
+// RoaringIntersections returns the number of containerized-kernel
+// dispatches (roaring-roaring and roaring-bitset operand pairs).
+func (k *KernelStats) RoaringIntersections() int64 { return k.roaringIntersections }
+
+// RoaringElemOps returns the uint16 element and run-pair comparisons
+// performed inside array and run containers — charged per-container at
+// the cluster model's element-op cost.
+func (k *KernelStats) RoaringElemOps() int64 { return k.roaringElemOps }
+
+// RoaringWords returns the words touched inside bitmap containers —
+// charged per-container at the cluster model's word-op cost.
+func (k *KernelStats) RoaringWords() int64 { return k.roaringWords }
 
 // Add accumulates other into k.
 func (k *KernelStats) Add(other KernelStats) {
 	k.sparseIntersections += other.sparseIntersections
 	k.denseIntersections += other.denseIntersections
 	k.mixedIntersections += other.mixedIntersections
+	k.roaringIntersections += other.roaringIntersections
 	k.sparseOps += other.sparseOps
 	k.wordsTouched += other.wordsTouched
+	k.roaringElemOps += other.roaringElemOps
+	k.roaringWords += other.roaringWords
 	k.conversions += other.conversions
 }
 
 // Kernel-dispatch metric names and metrics (see /metricsz).
 const (
-	mnSparseDispatch = "tidlist_intersect_sparse_total"
-	mnDenseDispatch  = "tidlist_intersect_dense_total"
-	mnMixedDispatch  = "tidlist_intersect_mixed_total"
-	mnSparseOps      = "tidlist_sparse_ops_total"
-	mnDenseWords     = "tidlist_dense_words_total"
-	mnConversions    = "tidlist_conversions_total"
+	mnSparseDispatch  = "tidlist_intersect_sparse_total"
+	mnDenseDispatch   = "tidlist_intersect_dense_total"
+	mnMixedDispatch   = "tidlist_intersect_mixed_total"
+	mnRoaringDispatch = "tidlist_intersect_roaring_total"
+	mnSparseOps       = "tidlist_sparse_ops_total"
+	mnDenseWords      = "tidlist_dense_words_total"
+	mnRoaringElemOps  = "tidlist_roaring_elem_ops_total"
+	mnRoaringWords    = "tidlist_roaring_words_total"
+	mnConversions     = "tidlist_conversions_total"
+)
+
+// Container-construction counter family: how many containers the
+// roaring builder has produced, total and per shape. Published per set
+// build (see Roaring.SetTIDs), never per chunk.
+const (
+	mnRoaringContainers       = "tidlist_roaring_containers_total"
+	mnRoaringArrayContainers  = "tidlist_roaring_array_containers_total"
+	mnRoaringBitmapContainers = "tidlist_roaring_bitmap_containers_total"
+	mnRoaringRunContainers    = "tidlist_roaring_run_containers_total"
 )
 
 var (
-	mSparseDispatch = obsv.Default.Counter(mnSparseDispatch, "tid-set intersections dispatched to the sparse merge kernel")
-	mDenseDispatch  = obsv.Default.Counter(mnDenseDispatch, "tid-set intersections dispatched to the dense word kernel")
-	mMixedDispatch  = obsv.Default.Counter(mnMixedDispatch, "tid-set intersections dispatched to the mixed sparse-probe kernel")
-	mSparseOps      = obsv.Default.Counter(mnSparseOps, "element comparisons performed by the sparse merge kernel")
-	mDenseWords     = obsv.Default.Counter(mnDenseWords, "64-bit words touched by the dense kernel")
-	mConversions    = obsv.Default.Counter(mnConversions, "sparse<->dense tid-set re-encodings")
+	mSparseDispatch  = obsv.Default.Counter(mnSparseDispatch, "tid-set intersections dispatched to the sparse merge kernel")
+	mDenseDispatch   = obsv.Default.Counter(mnDenseDispatch, "tid-set intersections dispatched to the dense word kernel")
+	mMixedDispatch   = obsv.Default.Counter(mnMixedDispatch, "tid-set intersections dispatched to the mixed sparse-probe kernel")
+	mRoaringDispatch = obsv.Default.Counter(mnRoaringDispatch, "tid-set intersections dispatched to the containerized roaring kernel")
+	mSparseOps       = obsv.Default.Counter(mnSparseOps, "element comparisons performed by the sparse merge kernel")
+	mDenseWords      = obsv.Default.Counter(mnDenseWords, "64-bit words touched by the dense kernel")
+	mRoaringElemOps  = obsv.Default.Counter(mnRoaringElemOps, "uint16 element and run-pair comparisons inside roaring containers")
+	mRoaringWords    = obsv.Default.Counter(mnRoaringWords, "64-bit words touched inside roaring bitmap containers")
+	mConversions     = obsv.Default.Counter(mnConversions, "tid-set representation re-encodings")
+
+	mRoaringContainers       = obsv.Default.Counter(mnRoaringContainers, "roaring containers built, all shapes")
+	mRoaringArrayContainers  = obsv.Default.Counter(mnRoaringArrayContainers, "roaring array containers built")
+	mRoaringBitmapContainers = obsv.Default.Counter(mnRoaringBitmapContainers, "roaring bitmap containers built")
+	mRoaringRunContainers    = obsv.Default.Counter(mnRoaringRunContainers, "roaring run containers built")
 )
+
+// publishContainerCounts flushes one build's per-shape container tally,
+// indexed by container kind.
+func publishContainerCounts(built [3]int64) {
+	total := built[ctArray] + built[ctBitmap] + built[ctRun]
+	if total == 0 {
+		return
+	}
+	mRoaringContainers.Add(total)
+	mRoaringArrayContainers.Add(built[ctArray])
+	mRoaringBitmapContainers.Add(built[ctBitmap])
+	mRoaringRunContainers.Add(built[ctRun])
+}
 
 // Flush publishes the delta between prev and k to the process metrics
 // registry and copies k into prev.
@@ -213,8 +301,11 @@ func (k *KernelStats) Flush(prev *KernelStats) {
 	mSparseDispatch.Add(k.sparseIntersections - prev.sparseIntersections)
 	mDenseDispatch.Add(k.denseIntersections - prev.denseIntersections)
 	mMixedDispatch.Add(k.mixedIntersections - prev.mixedIntersections)
+	mRoaringDispatch.Add(k.roaringIntersections - prev.roaringIntersections)
 	mSparseOps.Add(k.sparseOps - prev.sparseOps)
 	mDenseWords.Add(k.wordsTouched - prev.wordsTouched)
+	mRoaringElemOps.Add(k.roaringElemOps - prev.roaringElemOps)
+	mRoaringWords.Add(k.roaringWords - prev.roaringWords)
 	mConversions.Add(k.conversions - prev.conversions)
 	*prev = *k
 }
@@ -236,6 +327,8 @@ func IntersectSets(scratch Set, a, b Set, ks *KernelStats) (Set, int) {
 			return out, ops
 		case *Bitset:
 			return probeIntersect(scratch, x, y, ks)
+		case *Roaring:
+			return probeIntersectRoaring(scratch, x, y, ks)
 		}
 	case *Bitset:
 		switch y := b.(type) {
@@ -246,6 +339,20 @@ func IntersectSets(scratch Set, a, b Set, ks *KernelStats) (Set, int) {
 			out, words := intersectBitset(bitsetScratch(scratch), x, y)
 			ks.wordsTouched += int64(words)
 			return out, words
+		case *Roaring:
+			ks.roaringIntersections++
+			return intersectRoaringBitset(roaringScratch(scratch), y, x, ks)
+		}
+	case *Roaring:
+		switch y := b.(type) {
+		case List:
+			return probeIntersectRoaring(scratch, y, x, ks)
+		case *Bitset:
+			ks.roaringIntersections++
+			return intersectRoaringBitset(roaringScratch(scratch), x, y, ks)
+		case *Roaring:
+			ks.roaringIntersections++
+			return intersectRoaring(roaringScratch(scratch), x, y, ks)
 		}
 	}
 	return intersectGeneric(a, b, ks)
@@ -268,6 +375,8 @@ func IntersectSetsSC(scratch Set, a, b Set, minsup int, ks *KernelStats) (result
 			return out, ops, ok
 		case *Bitset:
 			return probeIntersectSC(scratch, x, y, minsup, ks)
+		case *Roaring:
+			return probeIntersectRoaringSC(scratch, x, y, minsup, ks)
 		}
 	case *Bitset:
 		switch y := b.(type) {
@@ -278,6 +387,20 @@ func IntersectSetsSC(scratch Set, a, b Set, minsup int, ks *KernelStats) (result
 			out, words, ok := intersectBitsetSC(bitsetScratch(scratch), x, y, minsup)
 			ks.wordsTouched += int64(words)
 			return out, words, ok
+		case *Roaring:
+			ks.roaringIntersections++
+			return intersectRoaringBitsetSC(roaringScratch(scratch), y, x, minsup, ks)
+		}
+	case *Roaring:
+		switch y := b.(type) {
+		case List:
+			return probeIntersectRoaringSC(scratch, y, x, minsup, ks)
+		case *Bitset:
+			ks.roaringIntersections++
+			return intersectRoaringBitsetSC(roaringScratch(scratch), x, y, minsup, ks)
+		case *Roaring:
+			ks.roaringIntersections++
+			return intersectRoaringSC(roaringScratch(scratch), x, y, minsup, ks)
 		}
 	}
 	out, ops := intersectGeneric(a, b, ks)
@@ -303,6 +426,23 @@ func DiffSets(scratch Set, a, b Set, ks *KernelStats) (Set, int) {
 			dst := sparseScratch(scratch, len(x))
 			for _, t := range x {
 				if !y.Contains(t) {
+					dst = append(dst, t)
+				}
+			}
+			ks.sparseOps += int64(len(x))
+			return dst, len(x)
+		case *Roaring:
+			// Keep the elements of x outside y, walking y's chunks in
+			// step with the sorted probes.
+			ks.mixedIntersections++
+			dst := sparseScratch(scratch, len(x))
+			ci := 0
+			for _, t := range x {
+				k := chunkKey(t)
+				for ci < len(y.keys) && y.keys[ci] < k {
+					ci++
+				}
+				if ci >= len(y.keys) || y.keys[ci] != k || !containerContains(&y.ctrs[ci], chunkLow(t)) {
 					dst = append(dst, t)
 				}
 			}
@@ -335,6 +475,20 @@ func DiffSets(scratch Set, a, b Set, ks *KernelStats) (Set, int) {
 			dst.trim()
 			ks.sparseOps += int64(len(y))
 			return dst, len(y)
+		case *Roaring:
+			return diffBitsetRoaring(bitsetScratch(scratch), x, y, ks)
+		}
+	case *Roaring:
+		switch y := b.(type) {
+		case *Roaring:
+			ks.roaringIntersections++
+			return diffRoaring(roaringScratch(scratch), x, y, ks)
+		case *Bitset:
+			ks.roaringIntersections++
+			return diffRoaringBitset(roaringScratch(scratch), x, y, ks)
+		case List:
+			ks.roaringIntersections++
+			return diffRoaringList(roaringScratch(scratch), x, y, ks)
 		}
 	}
 	a2, b2 := TIDsOf(a), TIDsOf(b)
@@ -429,6 +583,14 @@ func Bounds(s Set) (lo, hi itemset.TID, ok bool) {
 		last := len(v.words) - 1
 		hi = v.base + itemset.TID(last*wordBits+63-bits.LeadingZeros64(v.words[last]))
 		return lo, hi, true
+	case *Roaring:
+		if len(v.keys) == 0 {
+			return 0, 0, false
+		}
+		last := len(v.keys) - 1
+		lo = chunkTID(v.keys[0], containerMin(&v.ctrs[0]))
+		hi = chunkTID(v.keys[last], containerMax(&v.ctrs[last]))
+		return lo, hi, true
 	default:
 		l := TIDsOf(s)
 		if len(l) == 0 {
@@ -458,6 +620,12 @@ func HashTIDs(s Set) int64 {
 			}
 		}
 		return h
+	case *Roaring:
+		var h int64
+		for i, key := range v.keys {
+			h += containerHashSum(key, &v.ctrs[i])
+		}
+		return h
 	default:
 		var h int64
 		for _, t := range TIDsOf(s) {
@@ -473,18 +641,22 @@ func HashTIDs(s Set) int64 {
 // cheaper, exactly like the true byte size the cluster model charges).
 func EncodedSize(l List, r Repr) (int64, Repr) {
 	sparse := l.SizeBytes()
-	if r == ReprSparse {
+	switch r {
+	case ReprSparse:
 		return sparse, ReprSparse
+	case ReprBitset:
+		return denseSizeBytes(l), ReprBitset
+	case ReprRoaring:
+		return roaringEncodedSize(l), ReprRoaring
 	}
-	dense := denseSizeBytes(l)
-	switch {
-	case r == ReprBitset:
-		return dense, ReprBitset
-	case dense < sparse:
-		return dense, ReprBitset
-	default:
-		return sparse, ReprSparse
+	best, repr := sparse, ReprSparse
+	if dense := denseSizeBytes(l); dense < best {
+		best, repr = dense, ReprBitset
 	}
+	if roaring := roaringEncodedSize(l); roaring < best {
+		best, repr = roaring, ReprRoaring
+	}
+	return best, repr
 }
 
 // denseSizeBytes is the Bitset SizeBytes l would have, computed without

@@ -1,6 +1,7 @@
 package tidlist
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -10,20 +11,28 @@ import (
 // asRepr encodes l under r (ReprAuto is treated as sparse here; the
 // adaptive policy is exercised separately through ChooseRepr).
 func asRepr(l List, r Repr) Set {
-	if r == ReprBitset {
+	switch r {
+	case ReprBitset:
 		return NewBitset(l)
+	case ReprRoaring:
+		return NewRoaring(l)
+	default:
+		return l
 	}
-	return l
 }
 
-// reprCombos enumerates the four operand pairings every kernel dispatch
-// must handle: sparse x sparse, sparse x dense, dense x sparse, dense x
-// dense.
+// reprCombos enumerates the nine operand pairings every kernel dispatch
+// must handle: each of sparse/bitset/roaring against each other.
 var reprCombos = [][2]Repr{
 	{ReprSparse, ReprSparse},
 	{ReprSparse, ReprBitset},
+	{ReprSparse, ReprRoaring},
 	{ReprBitset, ReprSparse},
 	{ReprBitset, ReprBitset},
+	{ReprBitset, ReprRoaring},
+	{ReprRoaring, ReprSparse},
+	{ReprRoaring, ReprBitset},
+	{ReprRoaring, ReprRoaring},
 }
 
 func TestParseRepr(t *testing.T) {
@@ -34,6 +43,7 @@ func TestParseRepr(t *testing.T) {
 		{"", ReprAuto}, {"auto", ReprAuto},
 		{"sparse", ReprSparse},
 		{"bitset", ReprBitset}, {"dense", ReprBitset},
+		{"roaring", ReprRoaring}, {"compressed", ReprRoaring},
 	}
 	for _, c := range cases {
 		got, err := ParseRepr(c.in)
@@ -43,8 +53,10 @@ func TestParseRepr(t *testing.T) {
 	}
 	if _, err := ParseRepr("hashtable"); err == nil {
 		t.Fatal("ParseRepr should reject unknown names")
+	} else if !errors.Is(err, ErrInvalidRepresentation) {
+		t.Fatalf("ParseRepr error %v should wrap ErrInvalidRepresentation", err)
 	}
-	for _, r := range []Repr{ReprAuto, ReprSparse, ReprBitset} {
+	for _, r := range []Repr{ReprAuto, ReprSparse, ReprBitset, ReprRoaring} {
 		back, err := ParseRepr(r.String())
 		if err != nil || back != r {
 			t.Fatalf("String/Parse round trip broken for %v", r)
@@ -60,12 +72,24 @@ func TestChooseRepr(t *testing.T) {
 	if ChooseRepr(ReprBitset, 1, 1<<20) != ReprBitset {
 		t.Fatal("explicit bitset overridden")
 	}
+	if ChooseRepr(ReprRoaring, 1, 100) != ReprRoaring {
+		t.Fatal("explicit roaring overridden")
+	}
 	// Auto: dense at and above the threshold, sparse below.
 	if ChooseRepr(ReprAuto, 32, 1024) != ReprBitset { // density exactly 1/32
 		t.Fatal("auto should pick bitset at the break-even density")
 	}
 	if ChooseRepr(ReprAuto, 31, 1024) != ReprSparse {
 		t.Fatal("auto should pick sparse just below the threshold")
+	}
+	// Auto: dense classes spanning more than RoaringSpanChunks chunks go
+	// containerized; the same density within the span stays flat.
+	wide := RoaringSpanChunks*chunkSize + 1
+	if ChooseRepr(ReprAuto, wide/16, wide) != ReprRoaring {
+		t.Fatal("auto should pick roaring for a dense wide-span class")
+	}
+	if ChooseRepr(ReprAuto, chunkSize/16, chunkSize) != ReprBitset {
+		t.Fatal("auto should keep the flat bitset within the span limit")
 	}
 	// Degenerate inputs stay sparse.
 	if ChooseRepr(ReprAuto, 0, 100) != ReprSparse || ChooseRepr(ReprAuto, 5, 0) != ReprSparse {
@@ -222,13 +246,18 @@ func TestConvertRoundTrip(t *testing.T) {
 }
 
 func TestBounds(t *testing.T) {
-	for _, r := range []Repr{ReprSparse, ReprBitset} {
+	for _, r := range []Repr{ReprSparse, ReprBitset, ReprRoaring} {
 		if _, _, ok := Bounds(asRepr(nil, r)); ok {
 			t.Fatalf("%v: empty set has bounds", r)
 		}
 		lo, hi, ok := Bounds(asRepr(mk(7, 100, 9000), r))
 		if !ok || lo != 7 || hi != 9000 {
 			t.Fatalf("%v: Bounds = %d..%d ok=%v, want 7..9000", r, lo, hi, ok)
+		}
+		// Chunk-spanning set: bounds come from different containers.
+		lo, hi, ok = Bounds(asRepr(mk(65535, 65536, 200000), r))
+		if !ok || lo != 65535 || hi != 200000 {
+			t.Fatalf("%v: Bounds = %d..%d ok=%v, want 65535..200000", r, lo, hi, ok)
 		}
 	}
 }
@@ -246,6 +275,9 @@ func TestHashTIDsAgreesAcrossRepresentations(t *testing.T) {
 		}
 		if got := HashTIDs(NewBitset(l)); got != wantSum {
 			t.Fatalf("dense HashTIDs = %d, want %d", got, wantSum)
+		}
+		if got := HashTIDs(NewRoaring(l)); got != wantSum {
+			t.Fatalf("roaring HashTIDs = %d, want %d", got, wantSum)
 		}
 	}
 }
@@ -276,13 +308,36 @@ func TestEncodedSize(t *testing.T) {
 	if n, _ := EncodedSize(nil, ReprAuto); n != 0 {
 		t.Fatalf("empty EncodedSize = %d", n)
 	}
-	// EncodedSize must agree with the size a real Bitset reports.
+	// EncodedSize must agree with the sizes the real encodings report,
+	// and auto must return the minimum of the three.
 	rng := rand.New(rand.NewSource(67))
 	for trial := 0; trial < 50; trial++ {
 		l := randomList(rng, 60, 2000)
 		if n, _ := EncodedSize(l, ReprBitset); n != NewBitset(l).SizeBytes() {
 			t.Fatalf("EncodedSize dense %d != Bitset.SizeBytes %d for %v", n, NewBitset(l).SizeBytes(), l)
 		}
+		nr, _ := EncodedSize(l, ReprRoaring)
+		if got := NewRoaring(l).SizeBytes(); nr != got {
+			t.Fatalf("EncodedSize roaring %d != Roaring.SizeBytes %d for %v", nr, got, l)
+		}
+		na, _ := EncodedSize(l, ReprAuto)
+		ns, _ := EncodedSize(l, ReprSparse)
+		nb, _ := EncodedSize(l, ReprBitset)
+		if na != min(ns, nb, nr) {
+			t.Fatalf("auto EncodedSize %d is not the minimum of %d/%d/%d", na, ns, nb, nr)
+		}
+	}
+	// A clustered list far apart compresses best under roaring: runs
+	// cover each cluster, and untouched chunks cost nothing.
+	var clustered List
+	for c := 0; c < 4; c++ {
+		base := itemset.TID(c * 10 * chunkSize)
+		for o := 0; o < 3000; o++ {
+			clustered = append(clustered, base+itemset.TID(o))
+		}
+	}
+	if n, r := EncodedSize(clustered, ReprAuto); r != ReprRoaring {
+		t.Fatalf("auto EncodedSize(clustered) picked %v (%d bytes), want roaring", r, n)
 	}
 }
 
@@ -338,18 +393,31 @@ func TestKernelStatsAddAndFlush(t *testing.T) {
 }
 
 // assertOpsCounted checks that the kernel charged its ops to the stats
-// field the cluster cost model reads for that operand pairing: element
-// comparisons for sparse/mixed dispatches, words for dense ones.
+// fields the cluster cost model reads for that operand pairing: element
+// comparisons for sparse/mixed dispatches, words for dense ones, and
+// the per-container element/word split for containerized dispatches —
+// and that the total charged always equals the returned ops.
 func assertOpsCounted(t *testing.T, ks *KernelStats, combo [2]Repr, ops int64) {
 	t.Helper()
-	if combo[0] == ReprBitset && combo[1] == ReprBitset {
+	total := ks.SparseOps() + ks.WordsTouched() + ks.RoaringElemOps() + ks.RoaringWords()
+	if total != ops {
+		t.Fatalf("combo %v/%v: charged %d ops across stats fields, returned ops=%d", combo[0], combo[1], total, ops)
+	}
+	switch {
+	case combo[0] == ReprSparse || combo[1] == ReprSparse:
+		// A sparse operand routes to the merge or probe kernel.
+		if ks.SparseOps() != ops {
+			t.Fatalf("combo %v/%v: SparseOps=%d, returned ops=%d", combo[0], combo[1], ks.SparseOps(), ops)
+		}
+	case combo[0] == ReprBitset && combo[1] == ReprBitset:
 		if ks.WordsTouched() != ops {
 			t.Fatalf("combo %v/%v: WordsTouched=%d, returned ops=%d", combo[0], combo[1], ks.WordsTouched(), ops)
 		}
-		return
-	}
-	if ks.SparseOps() != ops {
-		t.Fatalf("combo %v/%v: SparseOps=%d, returned ops=%d", combo[0], combo[1], ks.SparseOps(), ops)
+	default:
+		// A roaring operand (vs roaring or bitset) runs container kernels.
+		if ks.RoaringElemOps()+ks.RoaringWords() != ops {
+			t.Fatalf("combo %v/%v: roaring ops %d+%d, returned ops=%d", combo[0], combo[1], ks.RoaringElemOps(), ks.RoaringWords(), ops)
+		}
 	}
 }
 

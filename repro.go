@@ -71,6 +71,10 @@ var (
 	// returned error also matches context.Canceled or
 	// context.DeadlineExceeded under errors.Is.
 	ErrCanceled = errors.New("repro: mining canceled")
+	// ErrInvalidRepresentation reports an unknown representation name
+	// passed to ParseRepresentation (the -repr flag and the service's
+	// "representation" job field map it to HTTP 400).
+	ErrInvalidRepresentation = tidlist.ErrInvalidRepresentation
 )
 
 // DefaultSupportPct is the paper's experimental support threshold (0.1%
@@ -112,21 +116,24 @@ type (
 	PhaseSpan = obsv.PhaseSpan
 	// Representation selects the tid-set representation Eclat-family
 	// algorithms mine through: ReprAuto (the zero value) decides per
-	// equivalence class by density, ReprSparse forces the paper's sorted
-	// tid-lists, ReprBitset forces the word-packed dense kernel.
+	// equivalence class by density and tid span, ReprSparse forces the
+	// paper's sorted tid-lists, ReprBitset forces the word-packed dense
+	// kernel, ReprRoaring forces the containerized compressed encoding.
 	Representation = tidlist.Repr
 )
 
 // The tid-set representations (see Representation).
 const (
-	ReprAuto   = tidlist.ReprAuto
-	ReprSparse = tidlist.ReprSparse
-	ReprBitset = tidlist.ReprBitset
+	ReprAuto    = tidlist.ReprAuto
+	ReprSparse  = tidlist.ReprSparse
+	ReprBitset  = tidlist.ReprBitset
+	ReprRoaring = tidlist.ReprRoaring
 )
 
 // ParseRepresentation parses a representation name ("auto", "sparse",
-// "bitset"; "" means auto) — the values the -repr flag and the service's
-// representation job field accept.
+// "bitset", "roaring"; "" means auto) — the values the -repr flag and the
+// service's representation job field accept. Unknown names fail with an
+// error matching ErrInvalidRepresentation.
 func ParseRepresentation(s string) (Representation, error) { return tidlist.ParseRepr(s) }
 
 // NewItemset builds a sorted, deduplicated itemset.
@@ -417,35 +424,95 @@ func Mine(ctx context.Context, d *Database, opts MineOptions) (*Result, *RunInfo
 	return res, info, nil
 }
 
-// MineContext is the old name of the context-first Mine.
-//
-// Deprecated: use Mine, which now takes a context.
-func MineContext(ctx context.Context, d *Database, opts MineOptions) (*Result, *RunInfo, error) {
+// Source supplies a dataset to MineFrom in whichever layout it exists:
+// horizontal transactions, the paper's vertical tid-set transform, or
+// both. The persistent store's Dataset and the service registry's
+// Dataset both implement it (serving vertical views zero-copy from the
+// mmap bundle), and HorizontalSource/VerticalSource adapt in-memory
+// data.
+type Source interface {
+	// NumTransactions is |D|, needed to resolve percentage supports
+	// without materializing either layout.
+	NumTransactions() int
+	// Horizontal materializes the horizontal transaction database.
+	Horizontal() (*Database, error)
+	// VerticalSets returns one immutable tid-set per item (index = item
+	// id, nil entries are absent items) under the given representation,
+	// and ok=true when the source can serve that view without a
+	// horizontal scan. ok=false routes MineFrom to the horizontal path.
+	VerticalSets(r Representation) ([]tidlist.Set, bool)
+}
+
+// horizontalSource adapts an in-memory horizontal database as a Source
+// with no vertical view.
+type horizontalSource struct{ d *Database }
+
+func (s horizontalSource) NumTransactions() int           { return s.d.Len() }
+func (s horizontalSource) Horizontal() (*Database, error) { return s.d, nil }
+func (s horizontalSource) VerticalSets(Representation) ([]tidlist.Set, bool) {
+	return nil, false
+}
+
+// HorizontalSource adapts a horizontal database as a Source. MineFrom on
+// it behaves exactly like Mine.
+func HorizontalSource(d *Database) Source { return horizontalSource{d: d} }
+
+// verticalSource adapts already-vertical in-memory data as a Source with
+// no horizontal form.
+type verticalSource struct {
+	numTx int
+	items []tidlist.Set
+}
+
+func (s verticalSource) NumTransactions() int { return s.numTx }
+func (s verticalSource) Horizontal() (*Database, error) {
+	return nil, fmt.Errorf("repro: vertical source has no horizontal form")
+}
+func (s verticalSource) VerticalSets(Representation) ([]tidlist.Set, bool) {
+	return s.items, true
+}
+
+// VerticalSource adapts a dataset already in the paper's vertical layout
+// — one immutable tid-set per item (index = item id) plus the
+// transaction count — as a Source with no horizontal form. The sets are
+// treated as immutable operands throughout: a mapped view is never
+// written.
+func VerticalSource(numTransactions int, items []tidlist.Set) Source {
+	return verticalSource{numTx: numTransactions, items: items}
+}
+
+// MineFrom is Mine for any Source: when the options select the real
+// (non-simulated) local Eclat path and the source serves a vertical
+// view, it mines straight from the per-item tid-sets with zero
+// horizontal scans (RunInfo.Scans is 0); otherwise it materializes the
+// horizontal database and behaves exactly like Mine. Either way the
+// result is byte-identical — callers need not branch on input shape, and
+// the serving layer's cache identity is unchanged. Tracing, metrics and
+// cancellation behave exactly as in Mine.
+func MineFrom(ctx context.Context, src Source, opts MineOptions) (*Result, *RunInfo, error) {
+	if src == nil {
+		return nil, nil, fmt.Errorf("repro: nil source")
+	}
+	localEclat := opts.Algorithm == AlgoEclat && opts.Hosts <= 1 && opts.ProcsPerHost <= 1 && opts.Cluster == nil
+	if localEclat {
+		if items, ok := src.VerticalSets(opts.Representation); ok {
+			return mineVerticalSets(ctx, src.NumTransactions(), items, opts)
+		}
+	}
+	d, err := src.Horizontal()
+	if err != nil {
+		return nil, nil, err
+	}
 	return Mine(ctx, d, opts)
 }
 
-// VerticalInput is a dataset already in the paper's vertical layout: one
-// immutable tid-set per item plus the transaction count. The persistent
-// store (internal/store) serves these as zero-copy views over its
-// mapping; the service registry memoizes them per representation.
-type VerticalInput = eclat.VerticalInput
-
-// MineVertical is Mine for data that is already vertical: it mines all
-// frequent itemsets directly from per-item tid-sets, with zero
-// horizontal scans (RunInfo.Scans is always 0) and a result
-// byte-identical to Mine on the corresponding horizontal database. Only
-// the real (non-simulated) Eclat path supports this input, so
-// opts.Algorithm must be AlgoEclat and Hosts/ProcsPerHost/Cluster must
-// be unset; anything else is ErrUnknownAlgorithm. Tracing, metrics and
-// cancellation behave exactly as in Mine.
-func MineVertical(ctx context.Context, in VerticalInput, opts MineOptions) (*Result, *RunInfo, error) {
-	if opts.Algorithm != AlgoEclat || opts.Hosts > 1 || opts.ProcsPerHost > 1 || opts.Cluster != nil {
-		return nil, nil, fmt.Errorf("%w: MineVertical supports only local %v", ErrUnknownAlgorithm, AlgoEclat)
-	}
+// mineVerticalSets runs the scan-free vertical Eclat path of MineFrom
+// with Mine's validation, tracing and metrics contract.
+func mineVerticalSets(ctx context.Context, numTx int, items []tidlist.Set, opts MineOptions) (*Result, *RunInfo, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, nil, wrapCanceled(err)
 	}
-	minsup, err := opts.MinSupN(in.NumTransactions)
+	minsup, err := opts.MinSupN(numTx)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -462,7 +529,8 @@ func MineVertical(ctx context.Context, in VerticalInput, opts MineOptions) (*Res
 	start := time.Now()
 	pre := len(tr.Spans())
 	info := &RunInfo{Algorithm: AlgoEclat, MinSup: minsup}
-	res, st, err := eclat.MineVerticalLocal(ctx, in, minsup,
+	res, st, err := eclat.MineVerticalLocal(ctx,
+		eclat.VerticalInput{NumTransactions: numTx, Items: items}, minsup,
 		eclat.Options{Representation: opts.Representation, Workers: workers})
 	if err != nil {
 		mineErrors.Inc()
@@ -623,13 +691,6 @@ func MineMaximal(ctx context.Context, d *Database, opts MineOptions) (*Result, e
 	})
 }
 
-// MineMaximalContext is the old name of the context-first MineMaximal.
-//
-// Deprecated: use MineMaximal, which now takes a context.
-func MineMaximalContext(ctx context.Context, d *Database, opts MineOptions) (*Result, error) {
-	return MineMaximal(ctx, d, opts)
-}
-
 // MineClosed discovers the closed frequent itemsets — those with no
 // strict superset of equal support, the lossless compressed form of the
 // frequent collection. ctx provides cooperative cancellation, checked
@@ -638,13 +699,6 @@ func MineClosed(ctx context.Context, d *Database, opts MineOptions) (*Result, er
 	return mineVariant(ctx, d, opts, "closed", func(d *db.Database, minsup int) (*Result, eclat.Stats) {
 		return eclat.MineClosedOpts(d, minsup, eclat.Options{Representation: opts.Representation})
 	})
-}
-
-// MineClosedContext is the old name of the context-first MineClosed.
-//
-// Deprecated: use MineClosed, which now takes a context.
-func MineClosedContext(ctx context.Context, d *Database, opts MineOptions) (*Result, error) {
-	return MineClosed(ctx, d, opts)
 }
 
 // mineVariant shares the validation, tracing and metrics of the

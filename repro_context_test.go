@@ -1,47 +1,11 @@
 package repro
 
 import (
-	"bytes"
 	"context"
 	"errors"
 	"testing"
 	"time"
 )
-
-// TestDeprecatedWrappersMatchMine pins the compatibility contract of the
-// old *Context names: they are thin wrappers over the context-first
-// Mine/MineMaximal/MineClosed and must return identical results.
-func TestDeprecatedWrappersMatchMine(t *testing.T) {
-	d := smallDB(t)
-	for _, algo := range []Algorithm{AlgoEclat, AlgoApriori, AlgoPartition} {
-		// PartitionChunks 2 keeps the per-chunk local minsup well above 1
-		// on a 1000-transaction database.
-		opts := MineOptions{Algorithm: algo, SupportPct: 1.0, PartitionChunks: 2}
-		want, _, err := Mine(context.Background(), d, opts)
-		if err != nil {
-			t.Fatal(err)
-		}
-		//lint:ignore SA1019 the deprecated wrapper is the thing under test
-		//reprolint:ignore ctxfirst the deprecated wrapper is the thing under test
-		got, info, err := MineContext(context.Background(), d, opts)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if info.Algorithm != algo {
-			t.Fatalf("%v: info reports %v", algo, info.Algorithm)
-		}
-		var wb, gb bytes.Buffer
-		if err := WriteResult(&wb, want); err != nil {
-			t.Fatal(err)
-		}
-		if err := WriteResult(&gb, got); err != nil {
-			t.Fatal(err)
-		}
-		if !bytes.Equal(wb.Bytes(), gb.Bytes()) {
-			t.Fatalf("%v: MineContext result differs from Mine", algo)
-		}
-	}
-}
 
 func TestMineCanceledBeforeStart(t *testing.T) {
 	d := smallDB(t)
@@ -68,15 +32,9 @@ func TestMineCanceledBeforeStart(t *testing.T) {
 	if _, err := MineClosed(ctx, d, MineOptions{SupportPct: 1.0}); !errors.Is(err, ErrCanceled) {
 		t.Fatalf("MineClosed: %v", err)
 	}
-	//lint:ignore SA1019 wrapper must forward cancellation like the new name
-	//reprolint:ignore ctxfirst the deprecated wrapper is the thing under test
-	if _, err := MineMaximalContext(ctx, d, MineOptions{SupportPct: 1.0}); !errors.Is(err, context.Canceled) {
-		t.Fatalf("MineMaximalContext: %v", err)
-	}
-	//lint:ignore SA1019 wrapper must forward cancellation like the new name
-	//reprolint:ignore ctxfirst the deprecated wrapper is the thing under test
-	if _, err := MineClosedContext(ctx, d, MineOptions{SupportPct: 1.0}); !errors.Is(err, context.Canceled) {
-		t.Fatalf("MineClosedContext: %v", err)
+	// The scan-free vertical path forwards cancellation identically.
+	if _, _, err := MineFrom(ctx, VerticalSource(0, nil), MineOptions{Algorithm: AlgoEclat, SupportPct: 1.0}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("MineFrom (vertical): %v", err)
 	}
 }
 
