@@ -112,7 +112,7 @@ func BenchmarkTable2EclatVsCountDistribution(b *testing.B) {
 			var vsec, setup float64
 			for i := 0; i < b.N; i++ {
 				cl := benchCluster(hp.h, hp.p)
-				_, rep := eclat.Mine(cl, d, minsup)
+				_, rep := eclat.MineOpts(cl, d, minsup, eclat.Options{})
 				vsec = float64(rep.ElapsedNS) / 1e9
 				setup = float64(rep.PhaseMaxNS(eclat.PhaseInit)+rep.PhaseMaxNS(eclat.PhaseTransform)) / 1e9
 			}
@@ -139,7 +139,7 @@ func BenchmarkFigure7EclatSpeedup(b *testing.B) {
 	minsup := d.MinSupCount(0.25)
 	base := func() float64 {
 		cl := benchCluster(1, 1)
-		_, rep := eclat.Mine(cl, d, minsup)
+		_, rep := eclat.MineOpts(cl, d, minsup, eclat.Options{})
 		return float64(rep.ElapsedNS)
 	}()
 	for _, hp := range []struct{ p, h int }{{1, 2}, {2, 2}, {1, 4}, {1, 8}, {2, 4}} {
@@ -147,7 +147,7 @@ func BenchmarkFigure7EclatSpeedup(b *testing.B) {
 			var speedup float64
 			for i := 0; i < b.N; i++ {
 				cl := benchCluster(hp.h, hp.p)
-				_, rep := eclat.Mine(cl, d, minsup)
+				_, rep := eclat.MineOpts(cl, d, minsup, eclat.Options{})
 				speedup = base / float64(rep.ElapsedNS)
 			}
 			b.ReportMetric(speedup, "speedup")
@@ -380,7 +380,7 @@ func BenchmarkMaximalVsFull(b *testing.B) {
 		var n int
 		var hits int64
 		for i := 0; i < b.N; i++ {
-			res, st := eclat.MineMaximal(d, minsup)
+			res, st, _ := eclat.MineMaximalOpts(context.Background(), d, minsup, eclat.Options{})
 			n = res.Len()
 			hits = st.LookaheadHits
 		}
@@ -405,7 +405,7 @@ func BenchmarkDiffsetsVsTidlists(b *testing.B) {
 	b.Run("diffsets", func(b *testing.B) {
 		var ops float64
 		for i := 0; i < b.N; i++ {
-			_, st := eclat.MineSequentialDiffsets(d, minsup)
+			_, st, _ := eclat.MineSequentialDiffsetsOpts(context.Background(), d, minsup, eclat.Options{})
 			ops = float64(st.DiffOps)
 		}
 		b.ReportMetric(ops/1e6, "Mops")
@@ -420,7 +420,7 @@ func BenchmarkClosedMining(b *testing.B) {
 	b.Run("filter", func(b *testing.B) {
 		var n int
 		for i := 0; i < b.N; i++ {
-			res, _ := eclat.MineClosed(d, minsup)
+			res, _, _ := eclat.MineClosedOpts(context.Background(), d, minsup, eclat.Options{})
 			n = res.Len()
 		}
 		b.ReportMetric(float64(n), "closed")
@@ -428,7 +428,7 @@ func BenchmarkClosedMining(b *testing.B) {
 	b.Run("charm", func(b *testing.B) {
 		var n int
 		for i := 0; i < b.N; i++ {
-			res, _ := eclat.MineClosedCHARM(d, minsup)
+			res, _, _ := eclat.MineClosedCHARMOpts(context.Background(), d, minsup, eclat.Options{})
 			n = res.Len()
 		}
 		b.ReportMetric(float64(n), "closed")

@@ -20,6 +20,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -46,6 +47,8 @@ func run(args []string, stdout io.Writer) error {
 	algoName := fs.String("algo", "eclat", "algorithm: eclat, apriori, countdist, datadist, canddist, hybrid, partition, sampling, dhp")
 	reprName := fs.String("repr", "auto", "tid-set representation for Eclat-family algorithms: auto, sparse, bitset, roaring")
 	parallel := fs.Int("parallel", 0, "worker goroutines for the real (non-simulated) eclat path; 0 means GOMAXPROCS, 1 forces sequential")
+	topk := fs.Int("topk", 0, "mine only the K highest-support itemsets (local eclat path only; the support threshold rises adaptively)")
+	contains := fs.String("contains", "", "comma-separated item ids every mined itemset must contain (targeted query, local eclat path only)")
 	maximal := fs.Bool("maximal", false, "mine only maximal frequent itemsets (MaxEclat)")
 	closed := fs.Bool("closed", false, "mine only closed frequent itemsets")
 	hosts := fs.Int("hosts", 1, "simulated hosts H")
@@ -81,12 +84,18 @@ func run(args []string, stdout io.Writer) error {
 	if *parallel < 0 {
 		return fmt.Errorf("-parallel must not be negative, got %d", *parallel)
 	}
+	if *topk < 0 {
+		return fmt.Errorf("-topk must not be negative, got %d", *topk)
+	}
+	mustContain, err := parseContains(*contains)
+	if err != nil {
+		return err
+	}
 
 	var (
 		d      *repro.Database
 		stored *store.Dataset
 		numTx  int
-		err    error
 	)
 	if *loadPath != "" {
 		if *dbPath != "" || *genTx > 0 {
@@ -151,6 +160,8 @@ func run(args []string, stdout io.Writer) error {
 		ProcsPerHost:   *procs,
 		Representation: repr,
 		Parallelism:    *parallel,
+		TopK:           *topk,
+		MustContain:    mustContain,
 	}
 	tr := obsv.NewTrace()
 	ctx := obsv.WithTrace(context.Background(), tr)
@@ -171,12 +182,12 @@ func run(args []string, stdout io.Writer) error {
 	case *maximal:
 		kind = "maximal frequent"
 		if d, err = src.Horizontal(); err == nil {
-			res, err = repro.MineMaximal(ctx, d, opts)
+			res, info, err = repro.MineMaximal(ctx, d, opts)
 		}
 	case *closed:
 		kind = "closed frequent"
 		if d, err = src.Horizontal(); err == nil {
-			res, err = repro.MineClosed(ctx, d, opts)
+			res, info, err = repro.MineClosed(ctx, d, opts)
 		}
 	default:
 		res, info, err = repro.MineFrom(ctx, src, opts)
@@ -184,15 +195,14 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if info == nil { // maximal/closed return no RunInfo
-		minsup, err := repro.MineOptions{SupportPct: opts.SupportPct, SupportCount: opts.SupportCount}.MinSupN(numTx)
-		if err != nil {
-			return err
-		}
-		info = &repro.RunInfo{Algorithm: algo, MinSup: minsup}
-	}
 	fmt.Fprintf(stdout, "%v mined %d %s itemsets (minsup %d of %d transactions, max size %d) in %v\n",
 		info.Algorithm, res.Len(), kind, info.MinSup, numTx, res.MaxK(), time.Since(start).Round(time.Millisecond))
+	if info.TopK > 0 {
+		fmt.Fprintf(stdout, "top-%d query: effective minsup ended at %d\n", info.TopK, info.EffectiveMinSup)
+	}
+	if len(info.MustContain) > 0 {
+		fmt.Fprintf(stdout, "targeted query: every itemset contains %v\n", info.MustContain)
+	}
 
 	byK := res.CountsByK()
 	ks := make([]int, 0, len(byK))
@@ -292,6 +302,23 @@ func printSpanGroup(w io.Writer, spans []repro.PhaseSpan, note string) {
 	}
 	fmt.Fprintf(w, "  %-18s %14v %6.1f%%\n", "total",
 		time.Duration(total).Round(time.Microsecond), 100.0)
+}
+
+// parseContains parses the -contains flag: a comma-separated list of
+// non-negative integer item ids ("" means no restriction).
+func parseContains(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var items []int
+	for _, f := range strings.Split(s, ",") {
+		it, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || it < 0 {
+			return nil, fmt.Errorf("-contains: bad item %q (want non-negative integers)", f)
+		}
+		items = append(items, it)
+	}
+	return items, nil
 }
 
 func loadDatabase(path, format string, genTx int) (*repro.Database, error) {

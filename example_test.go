@@ -62,7 +62,7 @@ func ExampleMine_parallel() {
 func ExampleMineMaximal() {
 	d, _ := repro.ReadFIMI(strings.NewReader(
 		"1 2 3\n1 2 3\n1 2 3\n"), 0)
-	maximal, _ := repro.MineMaximal(context.Background(), d, repro.MineOptions{SupportCount: 3})
+	maximal, _, _ := repro.MineMaximal(context.Background(), d, repro.MineOptions{SupportCount: 3})
 	for _, f := range maximal.Itemsets {
 		fmt.Printf("%v sup=%d\n", f.Set, f.Support)
 	}

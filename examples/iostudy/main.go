@@ -67,7 +67,7 @@ func main() {
 	fmt.Printf("\nall algorithms found the identical %d frequent itemsets\n", reference)
 
 	// The maximal-itemset view compresses the same information.
-	maximal, err := repro.MineMaximal(context.Background(), d, repro.MineOptions{SupportPct: support})
+	maximal, _, err := repro.MineMaximal(context.Background(), d, repro.MineOptions{SupportPct: support})
 	if err != nil {
 		log.Fatal(err)
 	}

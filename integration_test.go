@@ -36,11 +36,11 @@ var allMiners = map[string]minerFunc{
 		return res
 	},
 	"eclat-par": func(d *db.Database, minsup int, hp [2]int) *mining.Result {
-		res, _ := eclat.Mine(cluster.New(cluster.Default(hp[0], hp[1])), d, minsup)
+		res, _ := eclat.MineOpts(cluster.New(cluster.Default(hp[0], hp[1])), d, minsup, eclat.Options{})
 		return res
 	},
 	"eclat-hybrid": func(d *db.Database, minsup int, hp [2]int) *mining.Result {
-		res, _ := eclat.MineHybrid(cluster.New(cluster.Default(hp[0], hp[1])), d, minsup)
+		res, _ := eclat.MineHybridOpts(cluster.New(cluster.Default(hp[0], hp[1])), d, minsup, eclat.Options{})
 		return res
 	},
 	"countdist": func(d *db.Database, minsup int, hp [2]int) *mining.Result {
@@ -97,7 +97,7 @@ var allMiners = map[string]minerFunc{
 		return res
 	},
 	"eclat-diffsets": func(d *db.Database, minsup int, _ [2]int) *mining.Result {
-		res, _ := eclat.MineSequentialDiffsets(d, minsup)
+		res, _, _ := eclat.MineSequentialDiffsetsOpts(context.Background(), d, minsup, eclat.Options{})
 		return res
 	},
 }

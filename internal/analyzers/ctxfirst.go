@@ -18,6 +18,15 @@ var deprecatedMiners = map[string]string{
 	"repro.MineVertical":                     "repro.MineFrom",
 	"repro/internal/eclat.MineSequentialCtx": "eclat.MineSequentialOpts",
 	"repro/internal/apriori.MineCtx":         "apriori.Mine",
+	// The non-Options eclat entry points were retired when the class-task
+	// engine unified the eight variants: every caller threads Options (and
+	// with it TopK/MustContain/Workers) through the *Opts spellings.
+	"repro/internal/eclat.Mine":                   "eclat.MineOpts",
+	"repro/internal/eclat.MineHybrid":             "eclat.MineHybridOpts",
+	"repro/internal/eclat.MineClosed":             "eclat.MineClosedOpts",
+	"repro/internal/eclat.MineMaximal":            "eclat.MineMaximalOpts",
+	"repro/internal/eclat.MineSequentialDiffsets": "eclat.MineSequentialDiffsetsOpts",
+	"repro/internal/eclat.MineClosedCHARM":        "eclat.MineClosedCHARMOpts",
 }
 
 // CtxFirst enforces the context-first API contract introduced by the

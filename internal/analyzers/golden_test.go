@@ -131,6 +131,13 @@ func TestCtxFirstGolden(t *testing.T) {
 	testAnalyzer(t, CtxFirst, "ctxfirst", "repro", "repro")
 }
 
+// TestCtxFirstRetiredEclatGolden checks the declaration ban inside the
+// eclat package itself: the six entry points retired by the class-task
+// engine may not be re-declared, while the kept spellings stay silent.
+func TestCtxFirstRetiredEclatGolden(t *testing.T) {
+	testAnalyzer(t, CtxFirst, "ctxfirst_eclat", "repro/internal/eclat", "repro")
+}
+
 func TestVirtualTimeGolden(t *testing.T) {
 	testAnalyzer(t, VirtualTime, "virtualtime", "repro/internal/cluster", "repro")
 }

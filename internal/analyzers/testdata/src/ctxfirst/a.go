@@ -21,6 +21,17 @@ func quiet(ctx context.Context) { _ = func(ctx context.Context) {} }
 func callers(ctx context.Context, minsup int) {
 	MineContext(ctx, minsup)             // want `call to deprecated repro\.MineContext; use the context-first repro\.Mine`
 	eclat.MineSequentialCtx(ctx, minsup) // want `call to deprecated repro/internal/eclat\.MineSequentialCtx; use the context-first eclat\.MineSequentialOpts`
+
+	// The non-Options eclat spellings were retired by the class-task
+	// engine refactor; every call must go through the *Opts entry points.
+	eclat.Mine(nil, nil, minsup)                         // want `call to deprecated repro/internal/eclat\.Mine; use the context-first eclat\.MineOpts`
+	eclat.MineHybrid(nil, nil, minsup)                   // want `call to deprecated repro/internal/eclat\.MineHybrid; use the context-first eclat\.MineHybridOpts`
+	eclat.MineMaximal(ctx, nil, minsup)                  // want `call to deprecated repro/internal/eclat\.MineMaximal; use the context-first eclat\.MineMaximalOpts`
+	eclat.MineClosed(ctx, nil, minsup)                   // want `call to deprecated repro/internal/eclat\.MineClosed; use the context-first eclat\.MineClosedOpts`
+	eclat.MineSequentialDiffsets(ctx, nil, minsup)       // want `call to deprecated repro/internal/eclat\.MineSequentialDiffsets; use the context-first eclat\.MineSequentialDiffsetsOpts`
+	eclat.MineClosedCHARM(ctx, nil, minsup)              // want `call to deprecated repro/internal/eclat\.MineClosedCHARM; use the context-first eclat\.MineClosedCHARMOpts`
+	eclat.MineSequentialOpts(ctx, nil, minsup, nil)      // kept: Options entry point, no diagnostic
+	eclat.MineMaximalParallelOpts(nil, nil, minsup, nil) // kept: Options entry point, no diagnostic
 }
 
 // Reintroducing a retired wrapper name is flagged at the declaration,

@@ -1,0 +1,24 @@
+package eclat
+
+import "context"
+
+// The class-task engine refactor deleted the non-Options entry points;
+// re-declaring any of them inside the eclat package is a diagnostic.
+
+func Mine(cl, d any, minsup int) error { return nil } // want `declaration of retired repro/internal/eclat\.Mine; the name was deleted in favor of eclat\.MineOpts and must not return`
+
+func MineHybrid(cl, d any, minsup int) error { return nil } // want `declaration of retired repro/internal/eclat\.MineHybrid; the name was deleted in favor of eclat\.MineHybridOpts and must not return`
+
+func MineMaximal(ctx context.Context, d any, minsup int) error { return ctx.Err() } // want `declaration of retired repro/internal/eclat\.MineMaximal; the name was deleted in favor of eclat\.MineMaximalOpts and must not return`
+
+func MineClosed(ctx context.Context, d any, minsup int) error { return ctx.Err() } // want `declaration of retired repro/internal/eclat\.MineClosed; the name was deleted in favor of eclat\.MineClosedOpts and must not return`
+
+func MineSequentialDiffsets(ctx context.Context, d any, minsup int) error { return ctx.Err() } // want `declaration of retired repro/internal/eclat\.MineSequentialDiffsets; the name was deleted in favor of eclat\.MineSequentialDiffsetsOpts and must not return`
+
+func MineClosedCHARM(ctx context.Context, d any, minsup int) error { return ctx.Err() } // want `declaration of retired repro/internal/eclat\.MineClosedCHARM; the name was deleted in favor of eclat\.MineClosedCHARMOpts and must not return`
+
+// The kept names remain declarable: MineSequential (the historical
+// sequential spelling) and MineMaximalParallel stay in the public set.
+func MineSequential(d any, minsup int) error { return nil }
+
+func MineMaximalParallel(cl, d any, minsup int) error { return nil }

@@ -1,9 +1,11 @@
 package eclat
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/db"
+	"repro/internal/eqclass"
 	"repro/internal/itemset"
 	"repro/internal/mining"
 	"repro/internal/tidlist"
@@ -19,33 +21,52 @@ type CharmStats struct {
 	Kernel tidlist.KernelStats
 }
 
-// MineClosedCHARM discovers the closed frequent itemsets with the CHARM
-// search (Zaki & Hsiao) — the successor algorithm that prunes the search
-// space itself rather than filtering afterwards like MineClosed. Its four
-// tid-set properties fold equal-support extensions into their generators:
-// when t(X) = t(Y) the two itemsets always co-occur and collapse into one
-// node; when t(X) ⊂ t(Y), X's closure absorbs Y's items; only
-// incomparable tid-sets spawn new search nodes. A candidate enters the
-// closed set only if no equal-support superset is already there.
+// MineClosedCHARMOpts discovers the closed frequent itemsets with the
+// CHARM search (Zaki & Hsiao) — the successor algorithm that prunes the
+// search space itself rather than filtering afterwards like
+// MineClosedOpts. Its four tid-set properties fold equal-support
+// extensions into their generators: when t(X) = t(Y) the two itemsets
+// always co-occur and collapse into one node; when t(X) ⊂ t(Y), X's
+// closure absorbs Y's items; only incomparable tid-sets spawn new search
+// nodes. A candidate enters the closed set only if no equal-support
+// superset is already there.
 //
-// The result equals MineClosed's (tested property); the work profile
-// differs — CHARM never enumerates the non-closed lattice.
-func MineClosedCHARM(d *db.Database, minsup int) (*mining.Result, CharmStats) {
-	return MineClosedCHARMOpts(d, minsup, Options{})
-}
-
-// MineClosedCHARMOpts is MineClosedCHARM with explicit variant options
-// (notably the tid-set representation the search runs through).
-func MineClosedCHARMOpts(d *db.Database, minsup int, opts Options) (*mining.Result, CharmStats) {
+// The result equals MineClosedOpts's (tested property); the work profile
+// differs — CHARM never enumerates the non-closed lattice. On the engine
+// the whole search is one task (extensions merge across prefixes, so it
+// is not class-decomposable): Workers, TopK and MustContain are ignored.
+func MineClosedCHARMOpts(ctx context.Context, d *db.Database, minsup int, opts Options) (*mining.Result, CharmStats, error) {
 	if minsup < 1 {
 		minsup = 1
 	}
-	var st CharmStats
-	res := &mining.Result{MinSup: minsup, NumTransactions: d.Len()}
+	opts.TopK, opts.MustContain = 0, nil
+	var st Stats
+	st.Workers = 1
 
-	// One scan: per-item tid-lists (CHARM starts from 1-itemsets; unlike
-	// Eclat it needs their tid-lists, trading the triangular-array pass
-	// for a simpler lattice root).
+	v := buildVerticalItems(d, minsup, &st)
+	eng := newEngine(v, minsup, opts, policyCharm{})
+	ext, err := eng.run(ctx, 1, &st, nil, v.res.Add)
+	ce := ext.(*charmExt)
+	cst := CharmStats{
+		Scans:         st.Scans,
+		Intersections: st.Intersections,
+		Merges:        ce.merges,
+		Subsumptions:  ce.subs,
+		Kernel:        st.Kernel,
+	}
+	if err != nil {
+		return nil, cst, err
+	}
+	v.res.Sort()
+	return v.res, cst, nil
+}
+
+// buildVerticalItems is the one-scan initialization CHARM starts from:
+// per-item tid-lists (CHARM needs the 1-itemset lists; unlike Eclat it
+// skips the triangular pair-counting pass for a simpler lattice root).
+// The frequent singletons form the root members of one engine task.
+func buildVerticalItems(d *db.Database, minsup int, st *Stats) *vertical {
+	res := &mining.Result{MinSup: minsup, NumTransactions: d.Len()}
 	st.Scans++
 	itemLists := make([]tidlist.List, d.NumItems)
 	for _, tx := range d.Transactions {
@@ -53,24 +74,14 @@ func MineClosedCHARMOpts(d *db.Database, minsup int, opts Options) (*mining.Resu
 			itemLists[it] = append(itemLists[it], tx.TID)
 		}
 	}
-	var roots []*charmNode
+	var roots []member
 	for it, l := range itemLists {
 		if len(l) >= minsup {
-			roots = append(roots, &charmNode{set: itemset.Itemset{itemset.Item(it)}, tids: l})
+			roots = append(roots, member{set: itemset.Itemset{itemset.Item(it)}, tids: l})
 		}
 	}
-	applyCharmRepr(roots, opts.Representation, &st.Kernel)
-
-	acc := &charmAcc{byHash: map[int64][]mining.FrequentItemset{}}
-	charmExtend(roots, minsup, acc, &st)
-
-	for _, bucket := range acc.byHash {
-		for _, f := range bucket {
-			res.Add(f.Set, f.Support)
-		}
-	}
-	res.Sort()
-	return res, st
+	st.Classes = 1
+	return &vertical{res: res, classes: make([]eqclass.Class, 1), roots: [][]member{roots}}
 }
 
 // charmNode is one search node: an itemset (which may grow via the
@@ -88,46 +99,13 @@ type charmChild struct {
 	tids  tidlist.Set
 }
 
-// applyCharmRepr resolves the representation against the root level's
-// density (CHARM has no L2 equivalence classes; the root item lists are
-// the per-run analog) and re-encodes the roots when a packed encoding
-// (bitset or roaring) wins.
-func applyCharmRepr(roots []*charmNode, repr tidlist.Repr, ks *tidlist.KernelStats) {
-	chosen := repr
-	if repr == tidlist.ReprAuto {
-		lo, hi, any := itemset.TID(0), itemset.TID(0), false
-		sum := 0
-		for _, n := range roots {
-			sum += n.tids.Support()
-			l, h, ok := tidlist.Bounds(n.tids)
-			if !ok {
-				continue
-			}
-			if !any || l < lo {
-				lo = l
-			}
-			if !any || h > hi {
-				hi = h
-			}
-			any = true
-		}
-		if !any || len(roots) == 0 {
-			return
-		}
-		chosen = tidlist.ChooseRepr(repr, sum/len(roots), int(hi-lo)+1)
-	}
-	switch chosen {
-	case tidlist.ReprBitset, tidlist.ReprRoaring:
-		for _, n := range roots {
-			n.tids = tidlist.Convert(n.tids, chosen, ks)
-		}
-	}
-}
-
 // charmExtend processes one level of sibling nodes, sorted by increasing
 // support (CHARM's ordering heuristic: low-support nodes merge into their
-// high-support partners most often).
-func charmExtend(nodes []*charmNode, minsup int, acc *charmAcc, st *CharmStats) {
+// high-support partners most often). Work counters land in st, the
+// merge/subsumption tallies in ext. Cancellation is checked once per
+// node; on an expired ctx the walk unwinds with a partial accumulator
+// (the caller discards it).
+func charmExtend(ctx context.Context, nodes []*charmNode, minsup int, acc *charmAcc, st *Stats, ext *charmExt) {
 	sort.SliceStable(nodes, func(i, j int) bool {
 		si, sj := nodes[i].tids.Support(), nodes[j].tids.Support()
 		if si != sj {
@@ -138,6 +116,9 @@ func charmExtend(nodes []*charmNode, minsup int, acc *charmAcc, st *CharmStats) 
 	for i := range nodes {
 		if nodes[i] == nil {
 			continue
+		}
+		if ctx.Err() != nil {
+			return
 		}
 		var children []charmChild
 		for j := i + 1; j < len(nodes); j++ {
@@ -152,13 +133,13 @@ func charmExtend(nodes []*charmNode, minsup int, acc *charmAcc, st *CharmStats) 
 			switch {
 			case ySup == nodes[i].tids.Support() && ySup == nodes[j].tids.Support():
 				// t(Xi) = t(Xj): Xj always co-occurs with Xi — fold it in.
-				st.Merges++
+				ext.merges++
 				nodes[i].set = nodes[i].set.Union(nodes[j].set)
 				nodes[j] = nil
 			case ySup == nodes[i].tids.Support():
 				// t(Xi) ⊂ t(Xj): Xi implies Xj; Xi's closure absorbs it,
 				// Xj lives on (it occurs without Xi too).
-				st.Merges++
+				ext.merges++
 				nodes[i].set = nodes[i].set.Union(nodes[j].set)
 			case ySup == nodes[j].tids.Support():
 				// t(Xi) ⊃ t(Xj): Xj implies Xi; the combination replaces
@@ -178,9 +159,9 @@ func charmExtend(nodes []*charmNode, minsup int, acc *charmAcc, st *CharmStats) 
 			for k, ch := range children {
 				level[k] = &charmNode{set: nodes[i].set.Union(ch.extra), tids: ch.tids}
 			}
-			charmExtend(level, minsup, acc, st)
+			charmExtend(ctx, level, minsup, acc, st, ext)
 		}
-		acc.insert(nodes[i].set, nodes[i].tids.Support(), nodes[i].tids, st)
+		acc.insert(nodes[i].set, nodes[i].tids.Support(), nodes[i].tids, ext)
 	}
 }
 
@@ -191,11 +172,11 @@ type charmAcc struct {
 	byHash map[int64][]mining.FrequentItemset
 }
 
-func (a *charmAcc) insert(set itemset.Itemset, sup int, tids tidlist.Set, st *CharmStats) {
+func (a *charmAcc) insert(set itemset.Itemset, sup int, tids tidlist.Set, ext *charmExt) {
 	h := tidlist.HashTIDs(tids)
 	for _, f := range a.byHash[h] {
 		if f.Support == sup && set.SubsetOf(f.Set) {
-			st.Subsumptions++
+			ext.subs++
 			return
 		}
 	}

@@ -1,6 +1,7 @@
 package eclat
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -16,8 +17,8 @@ func TestCharmMatchesClosedFilter(t *testing.T) {
 	for trial := 0; trial < 15; trial++ {
 		d := testutil.RandomDB(rng, 100+trial*25, 11, 6)
 		for _, minsup := range []int{2, 4, 8} {
-			want, _ := MineClosed(d, minsup)
-			got, _ := MineClosedCHARM(d, minsup)
+			want, _, _ := MineClosedOpts(context.Background(), d, minsup, Options{})
+			got, _, _ := MineClosedCHARMOpts(context.Background(), d, minsup, Options{})
 			if !mining.Equal(got, want) {
 				t.Fatalf("trial %d minsup %d:\n%s", trial, minsup, mining.Diff(got, want))
 			}
@@ -28,8 +29,8 @@ func TestCharmMatchesClosedFilter(t *testing.T) {
 func TestCharmOnGeneratedData(t *testing.T) {
 	d := gen.MustGenerate(gen.T10I6(1500))
 	minsup := d.MinSupCount(1.0)
-	want, _ := MineClosed(d, minsup)
-	got, st := MineClosedCHARM(d, minsup)
+	want, _, _ := MineClosedOpts(context.Background(), d, minsup, Options{})
+	got, st, _ := MineClosedCHARMOpts(context.Background(), d, minsup, Options{})
 	if !mining.Equal(got, want) {
 		t.Fatal(mining.Diff(got, want))
 	}
@@ -57,7 +58,7 @@ func TestCharmCollapsesPerfectCorrelation(t *testing.T) {
 		}
 		d.Transactions = append(d.Transactions, db.Transaction{TID: itemset.TID(i), Items: items})
 	}
-	got, st := MineClosedCHARM(d, 5)
+	got, st, _ := MineClosedCHARMOpts(context.Background(), d, 5, Options{})
 	// Closed sets: {1,2,3} (sup 30), {1,2,3,5} (sup 10).
 	if got.Len() != 2 {
 		t.Fatalf("closed sets = %v, want 2", got.Itemsets)
@@ -73,14 +74,14 @@ func TestCharmCollapsesPerfectCorrelation(t *testing.T) {
 func TestCharmSubsumptionCounter(t *testing.T) {
 	rng := rand.New(rand.NewSource(173))
 	d := testutil.RandomDB(rng, 200, 10, 6)
-	_, st := MineClosedCHARM(d, 4)
+	_, st, _ := MineClosedCHARMOpts(context.Background(), d, 4, Options{})
 	if st.Intersections == 0 {
 		t.Fatal("no intersections recorded")
 	}
 }
 
 func TestCharmEmptyDatabase(t *testing.T) {
-	res, _ := MineClosedCHARM(&db.Database{NumItems: 3}, 1)
+	res, _, _ := MineClosedCHARMOpts(context.Background(), &db.Database{NumItems: 3}, 1, Options{})
 	if res.Len() != 0 {
 		t.Fatal("empty database has no closed sets")
 	}

@@ -8,29 +8,46 @@ import (
 	"repro/internal/mining"
 )
 
-// MineClosed discovers the closed frequent itemsets: those with no strict
-// superset of equal support. Closed sets are the lossless compression of
-// the frequent collection — together with their supports they determine
-// the support of every frequent itemset, unlike the (smaller, lossy)
-// maximal sets of MineMaximal.
+// MineClosedOpts discovers the closed frequent itemsets: those with no
+// strict superset of equal support. Closed sets are the lossless
+// compression of the frequent collection — together with their supports
+// they determine the support of every frequent itemset, unlike the
+// (smaller, lossy) maximal sets of MineMaximalOpts.
 //
-// The implementation mines the full collection with Eclat and applies the
-// closure filter by the immediate-superset property: an itemset is
-// non-closed iff one of its single-item extensions has the same support,
-// so marking each frequent set's (k-1)-subsets of equal support as
-// non-closed visits each frequent set only k times.
-func MineClosed(d *db.Database, minsup int) (*mining.Result, Stats) {
-	return MineClosedOpts(d, minsup, Options{})
-}
+// The implementation mines the full collection on the class-task engine
+// and applies the closure filter by the immediate-superset property: an
+// itemset is non-closed iff one of its single-item extensions has the
+// same support, so marking each frequent set's (k-1)-subsets of equal
+// support as non-closed visits each frequent set only k times.
+//
+// opts.Workers > 1 mines the underlying full collection with the
+// work-stealing pool; the filter input is byte-identical at every worker
+// count, so the closed output is too. opts.Workers ≤ 0 means 1 — the
+// historical sequential default. TopK and MustContain are ignored (their
+// adaptive pruning is unsound against the closed output contract).
+func MineClosedOpts(ctx context.Context, d *db.Database, minsup int, opts Options) (*mining.Result, Stats, error) {
+	if minsup < 1 {
+		minsup = 1
+	}
+	opts.TopK, opts.MustContain = 0, nil
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	var st Stats
+	st.Workers = workers
 
-// MineClosedOpts is MineClosed with explicit variant options (the options
-// affect only the underlying full-collection mine).
-func MineClosedOpts(d *db.Database, minsup int, opts Options) (*mining.Result, Stats) {
-	full, st, _ := MineSequentialOpts(context.Background(), d, minsup, opts)
-	res := &mining.Result{MinSup: full.MinSup, NumTransactions: full.NumTransactions}
-	res.Itemsets = closedFilter(full.Itemsets)
+	v := buildVertical(ctx, d, minsup, &st, opts)
+	eng := newEngine(v, minsup, opts, policyAll{})
+	if _, err := eng.run(ctx, workers, &st, &arena{}, v.res.Add); err != nil {
+		return nil, st, err
+	}
+	eng.finish(v.res, &st)
+
+	res := &mining.Result{MinSup: v.res.MinSup, NumTransactions: v.res.NumTransactions}
+	res.Itemsets = closedFilter(v.res.Itemsets)
 	res.Sort()
-	return res, st
+	return res, st, nil
 }
 
 // closedFilter returns the closed subsets of a complete frequent

@@ -1,6 +1,7 @@
 package eclat
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -37,7 +38,7 @@ func TestClosedMatchesOracle(t *testing.T) {
 		for _, minsup := range []int{3, 6} {
 			full, _ := MineSequential(d, minsup)
 			want := oracleClosed(full)
-			got, _ := MineClosed(d, minsup)
+			got, _, _ := MineClosedOpts(context.Background(), d, minsup, Options{})
 			if !mining.Equal(got, want) {
 				t.Fatalf("trial %d minsup %d:\n%s", trial, minsup, mining.Diff(got, want))
 			}
@@ -50,8 +51,8 @@ func TestClosedBetweenMaximalAndFull(t *testing.T) {
 	d := gen.MustGenerate(gen.T10I6(1500))
 	minsup := d.MinSupCount(1.0)
 	full, _ := MineSequential(d, minsup)
-	closed, _ := MineClosed(d, minsup)
-	maximal, _ := MineMaximal(d, minsup)
+	closed, _, _ := MineClosedOpts(context.Background(), d, minsup, Options{})
+	maximal, _, _ := MineMaximalOpts(context.Background(), d, minsup, Options{})
 	if !(maximal.Len() <= closed.Len() && closed.Len() <= full.Len()) {
 		t.Fatalf("|maximal|=%d |closed|=%d |full|=%d out of order",
 			maximal.Len(), closed.Len(), full.Len())
@@ -71,7 +72,7 @@ func TestSupportFromClosedLossless(t *testing.T) {
 	d := testutil.RandomDB(rng, 180, 10, 6)
 	minsup := 5
 	full, _ := MineSequential(d, minsup)
-	closed, _ := MineClosed(d, minsup)
+	closed, _, _ := MineClosedOpts(context.Background(), d, minsup, Options{})
 	for _, f := range full.Itemsets {
 		if got := SupportFromClosed(closed, f.Set); got != f.Support {
 			t.Fatalf("support of %v from closed = %d, want %d", f.Set, got, f.Support)

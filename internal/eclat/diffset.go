@@ -1,11 +1,11 @@
 package eclat
 
 import (
+	"context"
+
 	"repro/internal/db"
-	"repro/internal/eqclass"
 	"repro/internal/itemset"
 	"repro/internal/mining"
-	"repro/internal/paircount"
 	"repro/internal/tidlist"
 )
 
@@ -32,8 +32,8 @@ type dmember struct {
 	sup   int
 }
 
-// MineSequentialDiffsets runs Eclat with the diffset representation — the
-// dEclat refinement Zaki published as the successor of this paper's
+// MineSequentialDiffsetsOpts runs Eclat with the diffset representation —
+// the dEclat refinement Zaki published as the successor of this paper's
 // algorithm. Instead of carrying each itemset's full tid-list, the
 // recursion carries the *difference* from its parent: for class prefix P,
 //
@@ -43,120 +43,33 @@ type dmember struct {
 //
 // Deep in a class supports shrink slowly, so diffsets are much smaller
 // than tid-lists and the class recursion touches far fewer bytes; the
-// output is identical to MineSequential's (tested property).
-func MineSequentialDiffsets(d *db.Database, minsup int) (*mining.Result, DiffStats) {
-	return MineSequentialDiffsetsOpts(d, minsup, Options{})
-}
-
-// MineSequentialDiffsetsOpts is MineSequentialDiffsets with explicit
-// variant options (notably the tid-set representation; diffsets under the
-// bitset encoding use the AND NOT word kernel).
-func MineSequentialDiffsetsOpts(d *db.Database, minsup int, opts Options) (*mining.Result, DiffStats) {
+// output is identical to MineSequentialOpts's (tested property). The
+// diffset policy runs on the class-task engine; this entry point mines
+// sequentially (Workers is ignored, honoring the name), and TopK and
+// MustContain are ignored like the other variant forms. Under the bitset
+// encoding the differences use the AND NOT word kernel.
+func MineSequentialDiffsetsOpts(ctx context.Context, d *db.Database, minsup int, opts Options) (*mining.Result, DiffStats, error) {
 	if minsup < 1 {
 		minsup = 1
 	}
-	res := &mining.Result{MinSup: minsup, NumTransactions: d.Len()}
-	var st DiffStats
+	opts.TopK, opts.MustContain = 0, nil
+	var st Stats
+	st.Workers = 1
 
-	// Initialization and transformation, exactly as in MineSequential.
-	st.Scans++
-	itemCounts := make([]int, d.NumItems)
-	pc := paircount.New(d.NumItems)
-	for _, tx := range d.Transactions {
-		for _, it := range tx.Items {
-			itemCounts[it]++
-		}
-		pc.AddTransaction(tx.Items)
+	v := buildVertical(ctx, d, minsup, &st, opts)
+	eng := newEngine(v, minsup, opts, policyDiffsets{})
+	ext, err := eng.run(ctx, 1, &st, &arena{}, v.res.Add)
+	de := ext.(*diffExt)
+	dst := DiffStats{
+		Scans:         st.Scans,
+		Intersections: st.Intersections,
+		DiffOps:       st.IntersectOps,
+		ListBytes:     de.listBytes,
+		Kernel:        st.Kernel,
 	}
-	for it, c := range itemCounts {
-		if c >= minsup {
-			res.Add(itemset.Itemset{itemset.Item(it)}, c)
-		}
+	if err != nil {
+		return nil, dst, err
 	}
-	freqPairs := pc.Frequent(minsup)
-	l2 := make([]itemset.Itemset, 0, len(freqPairs))
-	for _, fp := range freqPairs {
-		res.Add(fp.Pair.Itemset(), fp.Count)
-		l2 = append(l2, fp.Pair.Itemset())
-	}
-	classes := eqclass.PruneSingletons(eqclass.Partition(l2))
-	want := make(map[tidlist.Pair]bool)
-	for _, c := range classes {
-		for _, m := range c.Members {
-			want[tidlist.Pair{A: m[0], B: m[1]}] = true
-		}
-	}
-	st.Scans++
-	lists := tidlist.BuildPairs(d, want)
-
-	// First transition per class: children carry diffsets of their
-	// tid-set parents.
-	for ci := range classes {
-		members := classMembers(&classes[ci], lists, opts.Representation, &st.Kernel)
-		var scratch tidlist.Set
-		for i := 0; i < len(members)-1; i++ {
-			var next []dmember
-			for j := i + 1; j < len(members); j++ {
-				st.Intersections++
-				diffs, ops := tidlist.DiffSets(scratch, members[i].tids, members[j].tids, &st.Kernel)
-				st.DiffOps += int64(ops)
-				scratch = diffs
-				sup := members[i].tids.Support() - diffs.Support()
-				if sup < minsup {
-					continue
-				}
-				kept := tidlist.CloneSet(diffs)
-				next = append(next, dmember{
-					set:   members[i].set.Join(members[j].set),
-					diffs: kept,
-					sup:   sup,
-				})
-				st.ListBytes += kept.SizeBytes()
-			}
-			for _, m := range next {
-				res.Add(m.set, m.sup)
-			}
-			if len(next) > 1 {
-				computeFrequentDiff(next, minsup, &st, res.Add)
-			}
-		}
-	}
-
-	res.Sort()
-	return res, st
-}
-
-// computeFrequentDiff is the diffset form of Compute_Frequent: members
-// share a common prefix of len(set)-1 items and carry diffsets relative
-// to their shared parent.
-func computeFrequentDiff(members []dmember, minsup int, st *DiffStats, emit func(itemset.Itemset, int)) {
-	var scratch tidlist.Set
-	for i := 0; i < len(members)-1; i++ {
-		var next []dmember
-		for j := i + 1; j < len(members); j++ {
-			st.Intersections++
-			// d(PXY) = d(PY) \ d(PX): the transactions that contain PX but
-			// lose Y beyond what PX already lost.
-			diffs, ops := tidlist.DiffSets(scratch, members[j].diffs, members[i].diffs, &st.Kernel)
-			st.DiffOps += int64(ops)
-			sup := members[i].sup - diffs.Support()
-			scratch = diffs
-			if sup < minsup {
-				continue
-			}
-			d := tidlist.CloneSet(diffs)
-			next = append(next, dmember{
-				set:   members[i].set.Join(members[j].set),
-				diffs: d,
-				sup:   sup,
-			})
-			st.ListBytes += d.SizeBytes()
-		}
-		for _, m := range next {
-			emit(m.set, m.sup)
-		}
-		if len(next) > 1 {
-			computeFrequentDiff(next, minsup, st, emit)
-		}
-	}
+	v.res.Sort()
+	return v.res, dst, nil
 }

@@ -1,6 +1,7 @@
 package eclat
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -17,7 +18,7 @@ func TestDiffsetsMatchStandardEclat(t *testing.T) {
 		d := testutil.RandomDB(rng, 120+trial*25, 12, 7)
 		for _, minsup := range []int{2, 4, 8} {
 			want, _ := MineSequential(d, minsup)
-			got, _ := MineSequentialDiffsets(d, minsup)
+			got, _, _ := MineSequentialDiffsetsOpts(context.Background(), d, minsup, Options{})
 			if !mining.Equal(got, want) {
 				t.Fatalf("trial %d minsup %d:\n%s", trial, minsup, mining.Diff(got, want))
 			}
@@ -28,7 +29,7 @@ func TestDiffsetsMatchStandardEclat(t *testing.T) {
 func TestDiffsetsMatchBruteForce(t *testing.T) {
 	rng := rand.New(rand.NewSource(143))
 	d := testutil.RandomDB(rng, 150, 10, 6)
-	got, _ := MineSequentialDiffsets(d, 4)
+	got, _, _ := MineSequentialDiffsetsOpts(context.Background(), d, 4, Options{})
 	want := testutil.BruteForce(d, 4)
 	if !mining.Equal(got, want) {
 		t.Fatal(mining.Diff(got, want))
@@ -39,7 +40,7 @@ func TestDiffsetsOnGeneratedData(t *testing.T) {
 	d := gen.MustGenerate(gen.T10I6(3000))
 	minsup := d.MinSupCount(0.5)
 	want, _ := MineSequential(d, minsup)
-	got, st := MineSequentialDiffsets(d, minsup)
+	got, st, _ := MineSequentialDiffsetsOpts(context.Background(), d, minsup, Options{})
 	if !mining.Equal(got, want) {
 		t.Fatal(mining.Diff(got, want))
 	}
@@ -79,7 +80,7 @@ func TestDiffsetsShrinkDeepLists(t *testing.T) {
 	minsup := 200
 
 	want, _ := MineSequential(d, minsup)
-	got, st := MineSequentialDiffsets(d, minsup)
+	got, st, _ := MineSequentialDiffsetsOpts(context.Background(), d, minsup, Options{})
 	if !mining.Equal(got, want) {
 		t.Fatal(mining.Diff(got, want))
 	}
@@ -100,7 +101,7 @@ func TestDiffsetsShrinkDeepLists(t *testing.T) {
 }
 
 func TestDiffsetsEmptyDatabase(t *testing.T) {
-	res, _ := MineSequentialDiffsets(&db.Database{NumItems: 3}, 1)
+	res, _, _ := MineSequentialDiffsetsOpts(context.Background(), &db.Database{NumItems: 3}, 1, Options{})
 	if res.Len() != 0 {
 		t.Fatal("empty database should mine nothing")
 	}

@@ -111,9 +111,25 @@ type Options struct {
 	// in tests that pin the tid-list path without the NoDiffsets knob).
 	DiffsetBreakEven float64
 	// Workers is the number of real goroutines MineParallelLocal mines
-	// with (0 means runtime.GOMAXPROCS(0)). The sequential and simulated
-	// entry points ignore it.
+	// with (0 means runtime.GOMAXPROCS(0)). MineMaximalOpts and
+	// MineClosedOpts honor it too (0 means 1 there — their historical
+	// sequential default); the simulated-cluster entry points ignore it.
 	Workers int
+	// TopK, when > 0, mines the k highest-support itemsets instead of a
+	// fixed-threshold collection: the engine's support heap adaptively
+	// raises the effective minimum support as itemsets are found, and
+	// the result is truncated to k by support (ties broken
+	// lexicographically). Output is byte-identical to a full mine at the
+	// same floor followed by Result.TruncateTopK. Honored by the local
+	// all-frequent entry points (MineSequentialOpts, MineParallelLocal,
+	// MineVerticalLocal); the variant and cluster forms ignore it.
+	TopK int
+	// MustContain, when non-empty, restricts mining to itemsets
+	// containing every listed item (a targeted query): equivalence
+	// classes whose prefix cannot contain the items are skipped
+	// entirely, and emissions are filtered. Output equals post-filtering
+	// a full mine. Honored by the same entry points as TopK.
+	MustContain []itemset.Item
 }
 
 // Stats counts the work of a sequential or shared-memory-parallel run
@@ -137,6 +153,10 @@ type Stats struct {
 	// the dEclat diffset representation (0 when Options.NoDiffsets is
 	// set or nothing crossed the density break-even).
 	DiffsetClasses int64
+	// EffectiveMinSup is the minimum support the run ended at: the
+	// caller's floor, raised by the top-k support heap when Options.TopK
+	// is set (equal to the floor otherwise).
+	EffectiveMinSup int
 	// Kernel is the representation-dispatch accounting of the run: how
 	// many intersections went to the sparse, dense, mixed and roaring
 	// kernels, their per-kind work units, and representation
@@ -177,7 +197,12 @@ type member struct {
 // surviving tid-set clones are carved from it and released when the
 // recursion unwinds past the sub-class, so the steady state allocates
 // nothing per itemset (ar may be nil: heap allocation, same results).
-func computeFrequent(ctx context.Context, members []member, minsup int, st *Stats, opts Options, ar *arena, emit func(itemset.Itemset, int)) {
+//
+// th is the pruning bound, re-read once per sub-class so a top-k run
+// picks up threshold raises promptly; with a fixed threshold the reads
+// are constant and the kernel call sequence is identical to mining
+// against a plain minsup.
+func computeFrequent(ctx context.Context, members []member, th *threshold, st *Stats, opts Options, ar *arena, emit Emitter) {
 	// Pairing member i with each j > i yields the class prefixed by
 	// members[i].set, so the recursion needs no separate partitioning
 	// pass: the i-loop enumerates the next level's classes directly.
@@ -196,9 +221,10 @@ func computeFrequent(ctx context.Context, members []member, minsup int, st *Stat
 		if ctx.Err() != nil {
 			return
 		}
+		minsup := th.current()
 		if breakEven > 0 && diffsetWins(members, i, span, breakEven) {
 			st.DiffsetClasses++
-			diffTransition(ctx, members, i, minsup, st, ar, emit)
+			diffTransition(ctx, members, i, th, st, ar, nil, emit)
 			continue
 		}
 		mark := ar.mark()
@@ -229,7 +255,7 @@ func computeFrequent(ctx context.Context, members []member, minsup int, st *Stat
 			emit(m.set, m.tids.Support())
 		}
 		if len(next) > 1 {
-			computeFrequent(ctx, next, minsup, st, opts, ar, emit)
+			computeFrequent(ctx, next, th, st, opts, ar, emit)
 		}
 		ar.release(mark)
 	}
@@ -308,7 +334,13 @@ func diffsetWins(members []member, i, span int, breakEven float64) bool {
 // recursion below continues in computeFrequentDiffCtx. The emitted
 // (itemset, support) pairs are identical to the tid-list path's (tested
 // property); only the intermediate encoding differs.
-func diffTransition(ctx context.Context, members []member, i, minsup int, st *Stats, ar *arena, emit func(itemset.Itemset, int)) {
+//
+// lb, when non-nil, accumulates the bytes of every kept diffset — the
+// DiffStats.ListBytes figure of the pure-diffset policy. The automatic
+// transition inside computeFrequent passes nil (Stats has no such
+// figure, keeping its counters exactly as before the engine refactor).
+func diffTransition(ctx context.Context, members []member, i int, th *threshold, st *Stats, ar *arena, lb *int64, emit Emitter) {
+	minsup := th.current()
 	mark := ar.mark()
 	defer ar.release(mark)
 	var scratch tidlist.Set
@@ -323,9 +355,13 @@ func diffTransition(ctx context.Context, members []member, i, minsup int, st *St
 		if sup < minsup {
 			continue
 		}
+		kept := ar.cloneSet(diffs)
+		if lb != nil {
+			*lb += kept.SizeBytes()
+		}
 		next = append(next, dmember{
 			set:   members[i].set.Join(members[j].set),
-			diffs: ar.cloneSet(diffs),
+			diffs: kept,
 			sup:   sup,
 		})
 	}
@@ -333,7 +369,7 @@ func diffTransition(ctx context.Context, members []member, i, minsup int, st *St
 		emit(m.set, m.sup)
 	}
 	if len(next) > 1 {
-		computeFrequentDiffCtx(ctx, next, minsup, st, ar, emit)
+		computeFrequentDiffCtx(ctx, next, th, st, ar, lb, emit)
 	}
 }
 
@@ -344,12 +380,13 @@ func diffTransition(ctx context.Context, members []member, i, minsup int, st *St
 // the support is known only after the full difference — but the sets
 // shrink level over level instead of the supports, which is exactly the
 // trade the break-even gate prices.
-func computeFrequentDiffCtx(ctx context.Context, members []dmember, minsup int, st *Stats, ar *arena, emit func(itemset.Itemset, int)) {
+func computeFrequentDiffCtx(ctx context.Context, members []dmember, th *threshold, st *Stats, ar *arena, lb *int64, emit Emitter) {
 	var scratch tidlist.Set
 	for i := 0; i < len(members)-1; i++ {
 		if ctx.Err() != nil {
 			return
 		}
+		minsup := th.current()
 		mark := ar.mark()
 		next := make([]dmember, 0, len(members)-1-i)
 		for j := i + 1; j < len(members); j++ {
@@ -361,9 +398,13 @@ func computeFrequentDiffCtx(ctx context.Context, members []dmember, minsup int, 
 			if sup < minsup {
 				continue
 			}
+			kept := ar.cloneSet(diffs)
+			if lb != nil {
+				*lb += kept.SizeBytes()
+			}
 			next = append(next, dmember{
 				set:   members[i].set.Join(members[j].set),
-				diffs: ar.cloneSet(diffs),
+				diffs: kept,
 				sup:   sup,
 			})
 		}
@@ -371,7 +412,7 @@ func computeFrequentDiffCtx(ctx context.Context, members []dmember, minsup int, 
 			emit(m.set, m.sup)
 		}
 		if len(next) > 1 {
-			computeFrequentDiffCtx(ctx, next, minsup, st, ar, emit)
+			computeFrequentDiffCtx(ctx, next, th, st, ar, lb, emit)
 		}
 		ar.release(mark)
 	}
@@ -454,38 +495,13 @@ func mineSequential(ctx context.Context, d *db.Database, minsup int, opts Option
 	}
 	var st Stats
 	st.Workers = 1
-	v := buildVertical(ctx, d, minsup, &st)
-	res, err := mineClassesSequential(ctx, v, minsup, opts, ar, &st)
-	if err != nil {
+	v := buildVertical(ctx, d, minsup, &st, opts)
+	eng := newEngine(v, minsup, opts, policyAll{})
+	if _, err := eng.run(ctx, 1, &st, ar, v.res.Add); err != nil {
 		return nil, st, err
 	}
-	return res, st, nil
-}
-
-// mineClassesSequential is the asynchronous phase shared by every
-// single-goroutine entry point (horizontal MineSequentialOpts, vertical
-// MineVerticalLocal): mine class by class, flushing the intersection
-// counters to the metrics registry at class granularity, then sort into
-// the canonical order.
-func mineClassesSequential(ctx context.Context, v *vertical, minsup int, opts Options, ar *arena, st *Stats) (*mining.Result, error) {
-	tr := obsv.TraceFrom(ctx)
-	sp := tr.Start("asynchronous")
-	for i := range v.classes {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		before := *st
-		computeFrequent(ctx, classMembers(&v.classes[i], v.lists, opts.Representation, &st.Kernel), minsup, st, opts, ar, v.res.Add)
-		flushStats(&before, st)
-		mClasses.Inc()
-	}
-	sp.End()
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-
-	v.res.Sort()
-	return v.res, nil
+	eng.finish(v.res, &st)
+	return v.res, st, nil
 }
 
 // vertical is the output of the initialization and transformation phases
@@ -496,12 +512,32 @@ type vertical struct {
 	res     *mining.Result
 	classes []eqclass.Class
 	lists   map[tidlist.Pair]tidlist.List
+	// roots, when non-nil, holds pre-assembled member lists (one per
+	// class) instead of pair tid-lists — the CHARM root level, whose
+	// members are frequent singletons rather than L2 pairs.
+	roots [][]member
+}
+
+// members assembles the sorted, representation-resolved member list of
+// class ci — the one entry every engine driver fetches class operands
+// through.
+func (v *vertical) members(ci int, repr tidlist.Repr, ks *tidlist.KernelStats) []member {
+	if v.roots != nil {
+		m := v.roots[ci]
+		applyClassRepr(m, repr, ks)
+		return m
+	}
+	return classMembers(&v.classes[ci], v.lists, repr, ks)
 }
 
 // buildVertical runs the one-scan initialization (global 1- and 2-itemset
 // counts) and the vertical transformation (per-pair tid-lists), recording
-// the two phases on the ctx trace and charging st.Scans/st.Classes.
-func buildVertical(ctx context.Context, d *db.Database, minsup int, st *Stats) *vertical {
+// the two phases on the ctx trace and charging st.Scans/st.Classes. A
+// targeted query (opts.MustContain) filters the seeded L1/L2 itemsets and
+// drops the equivalence classes whose prefix cannot contain the items —
+// their tid-lists are never built.
+func buildVertical(ctx context.Context, d *db.Database, minsup int, st *Stats, opts Options) *vertical {
+	must := canonMust(opts.MustContain)
 	res := &mining.Result{MinSup: minsup, NumTransactions: d.Len()}
 	tr := obsv.TraceFrom(ctx)
 
@@ -518,22 +554,25 @@ func buildVertical(ctx context.Context, d *db.Database, minsup int, st *Stats) *
 		pc.AddTransaction(tx.Items)
 	}
 	for it, c := range itemCounts {
-		if c >= minsup {
+		if c >= minsup && (must == nil || containsAll(itemset.Itemset{itemset.Item(it)}, must)) {
 			res.Add(itemset.Itemset{itemset.Item(it)}, c)
 		}
 	}
 	freqPairs := pc.Frequent(minsup)
 	l2 := make([]itemset.Itemset, 0, len(freqPairs))
 	for _, fp := range freqPairs {
-		res.Add(fp.Pair.Itemset(), fp.Count)
-		l2 = append(l2, fp.Pair.Itemset())
+		set := fp.Pair.Itemset()
+		if must == nil || containsAll(set, must) {
+			res.Add(set, fp.Count)
+		}
+		l2 = append(l2, set)
 	}
 	sp.End()
 
 	// Transformation: build tid-lists for every 2-itemset in a class with
 	// at least two members (singleton classes generate no candidates).
 	sp = tr.Start("transformation")
-	classes := eqclass.PruneSingletons(eqclass.Partition(l2))
+	classes := filterClasses(eqclass.PruneSingletons(eqclass.Partition(l2)), must)
 	st.Classes = len(classes)
 	want := make(map[tidlist.Pair]bool)
 	for _, c := range classes {

@@ -85,7 +85,7 @@ func TestParallelMatchesSequentialAcrossConfigs(t *testing.T) {
 	configs := [][2]int{{1, 1}, {1, 2}, {2, 1}, {2, 2}, {4, 2}, {1, 8}, {3, 3}}
 	for _, hp := range configs {
 		cl := cluster.New(cluster.Default(hp[0], hp[1]))
-		got, rep := Mine(cl, d, minsup)
+		got, rep := MineOpts(cl, d, minsup, Options{})
 		if !mining.Equal(got, want) {
 			t.Fatalf("H=%d P=%d: parallel result differs:\n%s", hp[0], hp[1], mining.Diff(got, want))
 		}
@@ -103,7 +103,7 @@ func TestParallelThreeLocalScans(t *testing.T) {
 	// two horizontal scans plus reading the inverted lists back.
 	d := gen.MustGenerate(gen.T10I6(800))
 	cl := cluster.New(cluster.Default(2, 2))
-	_, rep := Mine(cl, d, d.MinSupCount(1.0))
+	_, rep := MineOpts(cl, d, d.MinSupCount(1.0), Options{})
 	for i, st := range rep.PerProc {
 		if st.Scans != 3 {
 			t.Fatalf("proc %d performed %d scans, want 3", i, st.Scans)
@@ -117,9 +117,9 @@ func TestParallelNoBarriersInAsyncPhase(t *testing.T) {
 	// synchronizes only during set-up and the final reduction.
 	d := gen.MustGenerate(gen.T10I6(800))
 	cl1 := cluster.New(cluster.Default(2, 2))
-	Mine(cl1, d, d.MinSupCount(2.0)) // shallow mining
+	MineOpts(cl1, d, d.MinSupCount(2.0), Options{}) // shallow mining
 	cl2 := cluster.New(cluster.Default(2, 2))
-	Mine(cl2, d, d.MinSupCount(0.5)) // much deeper mining
+	MineOpts(cl2, d, d.MinSupCount(0.5), Options{}) // much deeper mining
 	b1 := cl1.Report().PerProc[0].Barriers
 	b2 := cl2.Report().PerProc[0].Barriers
 	if b1 != b2 {
@@ -131,7 +131,7 @@ func TestParallelDeterministicVirtualTime(t *testing.T) {
 	d := gen.MustGenerate(gen.T10I6(600))
 	run := func() int64 {
 		cl := cluster.New(cluster.Default(2, 2))
-		_, rep := Mine(cl, d, d.MinSupCount(1.0))
+		_, rep := MineOpts(cl, d, d.MinSupCount(1.0), Options{})
 		return rep.ElapsedNS
 	}
 	if a, b := run(), run(); a != b {
@@ -142,7 +142,7 @@ func TestParallelDeterministicVirtualTime(t *testing.T) {
 func TestParallelPhaseBreakdownPresent(t *testing.T) {
 	d := gen.MustGenerate(gen.T10I6(600))
 	cl := cluster.New(cluster.Default(2, 2))
-	_, rep := Mine(cl, d, d.MinSupCount(1.0))
+	_, rep := MineOpts(cl, d, d.MinSupCount(1.0), Options{})
 	for _, ph := range []string{PhaseInit, PhaseTransform, PhaseAsync, PhaseReduce} {
 		if rep.PhaseMaxNS(ph) <= 0 {
 			t.Fatalf("phase %q has no time recorded", ph)
@@ -157,7 +157,7 @@ func TestParallelPhaseBreakdownPresent(t *testing.T) {
 func TestParallelEmptyDatabase(t *testing.T) {
 	d := &db.Database{NumItems: 10}
 	cl := cluster.New(cluster.Default(2, 2))
-	res, _ := Mine(cl, d, 1)
+	res, _ := MineOpts(cl, d, 1, Options{})
 	if res.Len() != 0 {
 		t.Fatalf("empty database mined %d itemsets", res.Len())
 	}
@@ -169,7 +169,7 @@ func TestParallelMoreProcsThanTransactions(t *testing.T) {
 		{TID: 1, Items: itemset.New(0, 1)},
 	}}
 	cl := cluster.New(cluster.Default(2, 4)) // 8 procs, 2 transactions
-	res, _ := Mine(cl, d, 2)
+	res, _ := MineOpts(cl, d, 2, Options{})
 	if res.SupportMap()[itemset.New(0, 1).Key()] != 2 {
 		t.Fatalf("result wrong with empty partitions: %v", res.SupportMap())
 	}

@@ -13,8 +13,8 @@ import (
 	"repro/internal/tidlist"
 )
 
-// MineHybrid implements the hybrid parallelization the paper proposes as
-// future work (section 8.1): "we plan to implement a hybrid
+// MineHybridOpts implements the hybrid parallelization the paper proposes
+// as future work (section 8.1): "we plan to implement a hybrid
 // parallelization where the database is partitioned only among the hosts
 // ... the Compute_Frequent procedure could be carried out in parallel" by
 // the processors within each host.
@@ -26,16 +26,15 @@ import (
 // the classes are sub-scheduled across its processors for the
 // asynchronous phase. This removes both the per-processor disk
 // contention and the T-way exchange that limit flat Eclat when P > 1.
-func MineHybrid(cl *cluster.Cluster, d *db.Database, minsup int) (*mining.Result, cluster.Report) {
-	return MineHybridOpts(cl, d, minsup, Options{})
-}
-
-// MineHybridOpts is MineHybrid with explicit variant options (notably the
-// tid-set representation the asynchronous phase mines through).
+// The class mining routes through the engine's all-frequent policy; the
+// host-level SPMD orchestration (cooperative scans, leader exchange,
+// sub-scheduling) is what this entry point adds. TopK and MustContain
+// are ignored on the cluster forms.
 func MineHybridOpts(cl *cluster.Cluster, d *db.Database, minsup int, opts Options) (*mining.Result, cluster.Report) {
 	if minsup < 1 {
 		minsup = 1
 	}
+	opts.TopK, opts.MustContain = 0, nil
 	cfg := cl.Config()
 	h, pp := cfg.Hosts, cfg.ProcsPerHost
 	t := cl.NumProcs()
@@ -181,7 +180,7 @@ func MineHybridOpts(cl *cluster.Cluster, d *db.Database, minsup int, opts Option
 		subSched := eqclass.Schedule(sub, pp)
 		var myBytes int64
 		var st Stats
-		ar := &arena{}
+		w := &worker{st: &st, opts: opts, th: fixedThreshold(minsup), ar: &arena{}, ext: policyAll{}.newExt()}
 		for i := range sub {
 			if subSched.Owner[i] != p.ID()-leader {
 				continue
@@ -194,7 +193,7 @@ func MineHybridOpts(cl *cluster.Cluster, d *db.Database, minsup int, opts Option
 				myBytes += n
 			}
 			members := classMembers(&sub[i], lists, opts.Representation, &st.Kernel)
-			computeFrequent(context.Background(), members, minsup, &st, opts, ar, local.Add)
+			policyAll{}.explore(context.Background(), w, members, local.Add)
 		}
 		p.ChargeScan(myBytes, pp)
 		chargeKernel(p, &st)

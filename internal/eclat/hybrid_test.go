@@ -17,7 +17,7 @@ func TestHybridMatchesSequential(t *testing.T) {
 	want, _ := MineSequential(d, minsup)
 	for _, hp := range [][2]int{{1, 1}, {1, 4}, {2, 2}, {4, 2}, {2, 4}, {3, 3}} {
 		cl := cluster.New(cluster.Default(hp[0], hp[1]))
-		got, rep := MineHybrid(cl, d, minsup)
+		got, rep := MineHybridOpts(cl, d, minsup, Options{})
 		if !mining.Equal(got, want) {
 			t.Fatalf("H=%d P=%d: %s", hp[0], hp[1], mining.Diff(got, want))
 		}
@@ -36,9 +36,9 @@ func TestHybridBeatsFlatEclatAtHighProcsPerHost(t *testing.T) {
 	minsup := d.MinSupCount(0.25)
 	cfg := cluster.Default(2, 4)
 	clFlat := cluster.New(cfg)
-	_, repFlat := Mine(clFlat, d, minsup)
+	_, repFlat := MineOpts(clFlat, d, minsup, Options{})
 	clHyb := cluster.New(cfg)
-	_, repHyb := MineHybrid(clHyb, d, minsup)
+	_, repHyb := MineHybridOpts(clHyb, d, minsup, Options{})
 	if repHyb.ElapsedNS >= repFlat.ElapsedNS {
 		t.Fatalf("hybrid (%v) should beat flat Eclat (%v) at P=4", repHyb.Elapsed(), repFlat.Elapsed())
 	}
@@ -53,9 +53,9 @@ func TestHybridDiskVolumeLower(t *testing.T) {
 	minsup := d.MinSupCount(0.5)
 	cfg := cluster.Default(2, 4)
 	clFlat := cluster.New(cfg)
-	Mine(clFlat, d, minsup)
+	MineOpts(clFlat, d, minsup, Options{})
 	clHyb := cluster.New(cfg)
-	MineHybrid(clHyb, d, minsup)
+	MineHybridOpts(clHyb, d, minsup, Options{})
 	if clHyb.Report().Merged.DiskNS >= clFlat.Report().Merged.DiskNS {
 		t.Fatalf("hybrid disk time (%d) should be below flat (%d)",
 			clHyb.Report().Merged.DiskNS, clFlat.Report().Merged.DiskNS)
@@ -66,7 +66,7 @@ func TestHybridDeterministic(t *testing.T) {
 	d := gen.MustGenerate(gen.T10I6(800))
 	run := func() int64 {
 		cl := cluster.New(cluster.Default(2, 2))
-		_, rep := MineHybrid(cl, d, d.MinSupCount(1.0))
+		_, rep := MineHybridOpts(cl, d, d.MinSupCount(1.0), Options{})
 		return rep.ElapsedNS
 	}
 	if a, b := run(), run(); a != b {

@@ -135,25 +135,29 @@ func MineParallelLocal(ctx context.Context, d *db.Database, minsup int, opts Opt
 
 	var st Stats
 	st.Workers = workers
-	v := buildVertical(ctx, d, minsup, &st)
+	v := buildVertical(ctx, d, minsup, &st, opts)
 	if err := ctx.Err(); err != nil {
 		return nil, st, err
 	}
-	res, err := mineClassesParallel(ctx, v, minsup, workers, opts, &st)
-	if err != nil {
+	eng := newEngine(v, minsup, opts, policyAll{})
+	if _, err := eng.run(ctx, workers, &st, nil, v.res.Add); err != nil {
 		return nil, st, err
 	}
-	return res, st, nil
+	eng.finish(v.res, &st)
+	return v.res, st, nil
 }
 
-// mineClassesParallel is the work-stealing asynchronous phase shared by
-// the horizontal (MineParallelLocal) and vertical (MineVerticalLocal)
-// entry points: deal the top-level classes to per-worker deques, mine
-// with stealing, merge deterministically. Worker counters are folded
-// into st; st.Steals is overwritten with the run's steal count.
-func mineClassesParallel(ctx context.Context, v *vertical, minsup, workers int, opts Options, st *Stats) (*mining.Result, error) {
+// runParallel is the engine's work-stealing driver, shared by every
+// policy and entry point that mines with Workers > 1: deal the top-level
+// classes to per-worker deques, mine with stealing, then deliver the
+// per-class outputs to the sink in class-index order (the sequential
+// mining order), so the bytes match the sequential driver regardless of
+// which worker mined what. Worker counters are folded into st;
+// st.Steals is overwritten with the run's steal count.
+func (e *engine) runParallel(ctx context.Context, workers int, st *Stats, sink Emitter) (any, error) {
 	tr := obsv.TraceFrom(ctx)
 	sp := tr.Start("asynchronous")
+	v := e.v
 
 	// Deal classes to deques with the greedy weighted schedule, then order
 	// each deque heaviest-first so owners start on the big classes while
@@ -176,6 +180,7 @@ func mineClassesParallel(ctx context.Context, v *vertical, minsup, workers int, 
 	// popped ci writes the slot, so no lock is needed.
 	classOut := make([][]mining.FrequentItemset, len(v.classes))
 	workerStats := make([]Stats, workers)
+	exts := make([]any, workers)
 	var steals int64
 
 	var wg sync.WaitGroup
@@ -188,15 +193,17 @@ func mineClassesParallel(ctx context.Context, v *vertical, minsup, workers int, 
 
 			wst := &workerStats[self]
 			var prev Stats
-			ar := &arena{}
+			ext := e.pol.newExt()
+			exts[self] = ext
+			wk := &worker{st: wst, opts: e.opts, th: e.th, ar: &arena{}, ext: ext}
 			var acc []mining.FrequentItemset
+			emit := e.wrapEmit(func(set itemset.Itemset, sup int) {
+				acc = append(acc, mining.FrequentItemset{Set: set, Support: sup})
+			})
 
 			mine := func(t classTask) {
 				acc = acc[:0]
-				members := classMembers(&v.classes[t.ci], v.lists, opts.Representation, &wst.Kernel)
-				computeFrequent(ctx, members, minsup, wst, opts, ar, func(set itemset.Itemset, sup int) {
-					acc = append(acc, mining.FrequentItemset{Set: set, Support: sup})
-				})
+				e.pol.explore(ctx, wk, v.members(t.ci, e.opts.Representation, &wst.Kernel), emit)
 				out := make([]mining.FrequentItemset, len(acc))
 				copy(out, acc)
 				classOut[t.ci] = out
@@ -240,16 +247,20 @@ func mineClassesParallel(ctx context.Context, v *vertical, minsup, workers int, 
 		st.merge(&workerStats[w])
 	}
 	st.Steals = steals
+	ext := e.pol.newExt()
+	for _, we := range exts {
+		if we != nil {
+			e.pol.mergeExt(ext, we)
+		}
+	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return ext, err
 	}
 
-	// Deterministic merge: class-index order is the sequential mining
-	// order, and Sort then imposes the canonical total order, so the bytes
-	// match MineSequential regardless of which worker mined what.
 	for _, out := range classOut {
-		v.res.Itemsets = append(v.res.Itemsets, out...)
+		for _, f := range out {
+			sink(f.Set, f.Support)
+		}
 	}
-	v.res.Sort()
-	return v.res, nil
+	return ext, nil
 }

@@ -41,6 +41,45 @@ func BenchmarkMineParallelLocal(b *testing.B) {
 	}
 }
 
+// BenchmarkMineVariants is the engine-scaling grid for the policies that
+// gained multicore from the class-task engine: maximal and closed at
+// 1/2/4 workers (workers=1 is the engine's sequential driver — the
+// pre-engine baseline shape), plus a top-k row showing what the adaptive
+// threshold saves against mining everything at the same floor.
+func BenchmarkMineVariants(b *testing.B) {
+	d := gen.MustGenerate(gen.T10I6(benchTx))
+	minsup := d.MinSupCount(0.25)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("variant=maximal/workers=%d", workers), func(b *testing.B) {
+			opts := Options{Workers: workers}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := MineMaximalOpts(context.Background(), d, minsup, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("variant=closed/workers=%d", workers), func(b *testing.B) {
+			opts := Options{Workers: workers}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := MineClosedOpts(context.Background(), d, minsup, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("variant=topk100/workers=1", func(b *testing.B) {
+		opts := Options{TopK: 100}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := MineSequentialOpts(context.Background(), d, minsup, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkMineSequentialAlloc measures the scratch arena's effect on the
 // sequential recursion: arena=off is the pre-arena behaviour (every
 // sub-class member slice and surviving tid-set clone hits the heap),

@@ -1,13 +1,12 @@
 package eclat
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/db"
-	"repro/internal/eqclass"
 	"repro/internal/itemset"
 	"repro/internal/mining"
-	"repro/internal/paircount"
 	"repro/internal/tidlist"
 )
 
@@ -20,9 +19,9 @@ type MaxStats struct {
 	Candidates    int   // locally-maximal sets before global subsumption filtering
 }
 
-// MineMaximal discovers only the maximal frequent itemsets (those with no
-// frequent superset) using the MaxEclat hybrid search of the authors'
-// companion report [18] ("New algorithms for fast discovery of
+// MineMaximalOpts discovers only the maximal frequent itemsets (those
+// with no frequent superset) using the MaxEclat hybrid search of the
+// authors' companion report [18] ("New algorithms for fast discovery of
 // association rules"): the usual bottom-up class recursion is augmented
 // with a top-down lookahead that first intersects an entire class's
 // tid-lists — if the class's top itemset is frequent, the whole sub-
@@ -30,81 +29,55 @@ type MaxStats struct {
 //
 // Supports in the result are exact. The union of the subsets of the
 // returned sets equals the full frequent-itemset collection mined by
-// MineSequential at the same threshold (tested property).
-func MineMaximal(d *db.Database, minsup int) (*mining.Result, MaxStats) {
-	return MineMaximalOpts(d, minsup, Options{})
-}
-
-// MineMaximalOpts is MineMaximal with explicit variant options (notably
-// the tid-set representation the class searches run through).
-func MineMaximalOpts(d *db.Database, minsup int, opts Options) (*mining.Result, MaxStats) {
+// MineSequentialOpts at the same threshold (tested property).
+//
+// The search runs on the class-task engine: opts.Workers > 1 mines the
+// classes with the work-stealing pool and the result is identical to the
+// sequential run (the global subsumption filter is order-independent).
+// opts.Workers ≤ 0 means 1 — the historical sequential default. TopK and
+// MustContain are ignored (their adaptive pruning is unsound against the
+// maximal output contract).
+func MineMaximalOpts(ctx context.Context, d *db.Database, minsup int, opts Options) (*mining.Result, MaxStats, error) {
 	if minsup < 1 {
 		minsup = 1
 	}
+	opts.TopK, opts.MustContain = 0, nil
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 1
+	}
 	var st MaxStats
-	res := &mining.Result{MinSup: minsup, NumTransactions: d.Len()}
+	st.Workers = workers
 
-	// Initialization scan, as in MineSequential.
-	st.Scans++
-	itemCounts := make([]int, d.NumItems)
-	pc := paircount.New(d.NumItems)
-	for _, tx := range d.Transactions {
-		for _, it := range tx.Items {
-			itemCounts[it]++
-		}
-		pc.AddTransaction(tx.Items)
-	}
-	freqPairs := pc.Frequent(minsup)
-	l2 := make([]itemset.Itemset, 0, len(freqPairs))
-	pairSup := map[tidlist.Pair]int{}
-	for _, fp := range freqPairs {
-		l2 = append(l2, fp.Pair.Itemset())
-		pairSup[fp.Pair] = fp.Count
-	}
-
-	// Candidate maximal sets: start with frequent singletons and pairs
-	// (they survive the final filter only if nothing subsumes them).
-	var cands []mining.FrequentItemset
-	for it, c := range itemCounts {
-		if c >= minsup {
-			cands = append(cands, mining.FrequentItemset{Set: itemset.Itemset{itemset.Item(it)}, Support: c})
-		}
-	}
-	for _, fp := range freqPairs {
-		cands = append(cands, mining.FrequentItemset{Set: fp.Pair.Itemset(), Support: fp.Count})
-	}
-
-	classes := eqclass.PruneSingletons(eqclass.Partition(l2))
-	st.Classes = len(classes)
-	want := make(map[tidlist.Pair]bool)
-	for _, c := range classes {
-		for _, m := range c.Members {
-			want[tidlist.Pair{A: m[0], B: m[1]}] = true
-		}
-	}
-	st.Scans++
-	lists := tidlist.BuildPairs(d, want)
-
-	emit := func(set itemset.Itemset, sup int) {
+	v := buildVertical(ctx, d, minsup, &st.Stats, opts)
+	// Candidate maximal sets: the frequent singletons and pairs seeded
+	// into v.res (they survive the final filter only if nothing subsumes
+	// them), then every locally-maximal set the class search emits.
+	cands := append([]mining.FrequentItemset(nil), v.res.Itemsets...)
+	eng := newEngine(v, minsup, opts, policyMaximal{})
+	ext, err := eng.run(ctx, workers, &st.Stats, &arena{}, func(set itemset.Itemset, sup int) {
 		cands = append(cands, mining.FrequentItemset{Set: set, Support: sup})
-	}
-	for i := range classes {
-		before := st.Stats
-		computeMaximal(classMembers(&classes[i], lists, opts.Representation, &st.Kernel), minsup, &st, emit)
-		flushStats(&before, &st.Stats)
+	})
+	me := ext.(*maxExt)
+	st.Lookaheads, st.LookaheadHits = me.lookaheads, me.hits
+	if err != nil {
+		return nil, st, err
 	}
 	st.Candidates = len(cands)
 
+	res := &mining.Result{MinSup: minsup, NumTransactions: d.Len()}
 	for _, f := range filterMaximal(cands) {
 		res.Add(f.Set, f.Support)
 	}
 	res.Sort()
-	return res, st
+	return res, st, nil
 }
 
 // computeMaximal mines one class, emitting locally-maximal frequent sets
-// (a superset of the globally maximal ones; the caller filters).
-func computeMaximal(members []member, minsup int, st *MaxStats, emit func(itemset.Itemset, int)) {
+// (a superset of the globally maximal ones; the caller filters). Work
+// counters land in st; the lookahead tallies in ext. Cancellation is
+// checked once per sub-class, as in computeFrequent.
+func computeMaximal(ctx context.Context, members []member, th *threshold, st *Stats, ext *maxExt, ar *arena, emit Emitter) {
 	if len(members) == 0 {
 		return
 	}
@@ -112,6 +85,7 @@ func computeMaximal(members []member, minsup int, st *MaxStats, emit func(itemse
 		emit(members[0].set, members[0].tids.Support())
 		return
 	}
+	minsup := th.current()
 
 	// Top-down lookahead: the class's top itemset is the union of all
 	// members; its tid-list is the k-way intersection of all member
@@ -120,7 +94,7 @@ func computeMaximal(members []member, minsup int, st *MaxStats, emit func(itemse
 	// intermediate allocations and the §5.3 bound aborts the fold as
 	// early as the operand order allows. On abort the partial result is
 	// discarded with the lookahead (the ok=false contract).
-	st.Lookaheads++
+	ext.lookaheads++
 	opSets := make([]tidlist.Set, len(members))
 	for i, m := range members {
 		opSets[i] = m.tids
@@ -129,7 +103,7 @@ func computeMaximal(members []member, minsup int, st *MaxStats, emit func(itemse
 	st.Intersections += int64(folds)
 	st.IntersectOps += int64(ops)
 	if feasible {
-		st.LookaheadHits++
+		ext.hits++
 		union := members[0].set
 		for _, m := range members[1:] {
 			union = union.Union(m.set)
@@ -142,7 +116,11 @@ func computeMaximal(members []member, minsup int, st *MaxStats, emit func(itemse
 	// Bottom-up expansion, emitting members with no frequent extension.
 	var scratch tidlist.Set
 	for i := 0; i < len(members); i++ {
-		var next []member
+		if ctx.Err() != nil {
+			return
+		}
+		mark := ar.mark()
+		next := ar.nextMembers(len(members) - 1 - i)
 		for j := i + 1; j < len(members); j++ {
 			st.Intersections++
 			tids, ops, ok := tidlist.IntersectSetsSC(scratch, members[i].tids, members[j].tids, minsup, &st.Kernel)
@@ -154,19 +132,23 @@ func computeMaximal(members []member, minsup int, st *MaxStats, emit func(itemse
 			}
 			next = append(next, member{
 				set:  members[i].set.Join(members[j].set),
-				tids: tidlist.CloneSet(tids),
+				tids: ar.cloneSet(tids),
 			})
 		}
 		if len(next) == 0 {
 			emit(members[i].set, members[i].tids.Support())
 		} else {
-			computeMaximal(next, minsup, st, emit)
+			computeMaximal(ctx, next, th, st, ext, ar, emit)
 		}
+		ar.release(mark)
 	}
 }
 
 // filterMaximal removes every candidate subsumed by another candidate,
-// returning the true maximal sets (deduplicated).
+// returning the true maximal sets (deduplicated). The outcome is
+// independent of the candidate order (it sorts first), which is what
+// makes the parallel and cluster maximal miners byte-identical to the
+// sequential one.
 func filterMaximal(cands []mining.FrequentItemset) []mining.FrequentItemset {
 	// Sort by size descending so keepers accumulate largest-first, and
 	// dedupe identical sets.

@@ -1,162 +1,34 @@
 package eclat
 
 import (
-	"sort"
-
 	"repro/internal/cluster"
 	"repro/internal/db"
-	"repro/internal/eqclass"
 	"repro/internal/itemset"
 	"repro/internal/mining"
-	"repro/internal/paircount"
-	"repro/internal/tidlist"
 )
 
 // MineMaximalParallel runs the MaxEclat hybrid search on the simulated
 // cluster, reusing Eclat's four-phase structure: the equivalence classes
-// are scheduled and their tid-lists exchanged exactly as in Mine, each
-// processor mines its classes with the lookahead search, and the final
-// reduction gathers the locally-maximal candidates for the global
+// are scheduled and their tid-lists exchanged exactly as in MineOpts,
+// each processor mines its classes with the lookahead search, and the
+// final reduction gathers the locally-maximal candidates for the global
 // subsumption filter (local filtering alone cannot be final, because a
 // set from one class can be subsumed by a set owned by another
-// processor). Results equal MineMaximal's on the same input.
+// processor). Results equal MineMaximalOpts's on the same input.
 func MineMaximalParallel(cl *cluster.Cluster, d *db.Database, minsup int) (*mining.Result, cluster.Report) {
 	return MineMaximalParallelOpts(cl, d, minsup, Options{})
 }
 
 // MineMaximalParallelOpts is MineMaximalParallel with explicit variant
-// options (notably the tid-set representation).
+// options (notably the tid-set representation). It shares the SPMD
+// program of MineOpts via clusterMine with the maximal policy; only the
+// final assembly differs (subsumption filter instead of union).
 func MineMaximalParallelOpts(cl *cluster.Cluster, d *db.Database, minsup int, opts Options) (*mining.Result, cluster.Report) {
 	if minsup < 1 {
 		minsup = 1
 	}
-	t := cl.NumProcs()
-	parts := d.Partition(t)
-
-	locals := make([][]mining.FrequentItemset, t)
-	var globalPairs []paircount.FrequentPair
-	var globalItems []int
-
-	cl.Run(func(p *cluster.Proc) {
-		part := parts[p.ID()]
-
-		// ---- Initialization (identical to Mine) -------------------------
-		p.SetPhase(PhaseInit)
-		p.ChargeScan(part.SizeBytes(), p.HostProcs())
-		itemCounts := make([]int, d.NumItems)
-		pc := paircount.New(d.NumItems)
-		var itemOps int64
-		for _, tx := range part.Transactions {
-			for _, it := range tx.Items {
-				itemCounts[it]++
-			}
-			itemOps += int64(len(tx.Items))
-		}
-		p.ChargeCPU(itemOps)
-		p.ChargeOps(cluster.OpPairCount, pc.AddPartition(part))
-		gItems := cluster.SumReduceInt(p, itemCounts)
-		gpc := paircount.FromCounts(d.NumItems, cluster.SumReduceInt32(p, pc.Counts()))
-		freqPairs := gpc.Frequent(minsup)
-		p.ChargeCPU(int64(gpc.NumCells()))
-		if p.ID() == 0 {
-			globalItems = gItems
-			globalPairs = freqPairs
-		}
-
-		// ---- Transformation (identical to Mine) -------------------------
-		p.SetPhase(PhaseTransform)
-		l2 := make([]itemset.Itemset, len(freqPairs))
-		for i, fp := range freqPairs {
-			l2[i] = fp.Pair.Itemset()
-		}
-		classes := eqclass.PruneSingletons(eqclass.Partition(l2))
-		sched := eqclass.Schedule(classes, t)
-		p.ChargeCPU(int64(len(classes)))
-
-		owner := make(map[tidlist.Pair]int)
-		want := make(map[tidlist.Pair]bool)
-		for ci := range classes {
-			for _, m := range classes[ci].Members {
-				pr := tidlist.Pair{A: m[0], B: m[1]}
-				owner[pr] = sched.Owner[ci]
-				want[pr] = true
-			}
-		}
-		p.ChargeScan(part.SizeBytes(), p.HostProcs())
-		partials := tidlist.BuildPairs(part, want)
-		var buildOps int64
-		for _, tx := range part.Transactions {
-			l := int64(len(tx.Items))
-			buildOps += l * (l - 1) / 2
-		}
-		p.ChargeOps(cluster.OpPairCount, buildOps)
-
-		out := make([][]pairList, t)
-		var sentBytes, sentSparse, sentDense int64
-		for pr, tids := range partials {
-			dst := owner[pr]
-			out[dst] = append(out[dst], pairList{pair: pr, tids: tids})
-			if dst != p.ID() {
-				n, enc := tidlist.EncodedSize(tids, opts.Representation)
-				sentBytes += n
-				if enc == tidlist.ReprBitset {
-					sentDense += n
-				} else {
-					sentSparse += n
-				}
-			}
-		}
-		p.AddNetPayload(sentSparse, sentDense)
-		for dst := range out {
-			sort.Slice(out[dst], func(i, j int) bool {
-				a, b := out[dst][i].pair, out[dst][j].pair
-				if a.A != b.A {
-					return a.A < b.A
-				}
-				return a.B < b.B
-			})
-		}
-		in := cluster.Exchange(p, out, sentBytes)
-		lists := make(map[tidlist.Pair]tidlist.List)
-		var ownedBytes, partialBytes int64
-		for _, pl := range partials {
-			n, _ := tidlist.EncodedSize(pl, opts.Representation)
-			partialBytes += n
-		}
-		for src := 0; src < t; src++ {
-			for _, pl := range in[src] {
-				lists[pl.pair] = append(lists[pl.pair], pl.tids...)
-			}
-		}
-		for _, l := range lists {
-			n, _ := tidlist.EncodedSize(l, opts.Representation)
-			ownedBytes += n
-		}
-		factor := p.PageFactor(int64(p.HostProcs()) * (ownedBytes + partialBytes))
-		p.ChargeDiskWrite(ownedBytes*factor, p.HostProcs())
-
-		// ---- Asynchronous maximal search --------------------------------
-		p.SetPhase(PhaseAsync)
-		p.ChargeScan(ownedBytes, p.HostProcs())
-		var st MaxStats
-		var cands []mining.FrequentItemset
-		emit := func(set itemset.Itemset, sup int) {
-			cands = append(cands, mining.FrequentItemset{Set: set, Support: sup})
-		}
-		for _, ci := range sched.ClassesOf(p.ID()) {
-			computeMaximal(classMembers(&classes[ci], lists, opts.Representation, &st.Kernel), minsup, &st, emit)
-		}
-		chargeKernel(p, &st.Stats)
-		locals[p.ID()] = cands
-
-		// ---- Final reduction: candidates, not just counts ----------------
-		p.SetPhase(PhaseReduce)
-		var localBytes int64
-		for _, f := range cands {
-			localBytes += 4*int64(f.Set.K()) + 4
-		}
-		cluster.Gather(p, localBytes, localBytes)
-	})
+	opts.TopK, opts.MustContain = 0, nil
+	globalItems, globalPairs, locals := clusterMine(cl, d, minsup, opts, policyMaximal{})
 
 	// Global subsumption filter over all candidates, including frequent
 	// singletons and pairs.

@@ -1,6 +1,7 @@
 package eclat
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -39,7 +40,7 @@ func TestMaximalMatchesOracle(t *testing.T) {
 		for _, minsup := range []int{3, 6, 12} {
 			full, _ := MineSequential(d, minsup)
 			want := oracleMaximal(full)
-			got, _ := MineMaximal(d, minsup)
+			got, _, _ := MineMaximalOpts(context.Background(), d, minsup, Options{})
 			if !mining.Equal(got, want) {
 				t.Fatalf("trial %d minsup %d:\n%s", trial, minsup, mining.Diff(got, want))
 			}
@@ -52,7 +53,7 @@ func TestMaximalOnGeneratedData(t *testing.T) {
 	minsup := d.MinSupCount(1.0)
 	full, fullStats := MineSequential(d, minsup)
 	want := oracleMaximal(full)
-	got, st := MineMaximal(d, minsup)
+	got, st, _ := MineMaximalOpts(context.Background(), d, minsup, Options{})
 	if !mining.Equal(got, want) {
 		t.Fatal(mining.Diff(got, want))
 	}
@@ -80,7 +81,7 @@ func TestMaximalLookaheadCollapsesCliqueData(t *testing.T) {
 			TID: itemset.TID(i), Items: pattern,
 		})
 	}
-	got, st := MineMaximal(d, 40)
+	got, st, _ := MineMaximalOpts(context.Background(), d, 40, Options{})
 	if got.Len() != 1 || !got.Itemsets[0].Set.Equal(pattern) {
 		t.Fatalf("maximal = %v, want just %v", got.Itemsets, pattern)
 	}
@@ -99,7 +100,7 @@ func TestMaximalSubsetsCoverFullResult(t *testing.T) {
 	d := testutil.RandomDB(rng, 200, 12, 6)
 	minsup := 5
 	full, _ := MineSequential(d, minsup)
-	maxres, _ := MineMaximal(d, minsup)
+	maxres, _, _ := MineMaximalOpts(context.Background(), d, minsup, Options{})
 	for _, f := range full.Itemsets {
 		covered := false
 		for _, m := range maxres.Itemsets {
@@ -124,7 +125,7 @@ func TestMaximalSubsetsCoverFullResult(t *testing.T) {
 func TestMaximalNoSubsumedPairs(t *testing.T) {
 	rng := rand.New(rand.NewSource(127))
 	d := testutil.RandomDB(rng, 150, 10, 6)
-	got, _ := MineMaximal(d, 4)
+	got, _, _ := MineMaximalOpts(context.Background(), d, 4, Options{})
 	for i, a := range got.Itemsets {
 		for j, b := range got.Itemsets {
 			if i != j && a.Set.SubsetOf(b.Set) {
@@ -138,7 +139,7 @@ func TestMaximalParallelMatchesSequential(t *testing.T) {
 	rng := rand.New(rand.NewSource(131))
 	d := testutil.RandomDB(rng, 250, 13, 7)
 	for _, minsup := range []int{4, 8} {
-		want, _ := MineMaximal(d, minsup)
+		want, _, _ := MineMaximalOpts(context.Background(), d, minsup, Options{})
 		for _, hp := range [][2]int{{1, 1}, {2, 2}, {4, 1}, {1, 4}, {3, 2}} {
 			cl := cluster.New(cluster.Default(hp[0], hp[1]))
 			got, rep := MineMaximalParallel(cl, d, minsup)
@@ -155,7 +156,7 @@ func TestMaximalParallelMatchesSequential(t *testing.T) {
 func TestMaximalParallelOnGeneratedData(t *testing.T) {
 	d := gen.MustGenerate(gen.T10I6(1500))
 	minsup := d.MinSupCount(1.0)
-	want, _ := MineMaximal(d, minsup)
+	want, _, _ := MineMaximalOpts(context.Background(), d, minsup, Options{})
 	cl := cluster.New(cluster.Default(2, 2))
 	got, _ := MineMaximalParallel(cl, d, minsup)
 	if !mining.Equal(got, want) {
@@ -164,7 +165,7 @@ func TestMaximalParallelOnGeneratedData(t *testing.T) {
 }
 
 func TestMaximalEmptyDatabase(t *testing.T) {
-	res, _ := MineMaximal(&db.Database{NumItems: 4}, 1)
+	res, _, _ := MineMaximalOpts(context.Background(), &db.Database{NumItems: 4}, 1, Options{})
 	if res.Len() != 0 {
 		t.Fatal("empty database has no maximal sets")
 	}

@@ -29,33 +29,53 @@ type pairList struct {
 	tids tidlist.List
 }
 
-// Mine runs four-phase parallel Eclat (figure 2) on the simulated
+// MineOpts runs four-phase parallel Eclat (figure 2) on the simulated
 // cluster. The database is block-partitioned across all T processors;
 // each processor executes the SPMD program. The returned result is the
 // globally assembled set of frequent itemsets, identical to
-// MineSequential's on the same inputs.
-func Mine(cl *cluster.Cluster, d *db.Database, minsup int) (*mining.Result, cluster.Report) {
-	return MineOpts(cl, d, minsup, Options{})
-}
-
-// MineOpts is Mine with explicit variant options.
+// MineSequentialOpts's on the same inputs. TopK and MustContain are
+// ignored on the cluster forms (use the local entry points).
 func MineOpts(cl *cluster.Cluster, d *db.Database, minsup int, opts Options) (*mining.Result, cluster.Report) {
 	if minsup < 1 {
 		minsup = 1
 	}
+	opts.TopK, opts.MustContain = 0, nil
+	globalItems, globalPairs, locals := clusterMine(cl, d, minsup, opts, policyAll{})
+
+	// Assemble the global result exactly as processor 0 prints it.
+	res := &mining.Result{MinSup: minsup, NumTransactions: d.Len()}
+	for it, c := range globalItems {
+		if c >= minsup {
+			res.Add(itemset.Itemset{itemset.Item(it)}, c)
+		}
+	}
+	for _, fp := range globalPairs {
+		res.Add(fp.Pair.Itemset(), fp.Count)
+	}
+	for _, local := range locals {
+		res.Itemsets = append(res.Itemsets, local...)
+	}
+	res.Sort()
+	rep := cl.Report()
+	rep.Representation = opts.Representation.String()
+	return res, rep
+}
+
+// clusterMine is the four-phase SPMD program shared by every simulated-
+// cluster entry point: initialization (section 5.1), transformation with
+// the scheduled tid-list exchange (section 5.2), the asynchronous phase
+// mining each owned class through pol (section 5.3), and the final
+// reduction gathering the per-processor emissions (section 5.4). It
+// returns the globally reduced item/pair counts and each processor's
+// emitted itemsets; result assembly differs per policy and stays with
+// the caller.
+func clusterMine(cl *cluster.Cluster, d *db.Database, minsup int, opts Options, pol ExplorePolicy) (globalItems []int, globalPairs []paircount.FrequentPair, locals [][]mining.FrequentItemset) {
 	t := cl.NumProcs()
 	parts := d.Partition(t)
-
-	// Per-processor outputs of the asynchronous phase, assembled after the
-	// run (the final reduction charges the gather cost inside the run).
-	locals := make([]*mining.Result, t)
-	var globalPairs []paircount.FrequentPair
-	var globalItems []int
+	locals = make([][]mining.FrequentItemset, t)
 
 	cl.Run(func(p *cluster.Proc) {
 		part := parts[p.ID()]
-		local := &mining.Result{MinSup: minsup, NumTransactions: d.Len()}
-		locals[p.ID()] = local
 
 		// ---- Initialization phase (section 5.1) -------------------------
 		p.SetPhase(PhaseInit)
@@ -216,38 +236,26 @@ func MineOpts(cl *cluster.Cluster, d *db.Database, minsup int, opts Options) (*m
 		p.SetPhase(PhaseAsync)
 		p.ChargeScan(ownedBytes, p.HostProcs())
 		var st Stats
-		ar := &arena{}
+		w := &worker{st: &st, opts: opts, th: fixedThreshold(minsup), ar: &arena{}, ext: pol.newExt()}
+		var acc []mining.FrequentItemset
+		emit := func(set itemset.Itemset, sup int) {
+			acc = append(acc, mining.FrequentItemset{Set: set, Support: sup})
+		}
 		for _, ci := range sched.ClassesOf(p.ID()) {
-			computeFrequent(context.Background(), classMembers(&classes[ci], lists, opts.Representation, &st.Kernel), minsup, &st, opts, ar, local.Add)
+			pol.explore(context.Background(), w, classMembers(&classes[ci], lists, opts.Representation, &st.Kernel), emit)
 		}
 		chargeKernel(p, &st)
+		locals[p.ID()] = acc
 
 		// ---- Final reduction phase (section 5.4) ------------------------
 		p.SetPhase(PhaseReduce)
 		var localBytes int64
-		for _, f := range local.Itemsets {
+		for _, f := range acc {
 			localBytes += 4*int64(f.Set.K()) + 4
 		}
 		cluster.Gather(p, localBytes, localBytes)
 	})
-
-	// Assemble the global result exactly as processor 0 prints it.
-	res := &mining.Result{MinSup: minsup, NumTransactions: d.Len()}
-	for it, c := range globalItems {
-		if c >= minsup {
-			res.Add(itemset.Itemset{itemset.Item(it)}, c)
-		}
-	}
-	for _, fp := range globalPairs {
-		res.Add(fp.Pair.Itemset(), fp.Count)
-	}
-	for _, local := range locals {
-		res.Itemsets = append(res.Itemsets, local.Itemsets...)
-	}
-	res.Sort()
-	rep := cl.Report()
-	rep.Representation = opts.Representation.String()
-	return res, rep
+	return globalItems, globalPairs, locals
 }
 
 // chargeKernel charges a processor's asynchronous-phase intersection work

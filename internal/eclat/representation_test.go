@@ -34,7 +34,7 @@ var reprVariants = []struct {
 		return res
 	}},
 	{"maximal", func(d *db.Database, minsup int, opts Options) *mining.Result {
-		res, _ := MineMaximalOpts(d, minsup, opts)
+		res, _, _ := MineMaximalOpts(context.Background(), d, minsup, opts)
 		return res
 	}},
 	{"maximal-parallel", func(d *db.Database, minsup int, opts Options) *mining.Result {
@@ -42,15 +42,15 @@ var reprVariants = []struct {
 		return res
 	}},
 	{"closed", func(d *db.Database, minsup int, opts Options) *mining.Result {
-		res, _ := MineClosedOpts(d, minsup, opts)
+		res, _, _ := MineClosedOpts(context.Background(), d, minsup, opts)
 		return res
 	}},
 	{"charm", func(d *db.Database, minsup int, opts Options) *mining.Result {
-		res, _ := MineClosedCHARMOpts(d, minsup, opts)
+		res, _, _ := MineClosedCHARMOpts(context.Background(), d, minsup, opts)
 		return res
 	}},
 	{"diffsets", func(d *db.Database, minsup int, opts Options) *mining.Result {
-		res, _ := MineSequentialDiffsetsOpts(d, minsup, opts)
+		res, _, _ := MineSequentialDiffsetsOpts(context.Background(), d, minsup, opts)
 		return res
 	}},
 }

@@ -50,21 +50,16 @@ func MineVerticalLocal(ctx context.Context, in VerticalInput, minsup int, opts O
 
 	var st Stats
 	st.Workers = workers
-	v := buildVerticalFromSets(ctx, in, minsup, &st)
+	v := buildVerticalFromSets(ctx, in, minsup, &st, opts)
 	if err := ctx.Err(); err != nil {
 		return nil, st, err
 	}
-	var res *mining.Result
-	var err error
-	if workers > 1 {
-		res, err = mineClassesParallel(ctx, v, minsup, workers, opts, &st)
-	} else {
-		res, err = mineClassesSequential(ctx, v, minsup, opts, &arena{}, &st)
-	}
-	if err != nil {
+	eng := newEngine(v, minsup, opts, policyAll{})
+	if _, err := eng.run(ctx, workers, &st, &arena{}, v.res.Add); err != nil {
 		return nil, st, err
 	}
-	return res, st, nil
+	eng.finish(v.res, &st)
+	return v.res, st, nil
 }
 
 // buildVerticalFromSets is buildVertical's counterpart for data that is
@@ -72,8 +67,12 @@ func MineVerticalLocal(ctx context.Context, in VerticalInput, minsup int, opts O
 // per-item tid-sets instead of horizontal scans. Everything — L1, L2,
 // class partitioning — happens under the "initialization" span; there is
 // no transformation phase because the data arrives transformed, so
-// tracing-based tests can assert the phase never ran.
-func buildVerticalFromSets(ctx context.Context, in VerticalInput, minsup int, st *Stats) *vertical {
+// tracing-based tests can assert the phase never ran. Targeted queries
+// (opts.MustContain) filter the seeded L1/L2 and the classes exactly as
+// buildVertical does; the pairwise L2 intersections still all run, so
+// the work counters of the init phase stay query-independent.
+func buildVerticalFromSets(ctx context.Context, in VerticalInput, minsup int, st *Stats, opts Options) *vertical {
+	must := canonMust(opts.MustContain)
 	res := &mining.Result{MinSup: minsup, NumTransactions: in.NumTransactions}
 	tr := obsv.TraceFrom(ctx)
 	sp := tr.Start("initialization")
@@ -85,7 +84,9 @@ func buildVerticalFromSets(ctx context.Context, in VerticalInput, minsup int, st
 			continue
 		}
 		if c := s.Support(); c >= minsup {
-			res.Add(itemset.Itemset{itemset.Item(it)}, c)
+			if must == nil || containsAll(itemset.Itemset{itemset.Item(it)}, must) {
+				res.Add(itemset.Itemset{itemset.Item(it)}, c)
+			}
 			frequent = append(frequent, it)
 		}
 	}
@@ -111,13 +112,15 @@ func buildVerticalFromSets(ctx context.Context, in VerticalInput, minsup int, st
 				continue
 			}
 			set := itemset.Itemset{itemset.Item(a), itemset.Item(b)}
-			res.Add(set, tids.Support())
+			if must == nil || containsAll(set, must) {
+				res.Add(set, tids.Support())
+			}
 			l2 = append(l2, set)
 			lists[tidlist.Pair{A: itemset.Item(a), B: itemset.Item(b)}] = append(tidlist.List(nil), tidlist.TIDsOf(tids)...)
 		}
 	}
 
-	classes := eqclass.PruneSingletons(eqclass.Partition(l2))
+	classes := filterClasses(eqclass.PruneSingletons(eqclass.Partition(l2)), must)
 	st.Classes = len(classes)
 	// Drop pair lists no surviving class needs (singleton classes generate
 	// no candidates), mirroring buildVertical's want-set discipline.

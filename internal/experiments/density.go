@@ -35,7 +35,7 @@ func (s *Suite) Density(w io.Writer, numTx int) {
 			return mine(cl, d, minsup)
 		}
 		repE := run(func(cl *cluster.Cluster, d *db.Database, ms int) cluster.Report {
-			_, rep := eclat.Mine(cl, d, ms)
+			_, rep := eclat.MineOpts(cl, d, ms, eclat.Options{})
 			return rep
 		})
 		repC := run(func(cl *cluster.Cluster, d *db.Database, ms int) cluster.Report {

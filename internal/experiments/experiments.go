@@ -139,9 +139,9 @@ func (s *Suite) Run(algo string, spec SizeSpec, hp HP) (cluster.Report, int) {
 	var rep cluster.Report
 	switch algo {
 	case "eclat":
-		res, rep = eclat.Mine(cl, d, minsup)
+		res, rep = eclat.MineOpts(cl, d, minsup, eclat.Options{})
 	case "eclat-hybrid":
-		res, rep = eclat.MineHybrid(cl, d, minsup)
+		res, rep = eclat.MineHybridOpts(cl, d, minsup, eclat.Options{})
 	case "cd":
 		res, rep = countdist.Mine(cl, d, minsup)
 	default:

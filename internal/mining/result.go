@@ -43,6 +43,31 @@ func (r *Result) Sort() {
 	})
 }
 
+// TruncateTopK keeps only the k highest-support itemsets, breaking
+// support ties lexicographically (smaller itemsets win), then restores
+// the canonical sort order. It is both the top-k miner's final
+// truncation and the oracle the equivalence tests compare against: a
+// full mine followed by TruncateTopK is byte-identical to the adaptive
+// top-k mine. k ≤ 0 or k ≥ Len leaves the result unchanged — callers
+// must not rely on it re-sorting an unsorted result in that case.
+//
+// A truncated result generally violates downward closure (a subset of a
+// kept itemset may rank below the cut), so Verify must not be called on
+// it.
+func (r *Result) TruncateTopK(k int) {
+	if k <= 0 || len(r.Itemsets) <= k {
+		return
+	}
+	sort.Slice(r.Itemsets, func(i, j int) bool {
+		if r.Itemsets[i].Support != r.Itemsets[j].Support {
+			return r.Itemsets[i].Support > r.Itemsets[j].Support
+		}
+		return r.Itemsets[i].Set.Less(r.Itemsets[j].Set)
+	})
+	r.Itemsets = r.Itemsets[:k:k]
+	r.Sort()
+}
+
 // Len returns the number of frequent itemsets.
 func (r *Result) Len() int { return len(r.Itemsets) }
 

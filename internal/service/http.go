@@ -38,6 +38,15 @@ type JobRequest struct {
 	// path; 0 means the service's per-job share of its parallel budget
 	// (asks beyond the share are clamped to it, negative is a 400).
 	Parallelism int `json:"parallelism"`
+	// TopK, when > 0, mines only the K highest-support itemsets. Only the
+	// local eclat path with variant "all" supports it (anything else is a
+	// 400 with code invalid_topk); with no support given the threshold
+	// floor defaults to 1.
+	TopK int `json:"topK"`
+	// MustContain lists item ids every mined itemset must contain (a
+	// targeted query; same path restrictions as topK, code
+	// invalid_must_contain).
+	MustContain []int `json:"mustContain"`
 }
 
 // DatasetRequest is the JSON body of POST /v1/datasets. Exactly one of
@@ -99,6 +108,10 @@ func errorCode(err error) (int, string) {
 		return http.StatusBadRequest, "invalid_parallelism"
 	case errors.Is(err, repro.ErrInvalidRepresentation):
 		return http.StatusBadRequest, "invalid_representation"
+	case errors.Is(err, repro.ErrInvalidTopK):
+		return http.StatusBadRequest, "invalid_topk"
+	case errors.Is(err, repro.ErrInvalidMustContain):
+		return http.StatusBadRequest, "invalid_must_contain"
 	case errors.Is(err, repro.ErrCanceled):
 		return http.StatusConflict, "canceled"
 	default:
@@ -180,6 +193,8 @@ func NewHandler(s *Service) http.Handler {
 			ProcsPerHost:   jr.Procs,
 			Representation: repr,
 			Parallelism:    jr.Parallelism,
+			TopK:           jr.TopK,
+			MustContain:    jr.MustContain,
 		})
 		if err != nil {
 			writeMappedError(w, err)

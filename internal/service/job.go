@@ -113,6 +113,14 @@ type Request struct {
 	// of the parallel budget; a positive ask is clamped to that share;
 	// negative is rejected at submit time.
 	Parallelism int
+	// TopK, when > 0, mines only the K highest-support itemsets
+	// (repro.MineOptions.TopK). Only VariantAll on the local Eclat path
+	// supports it; anything else is rejected at submit time.
+	TopK int
+	// MustContain restricts the mine to itemsets containing every listed
+	// item (repro.MineOptions.MustContain); same path restrictions as
+	// TopK.
+	MustContain []int
 }
 
 // Key identifies a result in the cache. Hosts/ProcsPerHost are
@@ -128,10 +136,23 @@ type Key struct {
 	MinSup         int
 	Variant        Variant
 	Representation string
+	// TopK and MustContain are part of the identity because they change
+	// the result set. MustContain is the canonical form (sorted, deduped,
+	// comma-joined), so permutations and repeats of the same targeted
+	// query share one entry.
+	TopK        int
+	MustContain string
 }
 
 func (k Key) String() string {
-	return fmt.Sprintf("%s/%s/minsup=%d/%s/repr=%s", k.Dataset, k.Algorithm, k.MinSup, k.Variant, k.Representation)
+	s := fmt.Sprintf("%s/%s/minsup=%d/%s/repr=%s", k.Dataset, k.Algorithm, k.MinSup, k.Variant, k.Representation)
+	if k.TopK > 0 {
+		s += fmt.Sprintf("/topk=%d", k.TopK)
+	}
+	if k.MustContain != "" {
+		s += "/contains=" + k.MustContain
+	}
+	return s
 }
 
 // Job is one queued or executed mining run. All mutable state is guarded
@@ -184,9 +205,15 @@ type View struct {
 	Phases      []obsv.PhaseSpan `json:"phases,omitempty"`
 	// Parallelism is the worker count the run actually mined with and
 	// Steals its work-stealing transfers (both 0 until the run finishes,
-	// and for variants that don't report RunInfo).
+	// and for cache hits, which never ran).
 	Parallelism int   `json:"parallelism,omitempty"`
 	Steals      int64 `json:"steals,omitempty"`
+	// TopK / MustContain echo the request's query options; EffectiveMinSup
+	// is the support threshold the run ended at (raised above MinSup by a
+	// top-k run, 0 until the run finishes).
+	TopK            int   `json:"topK,omitempty"`
+	MustContain     []int `json:"mustContain,omitempty"`
+	EffectiveMinSup int   `json:"effectiveMinSup,omitempty"`
 }
 
 // Snapshot returns a consistent view of the job.
@@ -219,9 +246,12 @@ func (j *Job) Snapshot() View {
 	if j.trace != nil {
 		v.Phases = j.trace.Spans()
 	}
+	v.TopK = j.Req.TopK
+	v.MustContain = append([]int(nil), j.Req.MustContain...)
 	if j.info != nil {
 		v.Parallelism = j.info.Parallelism
 		v.Steals = j.info.Steals
+		v.EffectiveMinSup = j.info.EffectiveMinSup
 	}
 	return v
 }

@@ -5,6 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro"
@@ -119,9 +122,28 @@ func (s *Service) normalize(req Request) (Request, Key, error) {
 	if req.Variant == "" {
 		req.Variant = VariantAll
 	}
+	// Reject unusable query options first, before support resolution: a
+	// malformed topk must surface as invalid_topk even when no support
+	// was given. The top-k heap and class targeting exist only on the
+	// local all-frequent Eclat path.
+	must, err := canonContains(req.MustContain)
+	if err != nil {
+		return req, Key{}, err
+	}
+	localEclat := req.Algorithm == repro.AlgoEclat && req.Hosts <= 1 && req.ProcsPerHost <= 1
+	switch {
+	case req.TopK < 0:
+		return req, Key{}, fmt.Errorf("%w: negative topk %d", repro.ErrInvalidTopK, req.TopK)
+	case req.TopK > 0 && (req.Variant != VariantAll || !localEclat):
+		return req, Key{}, fmt.Errorf("%w: topk requires the local eclat path with variant all", repro.ErrInvalidTopK)
+	case must != "" && (req.Variant != VariantAll || !localEclat):
+		return req, Key{}, fmt.Errorf("%w: mustContain requires the local eclat path with variant all", repro.ErrInvalidMustContain)
+	}
 	// MinSupN resolves from the dataset-shape metadata, so submission
-	// never loads a store-backed dataset's horizontal data.
-	opts := repro.MineOptions{SupportPct: req.SupportPct, SupportCount: req.SupportCount}
+	// never loads a store-backed dataset's horizontal data. TopK is part
+	// of the resolution: a top-k request with no explicit support gets
+	// the floor-1 default instead of a 400.
+	opts := repro.MineOptions{SupportPct: req.SupportPct, SupportCount: req.SupportCount, TopK: req.TopK}
 	minsup, err := opts.MinSupN(ds.Info().Transactions)
 	if err != nil {
 		return req, Key{}, err
@@ -140,8 +162,35 @@ func (s *Service) normalize(req Request) (Request, Key, error) {
 		MinSup:         minsup,
 		Variant:        req.Variant,
 		Representation: req.Representation.String(),
+		TopK:           req.TopK,
+		MustContain:    must,
 	}
 	return req, key, nil
+}
+
+// canonContains canonicalizes a targeted query's item list for the cache
+// key: sorted, deduplicated, comma-joined ("" when empty). Negative items
+// are an ErrInvalidMustContain.
+func canonContains(items []int) (string, error) {
+	if len(items) == 0 {
+		return "", nil
+	}
+	sorted := append([]int(nil), items...)
+	sort.Ints(sorted)
+	var b strings.Builder
+	for i, it := range sorted {
+		if it < 0 {
+			return "", fmt.Errorf("%w: negative item %d", repro.ErrInvalidMustContain, it)
+		}
+		if i > 0 && it == sorted[i-1] {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(it))
+	}
+	return b.String(), nil
 }
 
 // Submit validates req, serves it from the result cache when possible
@@ -172,6 +221,8 @@ func (s *Service) runJob(ctx context.Context, j *Job) (*mining.Result, *repro.Ru
 		ProcsPerHost:   j.Req.ProcsPerHost,
 		Representation: j.Req.Representation,
 		Parallelism:    s.effectiveParallelism(j.Req.Parallelism),
+		TopK:           j.Req.TopK,
+		MustContain:    j.Req.MustContain,
 	}
 	var res *mining.Result
 	var info *repro.RunInfo
@@ -181,13 +232,13 @@ func (s *Service) runJob(ctx context.Context, j *Job) (*mining.Result, *repro.Ru
 		if derr != nil {
 			return nil, nil, derr
 		}
-		res, err = repro.MineMaximal(ctx, d, opts)
+		res, info, err = repro.MineMaximal(ctx, d, opts)
 	case VariantClosed:
 		d, derr := ds.Database()
 		if derr != nil {
 			return nil, nil, derr
 		}
-		res, err = repro.MineClosed(ctx, d, opts)
+		res, info, err = repro.MineClosed(ctx, d, opts)
 	default:
 		// The dataset is a repro.Source: MineFrom mines local Eclat jobs
 		// straight from the memoized vertical transform (zero horizontal

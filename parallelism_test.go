@@ -51,10 +51,10 @@ func TestMineNegativeParallelismRejected(t *testing.T) {
 	if !errors.Is(err, ErrInvalidParallelism) {
 		t.Fatalf("err = %v, want ErrInvalidParallelism", err)
 	}
-	if _, err := MineMaximal(context.Background(), d, MineOptions{SupportPct: 1.0, Parallelism: -2}); !errors.Is(err, ErrInvalidParallelism) {
+	if _, _, err := MineMaximal(context.Background(), d, MineOptions{SupportPct: 1.0, Parallelism: -2}); !errors.Is(err, ErrInvalidParallelism) {
 		t.Fatalf("MineMaximal err = %v, want ErrInvalidParallelism", err)
 	}
-	if _, err := MineClosed(context.Background(), d, MineOptions{SupportPct: 1.0, Parallelism: -3}); !errors.Is(err, ErrInvalidParallelism) {
+	if _, _, err := MineClosed(context.Background(), d, MineOptions{SupportPct: 1.0, Parallelism: -3}); !errors.Is(err, ErrInvalidParallelism) {
 		t.Fatalf("MineClosed err = %v, want ErrInvalidParallelism", err)
 	}
 }

@@ -75,6 +75,14 @@ var (
 	// passed to ParseRepresentation (the -repr flag and the service's
 	// "representation" job field map it to HTTP 400).
 	ErrInvalidRepresentation = tidlist.ErrInvalidRepresentation
+	// ErrInvalidTopK reports an unusable MineOptions.TopK: a negative
+	// value, or a top-k request to an algorithm without the adaptive
+	// support heap (anything but the local Eclat path).
+	ErrInvalidTopK = errors.New("repro: invalid topk")
+	// ErrInvalidMustContain reports an unusable MineOptions.MustContain: a
+	// negative item id, or a targeted query to an algorithm without
+	// class-level targeting (anything but the local Eclat path).
+	ErrInvalidMustContain = errors.New("repro: invalid must-contain")
 )
 
 // DefaultSupportPct is the paper's experimental support threshold (0.1%
@@ -255,6 +263,24 @@ type MineOptions struct {
 	// fast it arrives — and is therefore not part of the serving layer's
 	// cache identity.
 	Parallelism int
+	// TopK, when > 0, mines only the k highest-support itemsets (support
+	// ties broken lexicographically): the engine's support heap raises the
+	// effective threshold adaptively, and the output is byte-identical to
+	// a full mine at the same floor truncated to k. When neither
+	// SupportPct nor SupportCount is set, a top-k query defaults the floor
+	// to support 1 instead of failing. Supported only on the local
+	// (non-simulated) Eclat path; other algorithms and cluster shapes
+	// reject it with ErrInvalidTopK. Not honored by MineMaximal/MineClosed
+	// (adaptive pruning is unsound against their output contracts).
+	TopK int
+	// MustContain, when non-empty, restricts the mine to itemsets
+	// containing every listed item — a targeted query, equal to
+	// post-filtering a full mine but skipping the equivalence classes that
+	// cannot produce qualifying sets. Negative items are rejected with
+	// ErrInvalidMustContain, as is combining it with anything but the
+	// local Eclat path. Composes with TopK (the k best among qualifying
+	// sets).
+	MustContain []int
 }
 
 // RunInfo reports how a mining run went.
@@ -284,6 +310,16 @@ type RunInfo struct {
 	// Steals counts work-stealing transfers between workers (0 unless
 	// Parallelism > 1).
 	Steals int64
+	// TopK echoes the request's TopK (0 for a full mine).
+	TopK int
+	// MustContain echoes the request's targeted-query items (nil for an
+	// unrestricted mine).
+	MustContain []int
+	// EffectiveMinSup is the support threshold the run ended at: MinSup,
+	// raised by the top-k support heap when TopK was set. 0 for
+	// algorithms without the adaptive threshold (everything but the local
+	// Eclat path).
+	EffectiveMinSup int
 }
 
 // MinSup resolves and validates the absolute minimum support count these
@@ -318,6 +354,11 @@ func (o MineOptions) MinSupN(numTransactions int) (int, error) {
 			c = 1
 		}
 		return c, nil
+	case o.TopK > 0:
+		// A top-k query does not need an explicit floor: the adaptive
+		// threshold raises itself as itemsets are found, so default to the
+		// weakest floor rather than rejecting the zero-support request.
+		return 1, nil
 	default:
 		return 0, fmt.Errorf("%w: MineOptions must set SupportPct or SupportCount (the paper's experiments use SupportPct = %v)",
 			ErrInvalidSupport, DefaultSupportPct)
@@ -337,6 +378,40 @@ func (o MineOptions) Workers() (int, error) {
 		return runtime.GOMAXPROCS(0), nil
 	}
 	return o.Parallelism, nil
+}
+
+// localEclat reports whether these options select the real
+// (non-simulated) local Eclat path — the only path with the adaptive
+// top-k threshold and class-level targeting.
+func (o MineOptions) localEclat() bool {
+	return o.Algorithm == AlgoEclat && o.Hosts <= 1 && o.ProcsPerHost <= 1 && o.Cluster == nil
+}
+
+// query validates the top-k / targeted-query options and converts
+// MustContain to the itemset item type. asLocalEclat reports whether the
+// dispatching path supports the query options at all; on any other path
+// a non-zero TopK or MustContain is a typed error rather than a silent
+// full mine.
+func (o MineOptions) query(asLocalEclat bool) ([]itemset.Item, error) {
+	if o.TopK < 0 {
+		return nil, fmt.Errorf("%w: negative TopK %d", ErrInvalidTopK, o.TopK)
+	}
+	if o.TopK > 0 && !asLocalEclat {
+		return nil, fmt.Errorf("%w: TopK requires the local Eclat path (algorithm %v, cluster shape %dx%d)",
+			ErrInvalidTopK, o.Algorithm, o.Hosts, o.ProcsPerHost)
+	}
+	if len(o.MustContain) > 0 && !asLocalEclat {
+		return nil, fmt.Errorf("%w: MustContain requires the local Eclat path (algorithm %v, cluster shape %dx%d)",
+			ErrInvalidMustContain, o.Algorithm, o.Hosts, o.ProcsPerHost)
+	}
+	var must []itemset.Item
+	for _, it := range o.MustContain {
+		if it < 0 {
+			return nil, fmt.Errorf("%w: negative item %d", ErrInvalidMustContain, it)
+		}
+		must = append(must, itemset.Item(it))
+	}
+	return must, nil
 }
 
 func (o MineOptions) clusterConfig() ClusterConfig {
@@ -393,6 +468,11 @@ func Mine(ctx context.Context, d *Database, opts MineOptions) (*Result, *RunInfo
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, nil, wrapCanceled(err)
+	}
+	// Query options validate before support resolution: a malformed TopK
+	// must surface as ErrInvalidTopK even when no support was given.
+	if _, err := opts.query(opts.localEclat()); err != nil {
+		return nil, nil, err
 	}
 	minsup, err := opts.MinSup(d)
 	if err != nil {
@@ -493,8 +573,7 @@ func MineFrom(ctx context.Context, src Source, opts MineOptions) (*Result, *RunI
 	if src == nil {
 		return nil, nil, fmt.Errorf("repro: nil source")
 	}
-	localEclat := opts.Algorithm == AlgoEclat && opts.Hosts <= 1 && opts.ProcsPerHost <= 1 && opts.Cluster == nil
-	if localEclat {
+	if opts.localEclat() {
 		if items, ok := src.VerticalSets(opts.Representation); ok {
 			return mineVerticalSets(ctx, src.NumTransactions(), items, opts)
 		}
@@ -511,6 +590,10 @@ func MineFrom(ctx context.Context, src Source, opts MineOptions) (*Result, *RunI
 func mineVerticalSets(ctx context.Context, numTx int, items []tidlist.Set, opts MineOptions) (*Result, *RunInfo, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, nil, wrapCanceled(err)
+	}
+	must, err := opts.query(true)
+	if err != nil {
+		return nil, nil, err
 	}
 	minsup, err := opts.MinSupN(numTx)
 	if err != nil {
@@ -531,7 +614,8 @@ func mineVerticalSets(ctx context.Context, numTx int, items []tidlist.Set, opts 
 	info := &RunInfo{Algorithm: AlgoEclat, MinSup: minsup}
 	res, st, err := eclat.MineVerticalLocal(ctx,
 		eclat.VerticalInput{NumTransactions: numTx, Items: items}, minsup,
-		eclat.Options{Representation: opts.Representation, Workers: workers})
+		eclat.Options{Representation: opts.Representation, Workers: workers,
+			TopK: opts.TopK, MustContain: must})
 	if err != nil {
 		mineErrors.Inc()
 		return nil, nil, wrapIfCtxErr(err)
@@ -539,6 +623,9 @@ func mineVerticalSets(ctx context.Context, numTx int, items []tidlist.Set, opts 
 	info.Scans = st.Scans
 	info.Parallelism = st.Workers
 	info.Steals = st.Steals
+	info.TopK = opts.TopK
+	info.MustContain = append([]int(nil), opts.MustContain...)
+	info.EffectiveMinSup = st.EffectiveMinSup
 	info.WallNS = time.Since(start).Nanoseconds()
 	if spans := tr.Spans(); pre <= len(spans) {
 		info.Phases = spans[pre:]
@@ -589,14 +676,22 @@ func mine(ctx context.Context, d *Database, opts MineOptions, minsup int, info *
 		if err != nil {
 			return nil, err
 		}
+		must, err := opts.query(true)
+		if err != nil {
+			return nil, err
+		}
+		eopts := eclat.Options{
+			Representation: opts.Representation,
+			TopK:           opts.TopK,
+			MustContain:    must,
+		}
 		var res *Result
 		var st eclat.Stats
 		if workers > 1 {
-			res, st, err = eclat.MineParallelLocal(ctx, d, minsup,
-				eclat.Options{Representation: opts.Representation, Workers: workers})
+			eopts.Workers = workers
+			res, st, err = eclat.MineParallelLocal(ctx, d, minsup, eopts)
 		} else {
-			res, st, err = eclat.MineSequentialOpts(ctx, d, minsup,
-				eclat.Options{Representation: opts.Representation})
+			res, st, err = eclat.MineSequentialOpts(ctx, d, minsup, eopts)
 		}
 		if err != nil {
 			return nil, wrapIfCtxErr(err)
@@ -604,6 +699,9 @@ func mine(ctx context.Context, d *Database, opts MineOptions, minsup int, info *
 		info.Scans = st.Scans
 		info.Parallelism = st.Workers
 		info.Steals = st.Steals
+		info.TopK = opts.TopK
+		info.MustContain = append([]int(nil), opts.MustContain...)
+		info.EffectiveMinSup = st.EffectiveMinSup
 		return res, nil
 	case AlgoApriori:
 		res, st, err := apriori.Mine(ctx, d, minsup)
@@ -683,52 +781,83 @@ func finishIndivisible(ctx context.Context, res *Result) (*Result, error) {
 // MineMaximal discovers only the maximal frequent itemsets (those with no
 // frequent superset) with the MaxEclat hybrid lookahead search. The
 // subsets of the returned sets are exactly the full frequent collection.
-// ctx provides cooperative cancellation, checked before and after the
-// search.
-func MineMaximal(ctx context.Context, d *Database, opts MineOptions) (*Result, error) {
-	return mineVariant(ctx, d, opts, "maximal", func(d *db.Database, minsup int) (*Result, eclat.MaxStats) {
-		return eclat.MineMaximalOpts(d, minsup, eclat.Options{Representation: opts.Representation})
-	})
+// ctx provides cooperative cancellation, checked between sub-classes as
+// in Mine. Parallelism selects the worker count exactly as on the Eclat
+// path (the result is byte-identical at any count); TopK and MustContain
+// are rejected (adaptive pruning is unsound against the maximal output
+// contract).
+func MineMaximal(ctx context.Context, d *Database, opts MineOptions) (*Result, *RunInfo, error) {
+	return mineVariant(ctx, d, opts, "maximal",
+		func(ctx context.Context, d *db.Database, minsup, workers int) (*Result, eclat.Stats, error) {
+			res, st, err := eclat.MineMaximalOpts(ctx, d, minsup,
+				eclat.Options{Representation: opts.Representation, Workers: workers})
+			return res, st.Stats, err
+		})
 }
 
 // MineClosed discovers the closed frequent itemsets — those with no
 // strict superset of equal support, the lossless compressed form of the
 // frequent collection. ctx provides cooperative cancellation, checked
-// before and after the search.
-func MineClosed(ctx context.Context, d *Database, opts MineOptions) (*Result, error) {
-	return mineVariant(ctx, d, opts, "closed", func(d *db.Database, minsup int) (*Result, eclat.Stats) {
-		return eclat.MineClosedOpts(d, minsup, eclat.Options{Representation: opts.Representation})
-	})
+// between sub-classes as in Mine. Parallelism and the query options
+// behave as in MineMaximal.
+func MineClosed(ctx context.Context, d *Database, opts MineOptions) (*Result, *RunInfo, error) {
+	return mineVariant(ctx, d, opts, "closed",
+		func(ctx context.Context, d *db.Database, minsup, workers int) (*Result, eclat.Stats, error) {
+			return eclat.MineClosedOpts(ctx, d, minsup,
+				eclat.Options{Representation: opts.Representation, Workers: workers})
+		})
 }
 
 // mineVariant shares the validation, tracing and metrics of the
-// maximal/closed searches (run returns algorithm-specific stats the
-// facade drops).
-func mineVariant[S any](ctx context.Context, d *Database, opts MineOptions, name string, run func(*db.Database, int) (*Result, S)) (*Result, error) {
+// maximal/closed searches.
+func mineVariant(ctx context.Context, d *Database, opts MineOptions, name string, run func(context.Context, *db.Database, int, int) (*Result, eclat.Stats, error)) (*Result, *RunInfo, error) {
 	if d == nil {
-		return nil, fmt.Errorf("repro: nil database")
+		return nil, nil, fmt.Errorf("repro: nil database")
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, wrapCanceled(err)
+		return nil, nil, wrapCanceled(err)
+	}
+	if _, err := opts.query(false); err != nil {
+		return nil, nil, err
 	}
 	minsup, err := opts.MinSup(d)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	if _, err := opts.Workers(); err != nil {
-		return nil, err
+	workers, err := opts.Workers()
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := obsv.TraceFrom(ctx)
+	if tr == nil {
+		tr = obsv.NewTrace()
+		ctx = obsv.WithTrace(ctx, tr)
 	}
 	mineRuns.Inc()
 	start := time.Now()
-	sp := obsv.TraceFrom(ctx).Start(name)
-	res, _ := run(d, minsup)
+	pre := len(tr.Spans())
+	info := &RunInfo{Algorithm: AlgoEclat, MinSup: minsup}
+	sp := tr.Start(name)
+	res, st, err := run(ctx, d, minsup, workers)
 	sp.End()
+	if err != nil {
+		mineErrors.Inc()
+		return nil, nil, wrapIfCtxErr(err)
+	}
 	if err := ctx.Err(); err != nil {
 		mineErrors.Inc()
-		return nil, wrapCanceled(err)
+		return nil, nil, wrapCanceled(err)
 	}
-	mineDuration.Observe(time.Since(start).Nanoseconds())
-	return res, nil
+	info.Scans = st.Scans
+	info.Parallelism = st.Workers
+	info.Steals = st.Steals
+	info.WallNS = time.Since(start).Nanoseconds()
+	if spans := tr.Spans(); pre <= len(spans) {
+		info.Phases = spans[pre:]
+	}
+	mineDuration.Observe(info.WallNS)
+	observePhases(info.Phases)
+	return res, info, nil
 }
 
 // Rules derives all association rules with confidence >= minConf from a

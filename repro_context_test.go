@@ -26,10 +26,10 @@ func TestMineCanceledBeforeStart(t *testing.T) {
 			t.Fatalf("%v: expected nil result and info on cancellation", algo)
 		}
 	}
-	if _, err := MineMaximal(ctx, d, MineOptions{SupportPct: 1.0}); !errors.Is(err, ErrCanceled) {
+	if _, _, err := MineMaximal(ctx, d, MineOptions{SupportPct: 1.0}); !errors.Is(err, ErrCanceled) {
 		t.Fatalf("MineMaximal: %v", err)
 	}
-	if _, err := MineClosed(ctx, d, MineOptions{SupportPct: 1.0}); !errors.Is(err, ErrCanceled) {
+	if _, _, err := MineClosed(ctx, d, MineOptions{SupportPct: 1.0}); !errors.Is(err, ErrCanceled) {
 		t.Fatalf("MineClosed: %v", err)
 	}
 	// The scan-free vertical path forwards cancellation identically.

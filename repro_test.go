@@ -171,7 +171,7 @@ func TestMineMaximalFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	maximal, err := MineMaximal(context.Background(), d, MineOptions{SupportPct: 0.5})
+	maximal, _, err := MineMaximal(context.Background(), d, MineOptions{SupportPct: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,10 +179,10 @@ func TestMineMaximalFacade(t *testing.T) {
 		t.Fatalf("maximal (%d) should be a nonempty strict reduction of full (%d)",
 			maximal.Len(), full.Len())
 	}
-	if _, err := MineMaximal(context.Background(), nil, MineOptions{}); err == nil {
+	if _, _, err := MineMaximal(context.Background(), nil, MineOptions{}); err == nil {
 		t.Fatal("nil database should error")
 	}
-	closed, err := MineClosed(context.Background(), d, MineOptions{SupportPct: 0.5})
+	closed, _, err := MineClosed(context.Background(), d, MineOptions{SupportPct: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +190,7 @@ func TestMineMaximalFacade(t *testing.T) {
 		t.Fatalf("|closed|=%d must sit between |maximal|=%d and |full|=%d",
 			closed.Len(), maximal.Len(), full.Len())
 	}
-	if _, err := MineClosed(context.Background(), nil, MineOptions{}); err == nil {
+	if _, _, err := MineClosed(context.Background(), nil, MineOptions{}); err == nil {
 		t.Fatal("nil database should error")
 	}
 }

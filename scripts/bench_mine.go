@@ -1,12 +1,13 @@
 //go:build ignore
 
 // Command bench_mine runs the end-to-end mining benchmarks
-// (BenchmarkMineParallelLocal and BenchmarkMineSequentialAlloc in
-// internal/eclat) and writes the results to BENCH_mine.json at the
-// repository root — the committed perf trajectory for the real hot path:
-// MineSequential vs MineParallelLocal at 1/2/4/8 workers, sparse vs
-// bitset representation, plus the scratch arena's allocs/op effect on the
-// sequential recursion.
+// (BenchmarkMineParallelLocal, BenchmarkMineVariants, and
+// BenchmarkMineSequentialAlloc in internal/eclat) and writes the results
+// to BENCH_mine.json at the repository root — the committed perf
+// trajectory for the real hot path: MineSequential vs MineParallelLocal
+// at 1/2/4/8 workers, sparse vs bitset representation, the class-task
+// engine's maximal/closed scaling at 1/2/4 workers plus a top-k row, and
+// the scratch arena's allocs/op effect on the sequential recursion.
 //
 // The snapshot records NumCPU and GOMAXPROCS of the machine that
 // produced it: speedup columns are only meaningful relative to the
@@ -52,6 +53,19 @@ type MineResult struct {
 	AllocsPerOp float64 `json:"allocsPerOp"`
 }
 
+// VariantResult is one BenchmarkMineVariants line: a non-all-frequent
+// engine policy (maximal, closed, topk100) at a given worker count —
+// the multicore the class-task engine opened for the variant miners.
+type VariantResult struct {
+	Variant string  `json:"variant"`
+	Workers int     `json:"workers"`
+	NsPerOp float64 `json:"nsPerOp"`
+	// Speedup is the same variant's workers=1 NsPerOp over this one.
+	Speedup     float64 `json:"speedup"`
+	BytesPerOp  float64 `json:"bytesPerOp"`
+	AllocsPerOp float64 `json:"allocsPerOp"`
+}
+
 // AllocResult is one BenchmarkMineSequentialAlloc line: the sequential
 // miner with the scratch arena disabled vs enabled.
 type AllocResult struct {
@@ -73,15 +87,19 @@ type Snapshot struct {
 	Dataset    string `json:"dataset"`
 	SupportPct string `json:"supportPct"`
 	Benchtime  string `json:"benchtime"`
-	// Mine is the sequential-vs-parallel grid; SequentialAlloc the
-	// arena ablation on the sequential path.
-	Mine            []MineResult  `json:"mine"`
-	SequentialAlloc []AllocResult `json:"sequentialAlloc"`
+	// Mine is the sequential-vs-parallel grid; Variants the engine's
+	// maximal/closed/top-k scaling rows; SequentialAlloc the arena
+	// ablation on the sequential path.
+	Mine            []MineResult    `json:"mine"`
+	Variants        []VariantResult `json:"variants"`
+	SequentialAlloc []AllocResult   `json:"sequentialAlloc"`
 }
 
 var (
 	mineLine = regexp.MustCompile(
 		`^BenchmarkMineParallelLocal/repr=([a-z]+)/workers=(seq|\d+)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+	variantLine = regexp.MustCompile(
+		`^BenchmarkMineVariants/variant=([a-z0-9]+)/workers=(\d+)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
 	allocLine = regexp.MustCompile(
 		`^BenchmarkMineSequentialAlloc/arena=(on|off)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
 )
@@ -93,7 +111,7 @@ func main() {
 	flag.Parse()
 
 	cmd := exec.Command("go", "test", "./internal/eclat",
-		"-run", "^$", "-bench", "^BenchmarkMine(ParallelLocal|SequentialAlloc)$",
+		"-run", "^$", "-bench", "^BenchmarkMine(ParallelLocal|Variants|SequentialAlloc)$",
 		"-benchtime", *benchtime, "-count", strconv.Itoa(*count))
 	cmd.Stderr = os.Stderr
 	raw, err := cmd.Output()
@@ -103,6 +121,7 @@ func main() {
 	}
 
 	bestMine := map[[2]string]MineResult{}
+	bestVariant := map[[2]string]VariantResult{}
 	bestAlloc := map[string]AllocResult{}
 	sc := bufio.NewScanner(bytes.NewReader(raw))
 	for sc.Scan() {
@@ -124,6 +143,20 @@ func main() {
 			}
 			continue
 		}
+		if m := variantLine.FindStringSubmatch(line); m != nil {
+			ns, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				continue
+			}
+			workers, _ := strconv.Atoi(m[2])
+			r := VariantResult{Variant: m[1], Workers: workers, NsPerOp: ns}
+			r.BytesPerOp, r.AllocsPerOp = parseMem(m[4])
+			key := [2]string{r.Variant, m[2]}
+			if prev, ok := bestVariant[key]; !ok || r.NsPerOp < prev.NsPerOp {
+				bestVariant[key] = r
+			}
+			continue
+		}
 		if m := allocLine.FindStringSubmatch(line); m != nil {
 			ns, err := strconv.ParseFloat(m[2], 64)
 			if err != nil {
@@ -136,7 +169,7 @@ func main() {
 			}
 		}
 	}
-	if len(bestMine) == 0 || len(bestAlloc) == 0 {
+	if len(bestMine) == 0 || len(bestVariant) == 0 || len(bestAlloc) == 0 {
 		fmt.Fprintln(os.Stderr, "bench_mine: no benchmark lines parsed")
 		os.Exit(1)
 	}
@@ -172,6 +205,26 @@ func main() {
 		}
 		return a.Workers < b.Workers
 	})
+	// Variant speedups are relative to the same variant's workers=1 row.
+	variantBase := map[string]float64{}
+	for key, r := range bestVariant {
+		if r.Workers == 1 {
+			variantBase[key[0]] = r.NsPerOp
+		}
+	}
+	for _, r := range bestVariant {
+		if base := variantBase[r.Variant]; base > 0 && r.NsPerOp > 0 {
+			r.Speedup = base / r.NsPerOp
+		}
+		snap.Variants = append(snap.Variants, r)
+	}
+	sort.Slice(snap.Variants, func(i, j int) bool {
+		a, b := snap.Variants[i], snap.Variants[j]
+		if a.Variant != b.Variant {
+			return a.Variant < b.Variant
+		}
+		return a.Workers < b.Workers
+	})
 	for _, arena := range []string{"off", "on"} {
 		snap.SequentialAlloc = append(snap.SequentialAlloc, bestAlloc[arena])
 	}
@@ -186,7 +239,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench_mine:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s (%d mine results, %d alloc results)\n", *out, len(snap.Mine), len(snap.SequentialAlloc))
+	fmt.Printf("wrote %s (%d mine, %d variant, %d alloc results)\n",
+		*out, len(snap.Mine), len(snap.Variants), len(snap.SequentialAlloc))
 }
 
 // parseMem extracts "N B/op" and "M allocs/op" from the tail of a

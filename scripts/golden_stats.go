@@ -1,0 +1,225 @@
+//go:build ignore
+
+// Command golden_stats regenerates internal/eclat/testdata/golden_stats.json,
+// the frozen work-counter profile of the class-task engine on the seed
+// datasets. The committed file was captured from the pre-engine variants
+// (PR 7 tree) and the equivalence suite asserts the engine reproduces it
+// exactly at every representation and worker count — regenerate only when
+// a counter change is intentional and understood, never to paper over a
+// divergence.
+//
+// Usage (from the repository root):
+//
+//	go run scripts/golden_stats.go [-o internal/eclat/testdata/golden_stats.json]
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/db"
+	"repro/internal/eclat"
+	"repro/internal/gen"
+	"repro/internal/mining"
+	"repro/internal/tidlist"
+)
+
+// KernelGold mirrors the exported accessors of tidlist.KernelStats.
+type KernelGold struct {
+	SparseOps      int64 `json:"sparseOps"`
+	WordsTouched   int64 `json:"wordsTouched"`
+	RoaringElemOps int64 `json:"roaringElemOps"`
+	RoaringWords   int64 `json:"roaringWords"`
+	Conversions    int64 `json:"conversions"`
+}
+
+// StatsGold freezes the work counters of one all-frequent run.
+type StatsGold struct {
+	Scans          int        `json:"scans"`
+	Intersections  int64      `json:"intersections"`
+	ShortCircuited int64      `json:"shortCircuited"`
+	IntersectOps   int64      `json:"intersectOps"`
+	Classes        int        `json:"classes"`
+	DiffsetClasses int64      `json:"diffsetClasses"`
+	Kernel         KernelGold `json:"kernel"`
+}
+
+// MaxGold freezes the counters of one maximal (MaxEclat) run.
+type MaxGold struct {
+	StatsGold
+	Lookaheads    int64 `json:"lookaheads"`
+	LookaheadHits int64 `json:"lookaheadHits"`
+	Candidates    int   `json:"candidates"`
+}
+
+// DiffGold freezes the counters of one pure-diffset run.
+type DiffGold struct {
+	Scans         int        `json:"scans"`
+	Intersections int64      `json:"intersections"`
+	DiffOps       int64      `json:"diffOps"`
+	ListBytes     int64      `json:"listBytes"`
+	Kernel        KernelGold `json:"kernel"`
+}
+
+// Entry is the golden record of one (dataset, minsup, representation)
+// cell across the three stat-bearing variants, plus an output
+// fingerprint per mining variant (FNV-64a over the canonical sorted
+// itemset/support stream — byte-identity across the refactor is asserted
+// against these, not just against a same-binary re-run). Cluster
+// fingerprints are taken on a 2×2 simulated cluster.
+type Entry struct {
+	Dataset      string            `json:"dataset"`
+	MinSup       int               `json:"minsup"`
+	Repr         string            `json:"repr"`
+	Stats        StatsGold         `json:"stats"`
+	Max          MaxGold           `json:"max"`
+	Diff         DiffGold          `json:"diff"`
+	Fingerprints map[string]uint64 `json:"fingerprints"`
+}
+
+// fingerprint hashes a canonical (sorted) result stream.
+func fingerprint(res *mining.Result) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	put(int64(res.MinSup))
+	put(int64(res.NumTransactions))
+	for _, f := range res.Itemsets {
+		put(int64(f.Set.K()))
+		for _, it := range f.Set {
+			put(int64(it))
+		}
+		put(int64(f.Support))
+	}
+	return h.Sum64()
+}
+
+func kernelGold(k *tidlist.KernelStats) KernelGold {
+	return KernelGold{
+		SparseOps:      k.SparseOps(),
+		WordsTouched:   k.WordsTouched(),
+		RoaringElemOps: k.RoaringElemOps(),
+		RoaringWords:   k.RoaringWords(),
+		Conversions:    k.Conversions(),
+	}
+}
+
+func main() {
+	out := flag.String("o", "internal/eclat/testdata/golden_stats.json", "output path")
+	flag.Parse()
+
+	type ds struct {
+		name   string
+		d      *db.Database
+		minsup int
+	}
+	t10 := gen.MustGenerate(gen.T10I6(2000))
+	t5 := gen.MustGenerate(gen.T5I2(800))
+	datasets := []ds{
+		{"T10I6-2000", t10, t10.MinSupCount(0.6)},
+		{"T5I2-800", t5, t5.MinSupCount(1.0)},
+	}
+	reprs := []tidlist.Repr{tidlist.ReprAuto, tidlist.ReprSparse, tidlist.ReprBitset, tidlist.ReprRoaring}
+
+	var entries []Entry
+	for _, d := range datasets {
+		for _, repr := range reprs {
+			opts := eclat.Options{Representation: repr}
+			e := Entry{Dataset: d.name, MinSup: d.minsup, Repr: repr.String(), Fingerprints: map[string]uint64{}}
+
+			seqRes, st, err := eclat.MineSequentialOpts(context.Background(), d.d, d.minsup, opts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			e.Fingerprints["all"] = fingerprint(seqRes)
+			e.Stats = StatsGold{
+				Scans:          st.Scans,
+				Intersections:  st.Intersections,
+				ShortCircuited: st.ShortCircuited,
+				IntersectOps:   st.IntersectOps,
+				Classes:        st.Classes,
+				DiffsetClasses: st.DiffsetClasses,
+				Kernel:         kernelGold(&st.Kernel),
+			}
+
+			maxRes, mst, err := eclat.MineMaximalOpts(context.Background(), d.d, d.minsup, opts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			e.Fingerprints["maximal"] = fingerprint(maxRes)
+			e.Max = MaxGold{
+				StatsGold: StatsGold{
+					Scans:          mst.Scans,
+					Intersections:  mst.Intersections,
+					ShortCircuited: mst.ShortCircuited,
+					IntersectOps:   mst.IntersectOps,
+					Classes:        mst.Classes,
+					DiffsetClasses: mst.DiffsetClasses,
+					Kernel:         kernelGold(&mst.Kernel),
+				},
+				Lookaheads:    mst.Lookaheads,
+				LookaheadHits: mst.LookaheadHits,
+				Candidates:    mst.Candidates,
+			}
+
+			diffRes, dst, err := eclat.MineSequentialDiffsetsOpts(context.Background(), d.d, d.minsup, opts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			e.Diff = DiffGold{
+				Scans:         dst.Scans,
+				Intersections: dst.Intersections,
+				DiffOps:       dst.DiffOps,
+				ListBytes:     dst.ListBytes,
+				Kernel:        kernelGold(&dst.Kernel),
+			}
+			e.Fingerprints["diffsets"] = fingerprint(diffRes)
+
+			closedRes, _, err := eclat.MineClosedOpts(context.Background(), d.d, d.minsup, opts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			e.Fingerprints["closed"] = fingerprint(closedRes)
+			charmRes, _, err := eclat.MineClosedCHARMOpts(context.Background(), d.d, d.minsup, opts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			e.Fingerprints["charm"] = fingerprint(charmRes)
+
+			clRes, _ := eclat.MineOpts(cluster.New(cluster.Default(2, 2)), d.d, d.minsup, opts)
+			e.Fingerprints["cluster"] = fingerprint(clRes)
+			hyRes, _ := eclat.MineHybridOpts(cluster.New(cluster.Default(2, 2)), d.d, d.minsup, opts)
+			e.Fingerprints["hybrid"] = fingerprint(hyRes)
+			mpRes, _ := eclat.MineMaximalParallelOpts(cluster.New(cluster.Default(2, 2)), d.d, d.minsup, opts)
+			e.Fingerprints["maximalCluster"] = fingerprint(mpRes)
+
+			entries = append(entries, e)
+		}
+	}
+
+	buf, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d entries to %s\n", len(entries), *out)
+}
