@@ -153,6 +153,92 @@ func TestVetCfgUnitFindings(t *testing.T) {
 	}
 }
 
+// TestVetCfgAllChecks drives the vet unit protocol over two hand-written
+// package units whose seeded violations cover every analyzer of the
+// suite — the proof that `go vet -vettool` runs all 10 checks, not just
+// the ones that happen to fire on ordinary code.
+func TestVetCfgAllChecks(t *testing.T) {
+	eclatSrc := `package eclat
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obsv"
+	"repro/internal/store"
+	"repro/internal/tidlist"
+)
+
+var _ = obsv.Default.Counter("inline_metric_total", "seeded violation")
+
+type heap struct {
+	mu  sync.Mutex
+	eff atomic.Int64
+}
+
+type arena struct{ pos int }
+
+type arenaMark struct{ pos int }
+
+func (a *arena) mark() arenaMark { return arenaMark{a.pos} }
+
+func (h *heap) seedAll(err error, n int, ctx context.Context, ds *store.Dataset, ar *arena, a, b tidlist.Set, ks *tidlist.KernelStats) bool {
+	h.mu.Lock()
+	h.mu.Lock()
+	_ = int64(h.eff)
+	ar.mark()
+	go func() { _ = n }()
+	sets := ds.Sets(nil)
+	tidlist.IntersectSets(sets[0], a, b, ks)
+	tidlist.IntersectSetsSC(nil, a, b, 10, ks)
+	h.mu.Unlock()
+	h.mu.Unlock()
+	return err == context.Canceled
+}
+`
+	clusterSrc := `package cluster
+
+import "time"
+
+func now() int64 { return time.Now().UnixNano() }
+`
+	units := []struct {
+		name, importPath, src string
+	}{
+		{"eclat", "repro/internal/eclat", eclatSrc},
+		{"cluster", "repro/internal/cluster", clusterSrc},
+	}
+	tagged := map[string]bool{}
+	for _, u := range units {
+		dir := t.TempDir()
+		src := filepath.Join(dir, u.name+".go")
+		if err := os.WriteFile(src, []byte(u.src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cfg := filepath.Join(dir, u.name+".cfg")
+		blob := fmt.Sprintf(`{"ID":%q,"Dir":%q,"ImportPath":%q,"GoFiles":[%q],"VetxOnly":false,"VetxOutput":""}`,
+			u.name, dir, u.importPath, src)
+		if err := os.WriteFile(cfg, []byte(blob), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rc, _, errb := runLint(t, cfg)
+		if rc != 1 {
+			t.Fatalf("vet unit %s: code=%d (want 1)\nstderr:\n%s", u.name, rc, errb)
+		}
+		for _, a := range analyzers.All() {
+			if strings.Contains(errb, "["+a.Name+"]") {
+				tagged[a.Name] = true
+			}
+		}
+	}
+	for _, a := range analyzers.All() {
+		if !tagged[a.Name] {
+			t.Errorf("vet units produced no [%s] diagnostic; the -vettool path does not cover it", a.Name)
+		}
+	}
+}
+
 // TestVetCfgVetxOnly checks the facts-only probe writes facts and exits 0
 // without analyzing anything.
 func TestVetCfgVetxOnly(t *testing.T) {

@@ -1,0 +1,37 @@
+package eclat
+
+// arena / arenaMark mirror the production scratch arena of
+// internal/eclat/arena.go: release truncates back to the mark, and the
+// recursion brackets every level with mark/release.
+type arenaMark struct {
+	chunk, off int
+}
+
+type arena struct {
+	chunk, off int
+}
+
+func (a *arena) mark() arenaMark     { return arenaMark{a.chunk, a.off} }
+func (a *arena) release(m arenaMark) { a.chunk, a.off = m.chunk, m.off }
+
+type member struct {
+	item int
+}
+
+func emitMember(member) {}
+
+// computeFrequent seeds arenadiscipline: the production release at the
+// bottom of the loop body is skipped by the empty-class continue, so
+// the arena keeps every skipped class's scratch until the run ends.
+func computeFrequent(ar *arena, classes [][]member) {
+	for _, cls := range classes {
+		m := ar.mark()
+		if len(cls) == 0 {
+			continue
+		}
+		for _, mem := range cls {
+			emitMember(mem)
+		}
+		ar.release(m)
+	}
+}

@@ -1,0 +1,41 @@
+package eclat
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// supportHeap mirrors the production top-k heap of
+// internal/eclat/engine.go: eff is the effective threshold, readable
+// without the lock on the hot path — which is exactly why every access
+// must stay atomic.
+type supportHeap struct {
+	hmu    sync.Mutex
+	k      int
+	h      []int
+	eff    atomic.Int64
+	raises atomic.Int64
+}
+
+// offer is the correct production shape: Load on the fast path,
+// Store/Add under the mutex.
+func (sh *supportHeap) offer(sup int) {
+	if eff := sh.eff.Load(); eff > 0 && int64(sup) <= eff {
+		return
+	}
+	sh.hmu.Lock()
+	defer sh.hmu.Unlock()
+	if len(sh.h) < sh.k {
+		sh.h = append(sh.h, sup)
+		if len(sh.h) == sh.k {
+			sh.eff.Store(int64(sh.h[0]))
+			sh.raises.Add(1)
+		}
+	}
+}
+
+// threshold seeds atomiconly: the effective threshold read plainly,
+// racing every concurrent Store in offer.
+func (sh *supportHeap) threshold() int64 {
+	return int64(sh.eff)
+}

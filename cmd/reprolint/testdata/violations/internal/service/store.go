@@ -1,0 +1,21 @@
+// Package service is the seeded-violation copy of the store-backed
+// mining path: a dataset view handed to a kernel in scratch position.
+package service
+
+import (
+	"repro/internal/store"
+	"repro/internal/tidlist"
+)
+
+// mineStored seeds mmapalias: the first kernel argument is the reusable
+// scratch slot the kernel writes through, and sets[0] is a view over
+// the shared (possibly read-only) mapping.
+func mineStored(dir string, ks *tidlist.KernelStats) error {
+	ds, err := store.OpenDataset(dir)
+	if err != nil {
+		return err
+	}
+	sets := ds.Sets(nil)
+	tidlist.IntersectSets(sets[0], sets[1], sets[2], ks)
+	return nil
+}

@@ -1,0 +1,354 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// This file implements the small intra-function control-flow layer
+// shared by the flow-sensitive analyzers (lockorder, arenadiscipline,
+// goroutinejoin). It is deliberately statement-grained: each statement
+// of a function body becomes one node, nested blocks are inlined, and
+// function literals are opaque (their bodies are separate CFGs built by
+// whoever cares). That is precise enough to answer the two questions
+// the analyzers ask — "is B reachable from A without passing through a
+// kill set?" and "does some path from A reach the function exit without
+// passing through a kill set?" — without dragging in SSA.
+
+// A cfgNode is one statement (or the synthetic entry/exit) of a
+// function-body CFG.
+type cfgNode struct {
+	stmt  ast.Stmt // nil for the synthetic entry and exit nodes
+	succs []*cfgNode
+}
+
+// A funcCFG is the statement-level control-flow graph of one function
+// body.
+type funcCFG struct {
+	entry *cfgNode
+	exit  *cfgNode
+	nodes map[ast.Stmt]*cfgNode
+}
+
+// node returns the CFG node for stmt, or nil when the statement was
+// not part of the body the graph was built from (e.g. it lives inside
+// a nested function literal).
+func (g *funcCFG) node(stmt ast.Stmt) *cfgNode {
+	return g.nodes[stmt]
+}
+
+// canReach walks forward from the successors of `from` and reports
+// whether any node satisfying target is reachable without first passing
+// through a node satisfying kill. Kill is tested before target, so a
+// node matching both stops the walk. `from` itself is re-examined only
+// if a cycle leads back to it.
+func (g *funcCFG) canReach(from *cfgNode, target, kill func(*cfgNode) bool) bool {
+	seen := make(map[*cfgNode]bool)
+	stack := append([]*cfgNode(nil), from.succs...)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		if kill != nil && kill(n) {
+			continue
+		}
+		if target(n) {
+			return true
+		}
+		stack = append(stack, n.succs...)
+	}
+	return false
+}
+
+// escapesExit reports whether the function exit is reachable from
+// `from` without passing through a kill node — i.e. the kill set does
+// NOT post-dominate `from`.
+func (g *funcCFG) escapesExit(from *cfgNode, kill func(*cfgNode) bool) bool {
+	return g.canReach(from, func(n *cfgNode) bool { return n == g.exit }, kill)
+}
+
+// labelTarget records where a labeled break/continue lands.
+type labelTarget struct {
+	brk, cont *cfgNode
+}
+
+// cfgBuilder carries the shared state of one buildCFG run.
+type cfgBuilder struct {
+	g *funcCFG
+	// fallthroughTo is the entry of the next case clause while building
+	// a switch body (cases are wired back to front).
+	fallthroughTo *cfgNode
+}
+
+// buildCFG constructs the CFG of one function body. Control enters at
+// entry and every return/fall-off-the-end path leads to exit. Branch
+// statements honour labels; goto is modeled conservatively as a jump to
+// exit (the repo style never uses it, and over-approximating its target
+// would manufacture paths that hide real findings).
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	g := &funcCFG{
+		entry: &cfgNode{},
+		exit:  &cfgNode{},
+		nodes: make(map[ast.Stmt]*cfgNode),
+	}
+	b := &cfgBuilder{g: g}
+	first := b.stmtList(body.List, g.exit, nil, nil, nil)
+	g.entry.succs = append(g.entry.succs, first)
+	return g
+}
+
+// newNode allocates and registers the node for stmt.
+func (b *cfgBuilder) newNode(stmt ast.Stmt) *cfgNode {
+	n := &cfgNode{stmt: stmt}
+	b.g.nodes[stmt] = n
+	return n
+}
+
+// stmtList wires stmts in sequence; control that falls off the end
+// continues to succ. Returns the entry node of the list (succ when the
+// list is empty).
+func (b *cfgBuilder) stmtList(stmts []ast.Stmt, succ, brk, cont *cfgNode, labels map[string]labelTarget) *cfgNode {
+	entry := succ
+	for i := len(stmts) - 1; i >= 0; i-- {
+		entry = b.stmt(stmts[i], entry, brk, cont, labels, "")
+	}
+	return entry
+}
+
+// stmt wires one statement and returns its entry node. succ is where
+// control goes when the statement completes normally; brk/cont are the
+// targets of an unlabeled break/continue; label is the pending label
+// when the statement is the body of a LabeledStmt.
+func (b *cfgBuilder) stmt(s ast.Stmt, succ, brk, cont *cfgNode, labels map[string]labelTarget, label string) *cfgNode {
+	switch s := s.(type) {
+	case *ast.LabeledStmt:
+		return b.stmt(s.Stmt, succ, brk, cont, labels, s.Label.Name)
+
+	case *ast.BlockStmt:
+		return b.stmtList(s.List, succ, brk, cont, labels)
+
+	case *ast.IfStmt:
+		n := b.newNode(s) // init + cond evaluate here
+		then := b.stmtList(s.Body.List, succ, brk, cont, labels)
+		els := succ
+		if s.Else != nil {
+			els = b.stmt(s.Else, succ, brk, cont, labels, "")
+		}
+		n.succs = append(n.succs, then, els)
+		return n
+
+	case *ast.ForStmt:
+		n := b.newNode(s) // init/cond/post collapse into the loop head
+		labels = withLabel(labels, label, succ, n)
+		bodyEntry := b.stmtList(s.Body.List, n, succ, n, labels)
+		n.succs = append(n.succs, bodyEntry)
+		if s.Cond != nil {
+			n.succs = append(n.succs, succ)
+		}
+		return n
+
+	case *ast.RangeStmt:
+		n := b.newNode(s)
+		labels = withLabel(labels, label, succ, n)
+		bodyEntry := b.stmtList(s.Body.List, n, succ, n, labels)
+		n.succs = append(n.succs, bodyEntry, succ)
+		return n
+
+	case *ast.SwitchStmt:
+		return b.switchStmt(s, s.Body, succ, cont, labels, label)
+
+	case *ast.TypeSwitchStmt:
+		return b.switchStmt(s, s.Body, succ, cont, labels, label)
+
+	case *ast.SelectStmt:
+		n := b.newNode(s)
+		labels = withLabel(labels, label, succ, nil)
+		for _, clause := range s.Body.List {
+			cc, ok := clause.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			n.succs = append(n.succs, b.stmtList(cc.Body, succ, succ, cont, labels))
+		}
+		// select{} blocks forever: no successors at all.
+		return n
+
+	case *ast.ReturnStmt:
+		n := b.newNode(s)
+		n.succs = append(n.succs, b.g.exit)
+		return n
+
+	case *ast.BranchStmt:
+		n := b.newNode(s)
+		switch s.Tok {
+		case token.BREAK:
+			t := brk
+			if s.Label != nil {
+				if lt, ok := labels[s.Label.Name]; ok {
+					t = lt.brk
+				}
+			}
+			if t == nil {
+				t = b.g.exit
+			}
+			n.succs = append(n.succs, t)
+		case token.CONTINUE:
+			t := cont
+			if s.Label != nil {
+				if lt, ok := labels[s.Label.Name]; ok && lt.cont != nil {
+					t = lt.cont
+				}
+			}
+			if t == nil {
+				t = b.g.exit
+			}
+			n.succs = append(n.succs, t)
+		case token.FALLTHROUGH:
+			t := b.fallthroughTo
+			if t == nil {
+				t = succ
+			}
+			n.succs = append(n.succs, t)
+		default: // goto: conservative jump to exit
+			n.succs = append(n.succs, b.g.exit)
+		}
+		return n
+
+	default:
+		// Straight-line statements: expressions, assignments,
+		// declarations, defer, go, send, inc/dec, empty.
+		n := b.newNode(s)
+		n.succs = append(n.succs, succ)
+		return n
+	}
+}
+
+// switchStmt wires an (expression or type) switch. Cases are built back
+// to front so each body knows the next case's entry as its fallthrough
+// target.
+func (b *cfgBuilder) switchStmt(s ast.Stmt, body *ast.BlockStmt, succ, cont *cfgNode, labels map[string]labelTarget, label string) *cfgNode {
+	n := b.newNode(s)
+	labels = withLabel(labels, label, succ, nil)
+	hasDefault := false
+	savedFallthrough := b.fallthroughTo
+	next := (*cfgNode)(nil)
+	entries := make([]*cfgNode, 0, len(body.List))
+	for i := len(body.List) - 1; i >= 0; i-- {
+		cc, ok := body.List[i].(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.fallthroughTo = next
+		entry := b.stmtList(cc.Body, succ, succ, cont, labels)
+		entries = append(entries, entry)
+		next = entry
+	}
+	b.fallthroughTo = savedFallthrough
+	n.succs = append(n.succs, entries...)
+	if !hasDefault {
+		n.succs = append(n.succs, succ)
+	}
+	return n
+}
+
+// withLabel extends the label table with a pending label, copying on
+// write so sibling statements do not see each other's labels.
+func withLabel(labels map[string]labelTarget, label string, brk, cont *cfgNode) map[string]labelTarget {
+	if label == "" {
+		return labels
+	}
+	out := make(map[string]labelTarget, len(labels)+1)
+	for k, v := range labels {
+		out[k] = v
+	}
+	out[label] = labelTarget{brk: brk, cont: cont}
+	return out
+}
+
+// funcStmts visits every statement of body in source order without
+// descending into nested function literals — the statement set that
+// buildCFG assigns nodes to.
+func funcStmts(body *ast.BlockStmt, visit func(ast.Stmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if s, ok := n.(ast.Stmt); ok && n != ast.Node(body) {
+			visit(s)
+		}
+		return true
+	})
+}
+
+// eachFuncBody visits every function body of the file — declarations
+// and literals, nested literals included — handing each one its
+// receiver declaration (nil for literals and plain functions) and a
+// printable name for diagnostics. Each body is one visit; per-body
+// walks should use funcStmts, which stops at nested literals, so no
+// statement is analyzed under two bodies.
+func eachFuncBody(f *File, visit func(name string, recv *ast.FieldList, body *ast.BlockStmt)) {
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				visit(fn.Name.Name, fn.Recv, fn.Body)
+			}
+		case *ast.FuncLit:
+			visit("func literal", nil, fn.Body)
+		}
+		return true
+	})
+}
+
+// selectorChain renders the receiver chain of an expression the flow
+// analyzers model: identifiers, field selections, and index expressions
+// with identifier or literal indices ("q.mu", "deques[victim].mu").
+// Anything else — calls, type assertions, arbitrary index expressions —
+// returns "" and the caller skips the site.
+func selectorChain(expr ast.Expr) string {
+	switch x := expr.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := selectorChain(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		base := selectorChain(x.X)
+		if base == "" {
+			return ""
+		}
+		switch idx := x.Index.(type) {
+		case *ast.Ident:
+			return fmt.Sprintf("%s[%s]", base, idx.Name)
+		case *ast.BasicLit:
+			return fmt.Sprintf("%s[%s]", base, idx.Value)
+		}
+		return ""
+	case *ast.ParenExpr:
+		return selectorChain(x.X)
+	case *ast.StarExpr:
+		return selectorChain(x.X)
+	}
+	return ""
+}
+
+// chainLastComponent returns the final field of a selector chain
+// ("q.mu" -> "mu", "wg" -> "wg").
+func chainLastComponent(chain string) string {
+	for i := len(chain) - 1; i >= 0; i-- {
+		if chain[i] == '.' {
+			return chain[i+1:]
+		}
+	}
+	return chain
+}

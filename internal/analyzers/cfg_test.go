@@ -1,0 +1,155 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestCFGReachability(t *testing.T) {
+	src := `
+	a() // A
+	if cond {
+		b() // B
+		return
+	}
+	c() // C
+`
+	file := "package p\nfunc f() {\n" + src + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test.go", file, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	body := f.Decls[0].(*ast.FuncDecl).Body
+	g := buildCFG(body)
+
+	byMarker := func(marker string) *cfgNode {
+		var found *cfgNode
+		funcStmts(body, func(s ast.Stmt) {
+			if found != nil {
+				return
+			}
+			n := g.node(s)
+			if n == nil {
+				return
+			}
+			end := fset.Position(s.End())
+			lineText := strings.Split(file, "\n")[end.Line-1]
+			if strings.Contains(lineText, marker) {
+				found = n
+			}
+		})
+		if found == nil {
+			t.Fatalf("no node for marker %s", marker)
+		}
+		return found
+	}
+
+	nodeA, nodeB, nodeC := byMarker("// A"), byMarker("// B"), byMarker("// C")
+
+	is := func(want *cfgNode) func(*cfgNode) bool {
+		return func(n *cfgNode) bool { return n == want }
+	}
+	never := func(*cfgNode) bool { return false }
+
+	if !g.canReach(nodeA, is(nodeB), never) {
+		t.Error("B should be reachable from A")
+	}
+	if !g.canReach(nodeA, is(nodeC), never) {
+		t.Error("C should be reachable from A (else branch)")
+	}
+	if g.canReach(nodeB, is(nodeC), never) {
+		t.Error("C must not be reachable from B: the branch returns")
+	}
+	// Killing at C still leaves the return path to exit from A.
+	if !g.escapesExit(nodeA, is(nodeC)) {
+		t.Error("exit should be reachable from A without passing C (via return)")
+	}
+	// Killing at both B and C blocks every path from A... except the
+	// if-condition itself falls through to C only; B kills the then
+	// path, C the else path.
+	kill := func(n *cfgNode) bool { return n == nodeB || n == nodeC }
+	if g.escapesExit(nodeA, kill) {
+		t.Error("exit must not be reachable from A when both branch statements kill")
+	}
+}
+
+func TestCFGLoopBackEdge(t *testing.T) {
+	src := "package p\nfunc f(n int) {\n\tfor i := 0; i < n; i++ {\n\t\twork() // W\n\t}\n\ttail() // T\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	body := f.Decls[0].(*ast.FuncDecl).Body
+	g := buildCFG(body)
+
+	var work, tail *cfgNode
+	funcStmts(body, func(s ast.Stmt) {
+		n := g.node(s)
+		if n == nil {
+			return
+		}
+		line := strings.Split(src, "\n")[fset.Position(s.End()).Line-1]
+		if strings.Contains(line, "// W") {
+			work = n
+		}
+		if strings.Contains(line, "// T") {
+			tail = n
+		}
+	})
+	if work == nil || tail == nil {
+		t.Fatal("markers not found")
+	}
+	never := func(*cfgNode) bool { return false }
+	// The back edge makes the loop body reachable from itself.
+	if !g.canReach(work, func(n *cfgNode) bool { return n == work }, never) {
+		t.Error("loop body should reach itself via the back edge")
+	}
+	if !g.canReach(work, func(n *cfgNode) bool { return n == tail }, never) {
+		t.Error("loop exit should reach the tail")
+	}
+	// An infinite loop has no exit edge from the head.
+	src2 := "package p\nfunc f() {\n\tfor {\n\t\twork()\n\t}\n\ttail()\n}\n"
+	f2, err := parser.ParseFile(token.NewFileSet(), "cfg_test.go", src2, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	body2 := f2.Decls[0].(*ast.FuncDecl).Body
+	g2 := buildCFG(body2)
+	if g2.escapesExit(g2.entry, never) {
+		t.Error("exit must be unreachable past an infinite loop with no break")
+	}
+}
+
+func TestSelectorChain(t *testing.T) {
+	cases := []struct {
+		expr string
+		want string
+	}{
+		{"q.mu", "q.mu"},
+		{"deques[victim].mu", "deques[victim].mu"},
+		{"deques[0].mu", "deques[0].mu"},
+		{"(*p).mu", "p.mu"},
+		{"f().mu", ""},
+		{"m[k()].mu", ""},
+	}
+	for _, c := range cases {
+		expr, err := parser.ParseExpr(c.expr)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.expr, err)
+		}
+		if got := selectorChain(expr); got != c.want {
+			t.Errorf("selectorChain(%q) = %q, want %q", c.expr, got, c.want)
+		}
+	}
+	if got := chainLastComponent("q.mu"); got != "mu" {
+		t.Errorf("chainLastComponent(q.mu) = %q", got)
+	}
+	if got := chainLastComponent("wg"); got != "wg" {
+		t.Errorf("chainLastComponent(wg) = %q", got)
+	}
+}

@@ -168,6 +168,36 @@ func TestSentErrGolden(t *testing.T) {
 	testAnalyzer(t, SentErr, "senterr", "repro/internal/service", "repro")
 }
 
+func TestLockOrderGolden(t *testing.T) {
+	testAnalyzer(t, LockOrder, "lockorder", "repro/internal/eclat", "repro")
+}
+
+func TestAtomicOnlyGolden(t *testing.T) {
+	testAnalyzer(t, AtomicOnly, "atomiconly", "repro/internal/eclat", "repro")
+}
+
+func TestArenaDisciplineGolden(t *testing.T) {
+	testAnalyzer(t, ArenaDiscipline, "arenadiscipline", "repro/internal/eclat", "repro")
+}
+
+func TestMmapAliasGolden(t *testing.T) {
+	testAnalyzer(t, MmapAlias, "mmapalias", "repro/internal/service", "repro")
+}
+
+func TestGoroutineJoinGolden(t *testing.T) {
+	testAnalyzer(t, GoroutineJoin, "goroutinejoin", "repro/internal/service", "repro")
+}
+
+// TestGoroutineJoinElsewhere checks the join rule stays scoped to the
+// three hot packages: the same fixture under an unlisted import path
+// must produce zero diagnostics.
+func TestGoroutineJoinElsewhere(t *testing.T) {
+	m := loadFixture(t, "goroutinejoin", "repro/internal/rules", "repro")
+	if diags := Run(m, []*Analyzer{GoroutineJoin}); len(diags) != 0 {
+		t.Errorf("goroutinejoin fired outside its packages: %v", diags)
+	}
+}
+
 // TestSuppressGolden exercises the //reprolint:ignore path end to end:
 // valid directives silence their line (or the line below), everything
 // else still reports.

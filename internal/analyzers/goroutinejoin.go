@@ -1,0 +1,241 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// goroutinePkgs are the packages whose goroutines must be joined: the
+// mining engine, the service layer, and the store. (The simulated
+// cluster schedules its own virtual workers and is exempt.)
+var goroutinePkgs = map[string]bool{
+	"repro/internal/eclat":   true,
+	"repro/internal/service": true,
+	"repro/internal/store":   true,
+}
+
+// GoroutineJoin enforces the no-leaked-goroutines rule of the hot
+// packages: every `go` statement must come with join evidence visible
+// in the function — a sync.WaitGroup Add/Wait in the spawning function
+// or Done in the spawned body, a channel the spawned body signals and
+// the function receives from, or the spawned body selecting on
+// ctx.Done(). The paper's asynchronous phase ends with a barrier; a
+// goroutine nothing waits for is either a leak or a write racing the
+// result collection.
+//
+// Like the rest of the suite this is syntactic evidence-checking, not a
+// proof: the analyzer accepts the named shapes and anything else needs
+// a //reprolint:ignore with a reason (which is exactly where a
+// deliberate fire-and-forget should be documented).
+var GoroutineJoin = &Analyzer{
+	Name: "goroutinejoin",
+	Doc: "every go statement in internal/eclat, internal/service, and internal/store must " +
+		"be joined: WaitGroup Add/Done/Wait, a channel the spawner receives from, or a " +
+		"select on ctx.Done() in the spawned body",
+	Run: runGoroutineJoin,
+}
+
+func runGoroutineJoin(pass *Pass) {
+	if !goroutinePkgs[pass.Pkg.ImportPath] {
+		return
+	}
+	wgNames := collectWaitGroupNames(pass)
+	for _, f := range pass.files() {
+		// Walk with the stack so each go statement can find its
+		// innermost enclosing function body — the scope whose join
+		// evidence counts.
+		walkWithStack(f.AST, func(n ast.Node, stack []ast.Node) {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return
+			}
+			body := enclosingFuncBody(stack)
+			if body == nil {
+				return
+			}
+			if goStmtJoined(gs, body, wgNames) {
+				return
+			}
+			pass.Reportf(gs.Pos(), "goroutine is never joined: add WaitGroup Add/Done/Wait, receive from a channel it signals, or select on ctx.Done() in its body")
+		})
+	}
+}
+
+// collectWaitGroupNames gathers every identifier declared with type
+// sync.WaitGroup / *sync.WaitGroup anywhere in the package — struct
+// fields, variables, and parameters. Matching is by final name ("wg"
+// in m.wg), which is as precise as syntax gets.
+func collectWaitGroupNames(pass *Pass) map[string]bool {
+	names := make(map[string]bool)
+	for _, f := range pass.files() {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			field, ok := n.(*ast.Field)
+			if !ok {
+				vs, ok := n.(*ast.ValueSpec)
+				if !ok {
+					return true
+				}
+				if vs.Type != nil && isWaitGroupType(f, vs.Type) {
+					for _, name := range vs.Names {
+						names[name.Name] = true
+					}
+				}
+				return true
+			}
+			if isWaitGroupType(f, field.Type) {
+				for _, name := range field.Names {
+					names[name.Name] = true
+				}
+			}
+			return true
+		})
+	}
+	return names
+}
+
+// isWaitGroupType reports whether the type expression denotes
+// sync.WaitGroup or *sync.WaitGroup.
+func isWaitGroupType(f *File, typ ast.Expr) bool {
+	if star, ok := typ.(*ast.StarExpr); ok {
+		typ = star.X
+	}
+	path, name, ok := resolveQualified(f, typ)
+	return ok && path == "sync" && name == "WaitGroup"
+}
+
+// goStmtJoined looks for join evidence for one go statement.
+func goStmtJoined(gs *ast.GoStmt, enclosing *ast.BlockStmt, wgNames map[string]bool) bool {
+	// (a) The spawning function works a WaitGroup: Add or Wait on a
+	// known WaitGroup chain anywhere in the enclosing body.
+	if mentionsWaitGroupCall(enclosing, wgNames, "Add") || mentionsWaitGroupCall(enclosing, wgNames, "Wait") {
+		return true
+	}
+	lit, isLit := gs.Call.Fun.(*ast.FuncLit)
+	if !isLit {
+		return false
+	}
+	// (b) The spawned body calls Done on a WaitGroup (joined by a Wait
+	// that may live in another method, e.g. Shutdown).
+	if mentionsWaitGroupCall(lit.Body, wgNames, "Done") {
+		return true
+	}
+	// (c) The spawned body selects/receives on a context's Done
+	// channel: <-something.Done().
+	if mentionsCtxDoneReceive(lit.Body) {
+		return true
+	}
+	// (d) The spawned body signals a channel the enclosing function
+	// receives from.
+	for _, ch := range channelsSignaled(lit.Body) {
+		if receivesFromChannel(enclosing, lit, ch) {
+			return true
+		}
+	}
+	return false
+}
+
+// mentionsWaitGroupCall reports whether root contains a call
+// <chain>.<method>() whose chain ends in a known WaitGroup name.
+func mentionsWaitGroupCall(root ast.Node, wgNames map[string]bool, method string) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != method {
+			return true
+		}
+		chain := selectorChain(sel.X)
+		if chain != "" && wgNames[chainLastComponent(chain)] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// mentionsCtxDoneReceive reports whether root contains `<-x.Done()`,
+// the receive that distinguishes a context watch from a WaitGroup Done
+// call.
+func mentionsCtxDoneReceive(root ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		un, ok := n.(*ast.UnaryExpr)
+		if !ok || un.Op != token.ARROW {
+			return true
+		}
+		call, ok := un.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if ok && sel.Sel.Name == "Done" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// channelsSignaled returns the identifier names of channels the body
+// sends on or closes.
+func channelsSignaled(body *ast.BlockStmt) []string {
+	var out []string
+	seen := make(map[string]bool)
+	add := func(expr ast.Expr) {
+		if id, ok := expr.(*ast.Ident); ok && !seen[id.Name] {
+			seen[id.Name] = true
+			out = append(out, id.Name)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			add(x.Chan)
+		case *ast.CallExpr:
+			if fun, ok := x.Fun.(*ast.Ident); ok && fun.Name == "close" && len(x.Args) == 1 {
+				add(x.Args[0])
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// receivesFromChannel reports whether the enclosing body (outside the
+// spawned literal) receives from the named channel: `<-ch` anywhere,
+// including select cases and range-over-channel.
+func receivesFromChannel(body *ast.BlockStmt, exclude *ast.FuncLit, name string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || n == ast.Node(exclude) {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				if id, ok := x.X.(*ast.Ident); ok && id.Name == name {
+					found = true
+					return false
+				}
+			}
+		case *ast.RangeStmt:
+			if id, ok := x.X.(*ast.Ident); ok && id.Name == name {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

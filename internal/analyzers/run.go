@@ -3,8 +3,13 @@ package analyzers
 // All returns the reprolint suite in reporting order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		ArenaDiscipline,
+		AtomicOnly,
 		CtxFirst,
+		GoroutineJoin,
+		LockOrder,
 		MetricName,
+		MmapAlias,
 		ScratchOnly,
 		SentErr,
 		VirtualTime,

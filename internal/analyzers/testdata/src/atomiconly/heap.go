@@ -1,0 +1,86 @@
+package eclat
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// supportHeap mirrors the production top-k heap of engine.go: the
+// effective threshold is read lock-free on the hot path, so every
+// access must go through sync/atomic.
+type supportHeap struct {
+	mu     sync.Mutex
+	k      int
+	h      []int
+	eff    atomic.Int64
+	raises atomic.Int64
+}
+
+// offer is the canonical production shape: Load on the fast path,
+// Store/Add under the mutex. Clean.
+func (sh *supportHeap) offer(sup int) {
+	if eff := sh.eff.Load(); eff > 0 && int64(sup) <= eff {
+		return
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if len(sh.h) == sh.k {
+		sh.eff.Store(int64(sh.h[0]))
+		sh.raises.Add(1)
+	}
+}
+
+// current reads the threshold plainly — the seeded violation the
+// analyzer exists for: it races every concurrent Store.
+func (sh *supportHeap) current() int64 {
+	return int64(sh.eff) // want `plain access to atomic field sh\.eff \(supportHeap\.eff\)`
+}
+
+// reset writes an atomic field plainly.
+func (sh *supportHeap) reset() {
+	sh.eff = atomic.Int64{} // want `plain access to atomic field sh\.eff \(supportHeap\.eff\)`
+	sh.raises.Store(0)
+}
+
+// snapshot copies an atomic field by value.
+func (sh *supportHeap) snapshot() any {
+	return sh.raises // want `plain access to atomic field sh\.raises \(supportHeap\.raises\)`
+}
+
+// countSteals mirrors the old-style counter of runParallel: once the
+// variable is updated with atomic.AddInt64, a plain read races the
+// workers.
+func countSteals(workers int) int64 {
+	var steals int64
+	for w := 0; w < workers; w++ {
+		go func() {
+			atomic.AddInt64(&steals, 1)
+		}()
+	}
+	return steals // want `plain access to "steals", which is elsewhere accessed via sync/atomic`
+}
+
+// countStealsAtomic is the fixed shape: every access is atomic. Clean.
+func countStealsAtomic(workers int) int64 {
+	var steals int64
+	for w := 0; w < workers; w++ {
+		go func() {
+			atomic.AddInt64(&steals, 1)
+		}()
+	}
+	return atomic.LoadInt64(&steals)
+}
+
+// localHeap: composite-literal typed locals are tracked too.
+func localHeap() {
+	sh := &supportHeap{k: 8}
+	sh.eff.Store(1)
+	x := sh.eff // want `plain access to atomic field sh\.eff \(supportHeap\.eff\)`
+	_ = x
+}
+
+// suppressed: a deliberately racy stats probe, with a reason.
+func (sh *supportHeap) racyProbe() any {
+	//reprolint:ignore atomiconly fixture exercises suppression for a debug-only racy read
+	return sh.eff
+}

@@ -1,0 +1,74 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+type manager struct {
+	wg    sync.WaitGroup
+	queue chan int
+}
+
+func (m *manager) worker() {}
+
+// start mirrors the production worker pool of manager.go: Add in the
+// spawning function, Done in the workers, Wait in Shutdown. Clean.
+func (m *manager) start(n int) {
+	m.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go m.worker()
+	}
+}
+
+// drain mirrors Shutdown's bounded wait: the goroutine closes a channel
+// the function receives from. Clean.
+func (m *manager) drain() {
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	<-done
+}
+
+// watch selects on the context's Done channel: the goroutine exits with
+// the caller. Clean.
+func watch(ctx context.Context) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// fireAndForget has no join evidence at all.
+func (m *manager) fireAndForget() {
+	go func() { // want `goroutine is never joined`
+		m.queue <- 1
+	}()
+}
+
+// spawnWorker starts a method goroutine without touching a WaitGroup.
+func (m *manager) spawnWorker() {
+	go m.worker() // want `goroutine is never joined`
+}
+
+// produce signals a channel, but nothing in this function receives from
+// it — the join happens (or doesn't) in some caller the analyzer cannot
+// see.
+func produce(n int) chan int {
+	out := make(chan int)
+	go func() { // want `goroutine is never joined`
+		for i := 0; i < n; i++ {
+			out <- i
+		}
+	}()
+	return out
+}
+
+// suppressed: a documented fire-and-forget, with a reason.
+func (m *manager) flusher() {
+	//reprolint:ignore goroutinejoin fixture exercises a documented fire-and-forget
+	go m.worker()
+}

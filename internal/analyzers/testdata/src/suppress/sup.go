@@ -1,6 +1,9 @@
 package service
 
-import "errors"
+import (
+	"errors"
+	"sync"
+)
 
 var ErrBoom = errors.New("boom")
 
@@ -18,4 +21,23 @@ func check(err error) bool {
 func multi(err error) bool {
 	//reprolint:ignore senterr,virtualtime fixture exercises a multi-analyzer directive
 	return err != ErrBoom
+}
+
+type pool struct {
+	mu sync.Mutex
+}
+
+func (p *pool) worker() {}
+
+// multiV2 exercises one directive naming two of the flow-sensitive
+// analyzers: the relock (lockorder) and the unjoined goroutine
+// (goroutinejoin) on the lines below are both silenced.
+func (p *pool) multiV2() {
+	p.mu.Lock()
+	//reprolint:ignore lockorder,goroutinejoin fixture exercises a multi-analyzer directive over the v2 checks
+	p.mu.Lock()
+	//reprolint:ignore goroutinejoin,lockorder fixture exercises the reversed spelling too
+	go p.worker()
+	p.mu.Unlock()
+	p.mu.Unlock()
 }

@@ -10,15 +10,15 @@ func TestRunExecutesAllProcs(t *testing.T) {
 	if c.NumProcs() != 6 {
 		t.Fatalf("NumProcs = %d", c.NumProcs())
 	}
-	var ran int64
+	var ran atomic.Int64
 	c.Run(func(p *Proc) {
-		atomic.AddInt64(&ran, 1)
+		ran.Add(1)
 		if p.Host() != p.ID()/3 {
 			t.Errorf("proc %d on host %d, want %d", p.ID(), p.Host(), p.ID()/3)
 		}
 	})
-	if ran != 6 {
-		t.Fatalf("ran %d procs", ran)
+	if ran.Load() != 6 {
+		t.Fatalf("ran %d procs", ran.Load())
 	}
 }
 

@@ -181,7 +181,7 @@ func (e *engine) runParallel(ctx context.Context, workers int, st *Stats, sink E
 	classOut := make([][]mining.FrequentItemset, len(v.classes))
 	workerStats := make([]Stats, workers)
 	exts := make([]any, workers)
-	var steals int64
+	var steals atomic.Int64
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -231,7 +231,7 @@ func (e *engine) runParallel(ctx context.Context, workers int, st *Stats, sink E
 					return // every deque empty: no class left unowned
 				}
 				if n := deques[victim].stealInto(deques[self], victim, self); n > 0 {
-					atomic.AddInt64(&steals, 1)
+					steals.Add(1)
 					mSteals.Inc()
 				}
 				// A failed steal (the victim drained between the scan and
@@ -246,7 +246,7 @@ func (e *engine) runParallel(ctx context.Context, workers int, st *Stats, sink E
 	for w := range workerStats {
 		st.merge(&workerStats[w])
 	}
-	st.Steals = steals
+	st.Steals = steals.Load()
 	ext := e.pol.newExt()
 	for _, we := range exts {
 		if we != nil {

@@ -1,4 +1,4 @@
-//go:build !unix
+//go:build !unix || store_nommap
 
 package store
 
@@ -8,9 +8,10 @@ import (
 )
 
 // mapFile reads size bytes of f into memory on platforms without mmap
-// support. Views decoded from the buffer behave identically to mapped
-// views (immutable, alive until cleanup), they just cost a full read at
-// open instead of lazy page faults.
+// support (or anywhere under -tags store_nommap, which is how CI
+// exercises this path on linux). Views decoded from the buffer behave
+// identically to mapped views (immutable, alive until cleanup), they
+// just cost a full read at open instead of lazy page faults.
 func mapFile(f *os.File, size int64) (data []byte, cleanup func() error, err error) {
 	b := make([]byte, size)
 	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), b); err != nil {

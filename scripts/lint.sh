@@ -28,4 +28,8 @@ fi
 # only sorts within groups, so it cannot catch a split group itself).
 go run scripts/importgroups.go
 
+# The linter's own tests gate the lint run: a broken analyzer that
+# reports nothing would otherwise make the tree look clean.
+go test ./internal/analyzers/... ./cmd/reprolint/...
+
 exec go run ./cmd/reprolint "$@"
