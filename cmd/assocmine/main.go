@@ -60,6 +60,7 @@ func run(args []string, stdout io.Writer) error {
 	outPath := fs.String("o", "", "write the full result (support\\titems per line) to this file")
 	savePath := fs.String("save", "", "persist the loaded database as a stored vertical dataset directory before mining (crash-safe; reusable with -load or a daemon -data-dir)")
 	loadPath := fs.String("load", "", "mine from a stored vertical dataset directory (written by -save); replaces -db/-gen and mines eclat straight from the mmap bundle")
+	memBudget := fs.Int64("memory-budget", 0, "cap resident bytes of a stored-dataset mine (with -load): when the mapping exceeds the budget the mine runs out-of-core, class at a time; 0 disables")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -86,6 +87,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *topk < 0 {
 		return fmt.Errorf("-topk must not be negative, got %d", *topk)
+	}
+	if *memBudget < 0 {
+		return fmt.Errorf("-memory-budget must not be negative, got %d", *memBudget)
 	}
 	mustContain, err := parseContains(*contains)
 	if err != nil {
@@ -162,6 +166,7 @@ func run(args []string, stdout io.Writer) error {
 		Parallelism:    *parallel,
 		TopK:           *topk,
 		MustContain:    mustContain,
+		MemoryBudget:   *memBudget,
 	}
 	tr := obsv.NewTrace()
 	ctx := obsv.WithTrace(context.Background(), tr)

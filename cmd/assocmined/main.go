@@ -78,6 +78,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	cacheMB := fs.Int("cache-mb", 64, "result-cache budget in MiB")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
 	dataDir := fs.String("data-dir", "", "persistent dataset store directory; datasets registered by flag or HTTP persist there and the daemon restarts without rebuilding")
+	memBudget := fs.Int64("memory-budget", 0, "default per-job residency budget in bytes for store-backed mines (jobs may override with memoryBudget); 0 leaves unbudgeted jobs in-core")
 	var datasets, gens repeatFlag
 	fs.Var(&datasets, "dataset", "register a dataset: name=path[,binary|fimi] (repeatable; format inferred from extension when omitted)")
 	fs.Var(&gens, "gen", "register a generated T10.I6 dataset: name=numTransactions (repeatable)")
@@ -96,6 +97,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if *parallelBudget < 0 {
 		return fmt.Errorf("-parallel-budget must not be negative, got %d", *parallelBudget)
 	}
+	if *memBudget < 0 {
+		return fmt.Errorf("-memory-budget must not be negative, got %d", *memBudget)
+	}
 
 	logf := func(format string, args ...any) { fmt.Fprintf(stdout, format+"\n", args...) }
 	var st *store.Store
@@ -107,12 +111,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		defer st.Close()
 	}
 	svc, err := service.New(service.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheBytes:     int64(*cacheMB) << 20,
-		ParallelBudget: *parallelBudget,
-		Store:          st,
-		Logf:           logf,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheBytes:      int64(*cacheMB) << 20,
+		ParallelBudget:  *parallelBudget,
+		ResidencyBudget: *memBudget,
+		Store:           st,
+		Logf:            logf,
 	})
 	if err != nil {
 		return err

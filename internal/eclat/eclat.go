@@ -516,6 +516,10 @@ type vertical struct {
 	// class) instead of pair tid-lists — the CHARM root level, whose
 	// members are frequent singletons rather than L2 pairs.
 	roots [][]member
+	// ooc, when non-nil, marks a budgeted out-of-core run: lists is nil
+	// and member lists are re-derived per class inside the class's
+	// residency window (see ooc.go).
+	ooc *oocState
 }
 
 // members assembles the sorted, representation-resolved member list of
@@ -526,6 +530,9 @@ func (v *vertical) members(ci int, repr tidlist.Repr, ks *tidlist.KernelStats) [
 		m := v.roots[ci]
 		applyClassRepr(m, repr, ks)
 		return m
+	}
+	if v.ooc != nil {
+		return v.ooc.classMembers(&v.classes[ci], repr, ks)
 	}
 	return classMembers(&v.classes[ci], v.lists, repr, ks)
 }

@@ -318,7 +318,9 @@ func (e *engine) runSequential(ctx context.Context, st *Stats, ar *arena, sink E
 			return ext, err
 		}
 		before := *st
+		e.v.acquire(ci)
 		e.pol.explore(ctx, w, e.v.members(ci, e.opts.Representation, &st.Kernel), emit)
+		e.v.release(ci)
 		flushStats(&before, st)
 		mClasses.Inc()
 	}

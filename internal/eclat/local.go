@@ -161,19 +161,33 @@ func (e *engine) runParallel(ctx context.Context, workers int, st *Stats, sink E
 
 	// Deal classes to deques with the greedy weighted schedule, then order
 	// each deque heaviest-first so owners start on the big classes while
-	// thieves nibble the light tail.
+	// thieves nibble the light tail. Under a residency budget both rules
+	// flip: the classes are already in bundle-locality order, so each
+	// worker takes one contiguous span (balanced by the same weights) and
+	// keeps it in order — sequential segment traversal beats
+	// heaviest-first when pages are the scarce resource.
 	deques := make([]*wsDeque, workers)
 	for w := range deques {
 		deques[w] = &wsDeque{}
 	}
-	sched := eqclass.Schedule(v.classes, workers)
-	for w := 0; w < workers; w++ {
-		q := deques[w]
-		for _, ci := range sched.ClassesOf(w) {
-			q.tasks = append(q.tasks, classTask{ci: ci, weight: v.classes[ci].Weight() + 1})
-			q.weight += q.tasks[len(q.tasks)-1].weight
+	if v.ooc != nil {
+		for w, span := range spanSchedule(v.classes, workers) {
+			q := deques[w]
+			for _, ci := range span {
+				q.tasks = append(q.tasks, classTask{ci: ci, weight: v.classes[ci].Weight() + 1})
+				q.weight += q.tasks[len(q.tasks)-1].weight
+			}
 		}
-		sort.SliceStable(q.tasks, func(i, j int) bool { return q.tasks[i].weight > q.tasks[j].weight })
+	} else {
+		sched := eqclass.Schedule(v.classes, workers)
+		for w := 0; w < workers; w++ {
+			q := deques[w]
+			for _, ci := range sched.ClassesOf(w) {
+				q.tasks = append(q.tasks, classTask{ci: ci, weight: v.classes[ci].Weight() + 1})
+				q.weight += q.tasks[len(q.tasks)-1].weight
+			}
+			sort.SliceStable(q.tasks, func(i, j int) bool { return q.tasks[i].weight > q.tasks[j].weight })
+		}
 	}
 
 	// classOut[ci] receives class ci's itemsets; only the worker that
@@ -203,7 +217,9 @@ func (e *engine) runParallel(ctx context.Context, workers int, st *Stats, sink E
 
 			mine := func(t classTask) {
 				acc = acc[:0]
+				v.acquire(t.ci)
 				e.pol.explore(ctx, wk, v.members(t.ci, e.opts.Representation, &wst.Kernel), emit)
+				v.release(t.ci)
 				out := make([]mining.FrequentItemset, len(acc))
 				copy(out, acc)
 				classOut[t.ci] = out

@@ -24,6 +24,13 @@ type VerticalInput struct {
 	// Items holds the tid-set of each item (index = item id); nil entries
 	// are items with no transactions.
 	Items []tidlist.Set
+	// Residency, when non-nil, switches the mine to the budgeted
+	// out-of-core protocol: classes are ordered by bundle locality, pair
+	// tid-lists are re-derived per class instead of retained for the
+	// whole run, and every class mine is bracketed by Acquire/Release so
+	// the store can evict dead segments. Output bytes are identical to
+	// the in-core path at every budget and worker count.
+	Residency Residency
 }
 
 // MineVerticalLocal mines a vertical dataset on this host: L1 is read
@@ -50,6 +57,11 @@ func MineVerticalLocal(ctx context.Context, in VerticalInput, minsup int, opts O
 
 	var st Stats
 	st.Workers = workers
+	if in.Residency != nil {
+		// Done on every exit path — error, cancellation, success — so a
+		// cut-short mine never leaves segments accounted resident.
+		defer in.Residency.Done()
+	}
 	v := buildVerticalFromSets(ctx, in, minsup, &st, opts)
 	if err := ctx.Err(); err != nil {
 		return nil, st, err
@@ -95,9 +107,16 @@ func buildVerticalFromSets(ctx context.Context, in VerticalInput, minsup int, st
 	// minsup. Aborted results live only in scratch; surviving pair lists
 	// are copied out as sorted sparse lists — the same bytes BuildPairs
 	// produces on the horizontal path, since intersection preserves tid
-	// order.
+	// order. Under a residency budget the counting pass runs identically
+	// (so the work counters stay equal to the in-core path) but the pair
+	// lists are not retained: they are re-derived per class inside the
+	// class's residency window instead.
+	ooc := in.Residency != nil
 	var scratch tidlist.Set
-	lists := make(map[tidlist.Pair]tidlist.List)
+	var lists map[tidlist.Pair]tidlist.List
+	if !ooc {
+		lists = make(map[tidlist.Pair]tidlist.List)
+	}
 	var l2 []itemset.Itemset
 	for i := 0; i < len(frequent) && ctx.Err() == nil; i++ {
 		a := frequent[i]
@@ -116,12 +135,24 @@ func buildVerticalFromSets(ctx context.Context, in VerticalInput, minsup int, st
 				res.Add(set, tids.Support())
 			}
 			l2 = append(l2, set)
-			lists[tidlist.Pair{A: itemset.Item(a), B: itemset.Item(b)}] = append(tidlist.List(nil), tidlist.TIDsOf(tids)...)
+			if !ooc {
+				lists[tidlist.Pair{A: itemset.Item(a), B: itemset.Item(b)}] = append(tidlist.List(nil), tidlist.TIDsOf(tids)...)
+			}
 		}
 	}
 
 	classes := filterClasses(eqclass.PruneSingletons(eqclass.Partition(l2)), must)
 	st.Classes = len(classes)
+	if ooc {
+		// Store-aware scheduling: run classes in bundle-segment order
+		// (the canonical result sort makes class order invisible in the
+		// output), then hand the per-class item needs to the residency
+		// layer. Indices in the plan are final class indices.
+		orderClassesByLocality(classes, in.Residency)
+		planResidency(classes, in.Residency)
+		return &vertical{res: res, classes: classes,
+			ooc: &oocState{items: in.Items, minsup: minsup, res: in.Residency}}
+	}
 	// Drop pair lists no surviving class needs (singleton classes generate
 	// no candidates), mirroring buildVertical's want-set discipline.
 	want := make(map[tidlist.Pair]bool, len(lists))

@@ -47,6 +47,11 @@ type JobRequest struct {
 	// targeted query; same path restrictions as topK, code
 	// invalid_must_contain).
 	MustContain []int `json:"mustContain"`
+	// MemoryBudget caps the resident bytes of a store-backed mine; 0
+	// takes the daemon's -memory-budget default, negative is a 400 with
+	// code invalid_memory_budget. Does not change the result, only
+	// paging behavior, so it is not part of the cache identity.
+	MemoryBudget int64 `json:"memoryBudget"`
 }
 
 // DatasetRequest is the JSON body of POST /v1/datasets. Exactly one of
@@ -112,6 +117,8 @@ func errorCode(err error) (int, string) {
 		return http.StatusBadRequest, "invalid_topk"
 	case errors.Is(err, repro.ErrInvalidMustContain):
 		return http.StatusBadRequest, "invalid_must_contain"
+	case errors.Is(err, repro.ErrInvalidMemoryBudget):
+		return http.StatusBadRequest, "invalid_memory_budget"
 	case errors.Is(err, repro.ErrCanceled):
 		return http.StatusConflict, "canceled"
 	default:
@@ -195,6 +202,7 @@ func NewHandler(s *Service) http.Handler {
 			Parallelism:    jr.Parallelism,
 			TopK:           jr.TopK,
 			MustContain:    jr.MustContain,
+			MemoryBudget:   jr.MemoryBudget,
 		})
 		if err != nil {
 			writeMappedError(w, err)

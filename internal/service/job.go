@@ -121,6 +121,12 @@ type Request struct {
 	// item (repro.MineOptions.MustContain); same path restrictions as
 	// TopK.
 	MustContain []int
+	// MemoryBudget caps the resident bytes of a store-backed mine
+	// (repro.MineOptions.MemoryBudget). 0 takes the service's configured
+	// ResidencyBudget; negative is rejected at submit time. Like
+	// Parallelism it never changes the result — only paging behavior —
+	// so it is not part of the cache identity.
+	MemoryBudget int64
 }
 
 // Key identifies a result in the cache. Hosts/ProcsPerHost are
@@ -214,6 +220,11 @@ type View struct {
 	TopK            int   `json:"topK,omitempty"`
 	MustContain     []int `json:"mustContain,omitempty"`
 	EffectiveMinSup int   `json:"effectiveMinSup,omitempty"`
+	// MemoryBudget is the residency budget the run mined under and
+	// OutOfCore whether the budget actually engaged (store-backed source
+	// larger than the budget). Both 0/false until the run finishes.
+	MemoryBudget int64 `json:"memoryBudget,omitempty"`
+	OutOfCore    bool  `json:"outOfCore,omitempty"`
 }
 
 // Snapshot returns a consistent view of the job.
@@ -252,6 +263,8 @@ func (j *Job) Snapshot() View {
 		v.Parallelism = j.info.Parallelism
 		v.Steals = j.info.Steals
 		v.EffectiveMinSup = j.info.EffectiveMinSup
+		v.MemoryBudget = j.info.MemoryBudget
+		v.OutOfCore = j.info.OutOfCore
 	}
 	return v
 }

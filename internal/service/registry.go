@@ -82,6 +82,27 @@ type Dataset struct {
 // from the persistent store's mapping.
 func (ds *Dataset) StoreBacked() bool { return ds.stored != nil }
 
+// BytesMapped reports the bytes of bundle data this dataset's mapping
+// pins (0 for in-memory datasets) — the figure a job's MemoryBudget is
+// compared against. Together with NewResidency it makes a store-backed
+// *Dataset satisfy repro's optional residencySource interface, so
+// MineFrom can pick the out-of-core path.
+func (ds *Dataset) BytesMapped() int64 {
+	if ds.stored == nil {
+		return 0
+	}
+	return ds.stored.BytesMapped()
+}
+
+// NewResidency forwards to the stored dataset's residency constructor;
+// nil for in-memory datasets or budgets the mapping already fits.
+func (ds *Dataset) NewResidency(budget int64) *store.Residency {
+	if ds.stored == nil {
+		return nil
+	}
+	return ds.stored.NewResidency(budget)
+}
+
 // Info returns the dataset-shape summary without loading any data.
 func (ds *Dataset) Info() DatasetInfo { return ds.info }
 

@@ -36,6 +36,11 @@ type Config struct {
 	// store's mapping with zero horizontal scans. The caller owns the
 	// store's lifetime (Close after Shutdown).
 	Store *store.Store
+	// ResidencyBudget is the default per-job MemoryBudget (bytes) for
+	// store-backed mines: jobs that do not set their own budget mine
+	// out-of-core whenever their dataset's mapping exceeds it. 0 leaves
+	// unbudgeted jobs in-core.
+	ResidencyBudget int64
 	// Logf receives registry warnings (failed transform spills, ...);
 	// nil discards them.
 	Logf func(format string, args ...any)
@@ -64,6 +69,9 @@ type Service struct {
 	// and the per-job worker share derived from it (both fixed at New).
 	parallelBudget int
 	jobParallelism int
+	// residencyBudget is Config.ResidencyBudget, the default per-job
+	// memory budget for store-backed mines.
+	residencyBudget int64
 }
 
 // New builds a Service and starts its worker pool. The newest Service
@@ -92,6 +100,7 @@ func New(cfg Config) (*Service, error) {
 	if s.jobParallelism < 1 {
 		s.jobParallelism = 1
 	}
+	s.residencyBudget = cfg.ResidencyBudget
 	obsv.Default.GaugeFunc(mnQueueLen, "jobs waiting in the bounded queue",
 		func() int64 { return int64(s.mgr.QueueLen()) })
 	obsv.Default.GaugeFunc(mnCacheEntries, "entries in the result cache",
@@ -156,6 +165,12 @@ func (s *Service) normalize(req Request) (Request, Key, error) {
 	if _, err := (repro.MineOptions{Parallelism: req.Parallelism}).Workers(); err != nil {
 		return req, Key{}, err
 	}
+	// Reject a negative memory budget at submit time. Like parallelism,
+	// the budget is absent from the cache key: a budgeted mine is
+	// byte-identical to an in-core one, so all budgets share one entry.
+	if req.MemoryBudget < 0 {
+		return req, Key{}, fmt.Errorf("%w: negative memoryBudget %d", repro.ErrInvalidMemoryBudget, req.MemoryBudget)
+	}
 	key := Key{
 		Dataset:        req.Dataset,
 		Algorithm:      req.Algorithm.String(),
@@ -214,6 +229,13 @@ func (s *Service) runJob(ctx context.Context, j *Job) (*mining.Result, *repro.Ru
 	if err != nil {
 		return nil, nil, err
 	}
+	// A job's explicit budget wins; otherwise the service default
+	// applies. MineFrom picks the out-of-core path only when the
+	// dataset's mapped size actually exceeds the budget.
+	budget := j.Req.MemoryBudget
+	if budget == 0 {
+		budget = s.residencyBudget
+	}
 	opts := repro.MineOptions{
 		Algorithm:      j.Req.Algorithm,
 		SupportCount:   j.Key.MinSup, // resolved once at submit time
@@ -223,6 +245,7 @@ func (s *Service) runJob(ctx context.Context, j *Job) (*mining.Result, *repro.Ru
 		Parallelism:    s.effectiveParallelism(j.Req.Parallelism),
 		TopK:           j.Req.TopK,
 		MustContain:    j.Req.MustContain,
+		MemoryBudget:   budget,
 	}
 	var res *mining.Result
 	var info *repro.RunInfo
@@ -355,37 +378,41 @@ type Stats struct {
 	// ParallelBudget is the cap on total mining goroutines across jobs;
 	// JobParallelism the per-job share each running job may use; GOMAXPROCS
 	// the runtime's scheduler width, for judging both against the host.
-	ParallelBudget int        `json:"parallelBudget"`
-	JobParallelism int        `json:"jobParallelism"`
-	GOMAXPROCS     int        `json:"gomaxprocs"`
-	Running        int64      `json:"running"`
-	Submitted      int64      `json:"submitted"`
-	Completed      int64      `json:"completed"`
-	Failed         int64      `json:"failed"`
-	Canceled       int64      `json:"canceled"`
-	Rejected       int64      `json:"rejected"`
-	Cache          CacheStats `json:"cache"`
-	Datasets       int        `json:"datasets"`
+	ParallelBudget int `json:"parallelBudget"`
+	JobParallelism int `json:"jobParallelism"`
+	GOMAXPROCS     int `json:"gomaxprocs"`
+	// ResidencyBudget is the default per-job memory budget (bytes) for
+	// store-backed mines; 0 means unbudgeted jobs run in-core.
+	ResidencyBudget int64      `json:"residencyBudget"`
+	Running         int64      `json:"running"`
+	Submitted       int64      `json:"submitted"`
+	Completed       int64      `json:"completed"`
+	Failed          int64      `json:"failed"`
+	Canceled        int64      `json:"canceled"`
+	Rejected        int64      `json:"rejected"`
+	Cache           CacheStats `json:"cache"`
+	Datasets        int        `json:"datasets"`
 }
 
 // Stats snapshots the service counters.
 func (s *Service) Stats() Stats {
 	m := s.mgr
 	return Stats{
-		UptimeSeconds:  time.Since(s.started).Seconds(),
-		Workers:        m.cfg.Workers,
-		QueueDepth:     m.cfg.QueueDepth,
-		QueueLen:       m.QueueLen(),
-		ParallelBudget: s.parallelBudget,
-		JobParallelism: s.jobParallelism,
-		GOMAXPROCS:     runtime.GOMAXPROCS(0),
-		Running:        m.running.Load(),
-		Submitted:      m.submitted.Load(),
-		Completed:      m.completed.Load(),
-		Failed:         m.failed.Load(),
-		Canceled:       m.canceled.Load(),
-		Rejected:       m.rejected.Load(),
-		Cache:          s.cache.Stats(),
-		Datasets:       len(s.reg.List()),
+		UptimeSeconds:   time.Since(s.started).Seconds(),
+		Workers:         m.cfg.Workers,
+		QueueDepth:      m.cfg.QueueDepth,
+		QueueLen:        m.QueueLen(),
+		ParallelBudget:  s.parallelBudget,
+		JobParallelism:  s.jobParallelism,
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		ResidencyBudget: s.residencyBudget,
+		Running:         m.running.Load(),
+		Submitted:       m.submitted.Load(),
+		Completed:       m.completed.Load(),
+		Failed:          m.failed.Load(),
+		Canceled:        m.canceled.Load(),
+		Rejected:        m.rejected.Load(),
+		Cache:           s.cache.Stats(),
+		Datasets:        len(s.reg.List()),
 	}
 }

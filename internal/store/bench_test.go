@@ -111,3 +111,55 @@ func BenchmarkStoreMine(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkStoreMineOOC measures what a residency budget costs: the same
+// store-backed mine as BenchmarkStoreMine, with the budget set to a
+// fraction of the mapped bundle. At budget=100 the whole mapping fits,
+// NewResidency declines, and the run is the unbudgeted in-core baseline
+// through the identical harness; 25 and 50 mine out-of-core with
+// per-class residency windows and locality-ordered classes.
+func BenchmarkStoreMineOOC(b *testing.B) {
+	for _, numTx := range []int{10000, 50000} {
+		rng := rand.New(rand.NewSource(int64(numTx)))
+		d := testutil.RandomDB(rng, numTx, 60, 10)
+		minsup := numTx / 50
+		// Persist with segments small enough that a fractional budget
+		// spans many of them (the default 1 MiB segment would make these
+		// bench-scale bundles a single segment).
+		segPath := filepath.Join(b.TempDir(), fmt.Sprintf("seg%d.ds", numTx))
+		meta := DatasetMeta(fmt.Sprintf("seg%d", numTx), "bench", d)
+		if err := CreateDatasetSeg(segPath, meta, d, VerticalLists(d), 1<<14); err != nil {
+			b.Fatal(err)
+		}
+
+		ds, err := OpenDataset(segPath)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ds.Close()
+		mapped := ds.BytesMapped()
+
+		for _, pct := range []int64{25, 50, 100} {
+			budget := mapped * pct / 100
+			b.Run(fmt.Sprintf("n=%d/budget=%d", numTx, pct), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					in := eclat.VerticalInput{NumTransactions: numTx, Items: ds.Sets(tidlist.ReprSparse)}
+					// Typed-nil guard: only a usable tracker goes into the
+					// interface field; at 100% NewResidency declines and the
+					// run is the in-core baseline.
+					if r := ds.NewResidency(budget); r != nil {
+						in.Residency = r
+					}
+					res, _, err := eclat.MineVerticalLocal(context.Background(), in, minsup, eclat.Options{Workers: 1})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Len() == 0 {
+						b.Fatal("no itemsets")
+					}
+				}
+			})
+		}
+	}
+}

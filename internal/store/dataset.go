@@ -43,6 +43,12 @@ const (
 // indexVersion versions index.json independently of the bundle format.
 const indexVersion = 1
 
+// DefaultSegmentBytes is the bundle segment size CreateDataset uses: the
+// residency granularity for out-of-core mining. Large enough that sparse
+// tid-lists rarely split, small enough that a budget of a few segments
+// is a meaningful working set.
+const DefaultSegmentBytes int64 = 1 << 20
+
 // Meta is the dataset header carried in the index: identity plus the
 // horizontal-shape figures the service reports without loading data.
 type Meta struct {
@@ -62,10 +68,13 @@ type Meta struct {
 // write-to-temp, fsync, rename — after the bundle bytes it points at are
 // durable.
 type index struct {
-	Version     int      `json:"version"`
-	Meta        Meta     `json:"meta"`
-	BundleBytes int64    `json:"bundleBytes"`
-	Records     []Record `json:"records"`
+	Version     int   `json:"version"`
+	Meta        Meta  `json:"meta"`
+	BundleBytes int64 `json:"bundleBytes"`
+	// SegmentBytes is the v2 segment size the bundle was partitioned
+	// with; 0 for an unsegmented v1 bundle.
+	SegmentBytes int64    `json:"segmentBytes,omitempty"`
+	Records      []Record `json:"records"`
 }
 
 // Dataset is one stored dataset opened for reading. The sparse tid-lists
@@ -87,6 +96,8 @@ type Dataset struct {
 	horiz     *db.Database
 	horizErr  error
 
+	gaugeOnce sync.Once
+
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -99,8 +110,20 @@ type Dataset struct {
 // vertical transform of d (index = item, as built by one horizontal
 // pass); items with empty lists get no record.
 func CreateDataset(path string, meta Meta, d *db.Database, lists []tidlist.List) error {
+	return CreateDatasetSeg(path, meta, d, lists, DefaultSegmentBytes)
+}
+
+// CreateDatasetSeg is CreateDataset with an explicit bundle segment
+// size. segmentBytes > 0 (a multiple of 8, at least one record header
+// plus 8 payload bytes) writes a v2 partitioned bundle whose physical
+// records never cross a segment boundary; segmentBytes == 0 writes the
+// legacy unsegmented v1 format.
+func CreateDatasetSeg(path string, meta Meta, d *db.Database, lists []tidlist.List, segmentBytes int64) error {
 	if len(lists) != meta.NumItems {
 		return fmt.Errorf("store: %d lists for %d items", len(lists), meta.NumItems)
+	}
+	if segmentBytes != 0 && (segmentBytes%8 != 0 || segmentBytes < recordHeaderSize+8) {
+		return fmt.Errorf("store: invalid segment size %d", segmentBytes)
 	}
 	tmp := partialPath(path)
 	if err := os.RemoveAll(tmp); err != nil {
@@ -110,8 +133,12 @@ func CreateDataset(path string, meta Meta, d *db.Database, lists []tidlist.List)
 		return err
 	}
 
-	bundle := appendBundleHeader(nil)
-	idx := index{Version: indexVersion, Meta: meta}
+	version := uint32(bundleVersion)
+	if segmentBytes > 0 {
+		version = bundleVersion2
+	}
+	bundle := appendBundleHeader(nil, version)
+	idx := index{Version: indexVersion, Meta: meta, SegmentBytes: segmentBytes}
 	var payload []byte
 	for item, l := range lists {
 		if len(l) == 0 {
@@ -119,7 +146,7 @@ func CreateDataset(path string, meta Meta, d *db.Database, lists []tidlist.List)
 		}
 		payload = tidlist.AppendListBytes(payload[:0], l)
 		var rec Record
-		bundle, rec = appendRecord(bundle, int64(len(bundle)), item, EncSparse, len(l), payload)
+		bundle, rec = appendRecordSeg(bundle, int64(len(bundle)), segmentBytes, item, EncSparse, len(l), payload)
 		idx.Records = append(idx.Records, rec)
 	}
 	idx.BundleBytes = int64(len(bundle))
@@ -445,7 +472,7 @@ func (ds *Dataset) appendSpill(enc, n int, get func(item int) (support int, enco
 		}
 		payload = encode(payload[:0])
 		var rec Record
-		buf, rec = appendRecord(buf, off+int64(len(buf)), item, enc, support, payload)
+		buf, rec = appendRecordSeg(buf, off+int64(len(buf)), ds.idx.SegmentBytes, item, enc, support, payload)
 		idx.Records = append(idx.Records, rec)
 	}
 	if len(buf) == 0 {
@@ -492,12 +519,26 @@ func (ds *Dataset) appendSpill(enc, n int, get func(item int) (support int, enco
 // mapped.
 func (ds *Dataset) BytesMapped() int64 { return int64(len(ds.data)) }
 
+// SegmentBytes returns the bundle's segment size, or 0 for an
+// unsegmented v1 bundle.
+func (ds *Dataset) SegmentBytes() int64 { return ds.idx.SegmentBytes }
+
+// releaseMapped retires this dataset's contribution to the
+// store_bytes_mapped gauge. Idempotent. Called from Close and from
+// Store.Remove — a removed dataset's mapping may outlive removal while
+// orphaned views drain, but it no longer counts as live store footprint.
+func (ds *Dataset) releaseMapped() {
+	ds.gaugeOnce.Do(func() {
+		storeBytesMapped.Add(-int64(len(ds.data)))
+	})
+}
+
 // Close releases the mapping. Every view handed out becomes invalid;
 // callers must drop their Dataset references first.
 func (ds *Dataset) Close() error {
 	ds.closeOnce.Do(func() {
 		if ds.cleanup != nil {
-			storeBytesMapped.Add(-int64(len(ds.data)))
+			ds.releaseMapped()
 			ds.closeErr = ds.cleanup()
 		}
 		ds.data, ds.sparse, ds.bitsets, ds.roarings = nil, nil, nil, nil

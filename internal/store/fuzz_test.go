@@ -42,7 +42,7 @@ func FuzzBundleRoundTrip(f *testing.F) {
 
 		// Sparse record round trip.
 		sp := tidlist.AppendListBytes(nil, l)
-		bundle := appendBundleHeader(nil)
+		bundle := appendBundleHeader(nil, bundleVersion)
 		bundle, rec := appendRecord(bundle, int64(len(bundle)), item, EncSparse, len(l), sp)
 		payload, err := recordPayload(bundle, rec)
 		if err != nil {
@@ -104,6 +104,76 @@ func FuzzBundleRoundTrip(f *testing.F) {
 			corrupt[rec.Offset+recordHeaderSize] ^= 0x01
 			if _, err := recordPayload(corrupt, rec); err == nil {
 				t.Fatal("payload corruption not detected")
+			}
+		}
+
+		// Segmented (v2) writer round trip of the same payload: the
+		// reconstruction must match the unsegmented payload byte for
+		// byte regardless of how many parts the segment size forces.
+		seg := appendBundleHeader(nil, bundleVersion2)
+		seg, srec := appendRecordSeg(seg, int64(len(seg)), 128, item, EncSparse, len(l), sp)
+		spl, err := recordPayload(seg, srec)
+		if err != nil {
+			t.Fatalf("segmented record rejected its own bytes: %v", err)
+		}
+		if !bytes.Equal(spl, sp) {
+			t.Fatal("segmented reconstruction differs from unsegmented payload")
+		}
+	})
+}
+
+// FuzzBundleRoundTripV2 drives the partitioned (v2) record writer across
+// fuzzed payloads and segment sizes: no physical part may cross a
+// segment boundary, reconstruction must be lossless, and a single
+// corrupted byte in any part must be caught by that part's checksum.
+func FuzzBundleRoundTripV2(f *testing.F) {
+	f.Add([]byte{1, 0, 2, 0, 3, 0, 9, 1, 44, 3}, uint8(4), uint16(7), uint8(0))
+	f.Add([]byte{}, uint8(3), uint16(0), uint8(2))
+	f.Add([]byte{255, 255, 0, 0, 9, 2, 17, 17, 200, 0, 3, 9}, uint8(10), uint16(12345), uint8(5))
+	f.Fuzz(func(t *testing.T, raw []byte, sel uint8, item16 uint16, segSel uint8) {
+		l := fuzzTIDs(raw, sel)
+		item := int(item16)
+		segBytes := int64(40) << (segSel % 6) // 40B..1280B, all multiples of 8
+		sp := tidlist.AppendListBytes(nil, l)
+
+		bundle := appendBundleHeader(nil, bundleVersion2)
+		bundle, rec := appendRecordSeg(bundle, int64(len(bundle)), segBytes, item, EncSparse, len(l), sp)
+		for _, p := range rec.parts() {
+			end := p.Offset + recordHeaderSize + paddedLen(p.Length)
+			if p.Offset/segBytes != (end-1)/segBytes {
+				t.Fatalf("part [%d,%d) crosses a %d-byte segment boundary", p.Offset, end, segBytes)
+			}
+		}
+		payload, err := recordPayload(bundle, rec)
+		if err != nil {
+			t.Fatalf("v2 record rejected its own bytes: %v", err)
+		}
+		if !bytes.Equal(payload, sp) {
+			t.Fatal("v2 reconstruction differs from source payload")
+		}
+		got, err := tidlist.ListFromBytes(payload)
+		if err != nil {
+			t.Fatalf("v2 decode: %v", err)
+		}
+		if len(got) != len(l) {
+			t.Fatalf("v2 round trip: got %d tids, want %d", len(got), len(l))
+		}
+		for i := range l {
+			if got[i] != l[i] {
+				t.Fatalf("v2 round trip: got %v, want %v", got, l)
+			}
+		}
+
+		// Corrupt one payload byte in each part in turn: every part's
+		// own checksum must reject it.
+		for _, p := range rec.parts() {
+			if p.Length == 0 {
+				continue
+			}
+			corrupt := append([]byte(nil), bundle...)
+			corrupt[p.Offset+recordHeaderSize] ^= 0x01
+			if _, err := recordPayload(corrupt, rec); err == nil {
+				t.Fatalf("corruption in part at offset %d not detected", p.Offset)
 			}
 		}
 	})

@@ -19,3 +19,12 @@ func mapFile(f *os.File, size int64) (data []byte, cleanup func() error, err err
 	}
 	return b, func() error { return nil }, nil
 }
+
+// adviseSequential is a no-op on the decode-copy path: the buffer is
+// ordinary heap memory, so there is nothing to hint. The residency
+// accounting above this layer behaves identically either way.
+func adviseSequential([]byte) bool { return false }
+
+// adviseDontNeed is a no-op on the decode-copy path; eviction is pure
+// bookkeeping without a mapping to release.
+func adviseDontNeed([]byte) bool { return false }

@@ -23,3 +23,26 @@ func mapFile(f *os.File, size int64) (data []byte, cleanup func() error, err err
 	}
 	return b, func() error { return syscall.Munmap(b) }, nil
 }
+
+// adviseSequential hints that b (a page-aligned sub-range of a mapping)
+// is about to be read front to back, and reports whether a hint syscall
+// was actually issued. Advice is best-effort: errors are dropped.
+func adviseSequential(b []byte) bool {
+	if len(b) == 0 {
+		return false
+	}
+	return syscall.Madvise(b, syscall.MADV_SEQUENTIAL) == nil
+}
+
+// adviseDontNeed tells the kernel the pages backing b (a page-aligned
+// sub-range of a read-only MAP_SHARED file mapping) are dead: they may
+// be dropped and will refault from the file if touched again. This is
+// the eviction primitive of the residency budget — safe here because the
+// mapping is read-only and file-backed, so no data is lost. Reports
+// whether a hint syscall was actually issued.
+func adviseDontNeed(b []byte) bool {
+	if len(b) == 0 {
+		return false
+	}
+	return syscall.Madvise(b, syscall.MADV_DONTNEED) == nil
+}

@@ -152,6 +152,10 @@ func (s *Store) Remove(name string) error {
 		return err
 	}
 	delete(s.ds, name)
+	// The orphaned mapping stays alive until Close so outstanding views
+	// keep working, but a removed dataset no longer counts as mapped
+	// store footprint.
+	ds.releaseMapped()
 	s.orphans = append(s.orphans, ds)
 	return syncDir(s.root)
 }

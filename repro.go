@@ -53,6 +53,7 @@ import (
 	"repro/internal/rules"
 	"repro/internal/sampling"
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/tidlist"
 )
 
@@ -83,6 +84,8 @@ var (
 	// negative item id, or a targeted query to an algorithm without
 	// class-level targeting (anything but the local Eclat path).
 	ErrInvalidMustContain = errors.New("repro: invalid must-contain")
+	// ErrInvalidMemoryBudget reports a negative MineOptions.MemoryBudget.
+	ErrInvalidMemoryBudget = errors.New("repro: invalid memory budget")
 )
 
 // DefaultSupportPct is the paper's experimental support threshold (0.1%
@@ -281,6 +284,17 @@ type MineOptions struct {
 	// local Eclat path. Composes with TopK (the k best among qualifying
 	// sets).
 	MustContain []int
+	// MemoryBudget, when > 0, caps the bytes of stored bundle data a
+	// store-backed vertical mine keeps resident at once: when the
+	// source's mapped size exceeds the budget, the run switches to the
+	// out-of-core protocol (bundle-locality class order, per-class
+	// residency windows, eviction of dead segments). The output is
+	// byte-identical to an unbudgeted mine, so — like Parallelism — the
+	// budget is not part of the serving layer's cache identity. Sources
+	// without a store mapping, and mines that fit the budget, run in-core
+	// unchanged; negative budgets are rejected with
+	// ErrInvalidMemoryBudget.
+	MemoryBudget int64
 }
 
 // RunInfo reports how a mining run went.
@@ -320,6 +334,12 @@ type RunInfo struct {
 	// algorithms without the adaptive threshold (everything but the local
 	// Eclat path).
 	EffectiveMinSup int
+	// MemoryBudget echoes the request's residency budget (0 when none).
+	MemoryBudget int64
+	// OutOfCore reports whether the run actually mined under the budget:
+	// true only when the source was store-backed and its mapped size
+	// exceeded MemoryBudget.
+	OutOfCore bool
 }
 
 // MinSup resolves and validates the absolute minimum support count these
@@ -474,6 +494,9 @@ func Mine(ctx context.Context, d *Database, opts MineOptions) (*Result, *RunInfo
 	if _, err := opts.query(opts.localEclat()); err != nil {
 		return nil, nil, err
 	}
+	if opts.MemoryBudget < 0 {
+		return nil, nil, fmt.Errorf("%w: negative MemoryBudget %d", ErrInvalidMemoryBudget, opts.MemoryBudget)
+	}
 	minsup, err := opts.MinSup(d)
 	if err != nil {
 		return nil, nil, err
@@ -575,7 +598,7 @@ func MineFrom(ctx context.Context, src Source, opts MineOptions) (*Result, *RunI
 	}
 	if opts.localEclat() {
 		if items, ok := src.VerticalSets(opts.Representation); ok {
-			return mineVerticalSets(ctx, src.NumTransactions(), items, opts)
+			return mineVerticalSets(ctx, src, items, opts)
 		}
 	}
 	d, err := src.Horizontal()
@@ -585,9 +608,19 @@ func MineFrom(ctx context.Context, src Source, opts MineOptions) (*Result, *RunI
 	return Mine(ctx, d, opts)
 }
 
+// residencySource is the optional Source extension the out-of-core path
+// keys on: a source whose vertical sets are views over a store mapping
+// can report the mapping's size and mint a residency tracker for it. The
+// method returns the concrete store type (not an interface) so a nil
+// result is an honest "no budgeting possible" signal.
+type residencySource interface {
+	BytesMapped() int64
+	NewResidency(budget int64) *store.Residency
+}
+
 // mineVerticalSets runs the scan-free vertical Eclat path of MineFrom
 // with Mine's validation, tracing and metrics contract.
-func mineVerticalSets(ctx context.Context, numTx int, items []tidlist.Set, opts MineOptions) (*Result, *RunInfo, error) {
+func mineVerticalSets(ctx context.Context, src Source, items []tidlist.Set, opts MineOptions) (*Result, *RunInfo, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, nil, wrapCanceled(err)
 	}
@@ -595,6 +628,10 @@ func mineVerticalSets(ctx context.Context, numTx int, items []tidlist.Set, opts 
 	if err != nil {
 		return nil, nil, err
 	}
+	if opts.MemoryBudget < 0 {
+		return nil, nil, fmt.Errorf("%w: negative MemoryBudget %d", ErrInvalidMemoryBudget, opts.MemoryBudget)
+	}
+	numTx := src.NumTransactions()
 	minsup, err := opts.MinSupN(numTx)
 	if err != nil {
 		return nil, nil, err
@@ -602,6 +639,14 @@ func mineVerticalSets(ctx context.Context, numTx int, items []tidlist.Set, opts 
 	workers, err := opts.Workers()
 	if err != nil {
 		return nil, nil, err
+	}
+	in := eclat.VerticalInput{NumTransactions: numTx, Items: items}
+	if opts.MemoryBudget > 0 {
+		if rs, ok := src.(residencySource); ok && rs.BytesMapped() > opts.MemoryBudget {
+			if r := rs.NewResidency(opts.MemoryBudget); r != nil {
+				in.Residency = r
+			}
+		}
 	}
 	tr := obsv.TraceFrom(ctx)
 	if tr == nil {
@@ -612,8 +657,7 @@ func mineVerticalSets(ctx context.Context, numTx int, items []tidlist.Set, opts 
 	start := time.Now()
 	pre := len(tr.Spans())
 	info := &RunInfo{Algorithm: AlgoEclat, MinSup: minsup}
-	res, st, err := eclat.MineVerticalLocal(ctx,
-		eclat.VerticalInput{NumTransactions: numTx, Items: items}, minsup,
+	res, st, err := eclat.MineVerticalLocal(ctx, in, minsup,
 		eclat.Options{Representation: opts.Representation, Workers: workers,
 			TopK: opts.TopK, MustContain: must})
 	if err != nil {
@@ -626,6 +670,8 @@ func mineVerticalSets(ctx context.Context, numTx int, items []tidlist.Set, opts 
 	info.TopK = opts.TopK
 	info.MustContain = append([]int(nil), opts.MustContain...)
 	info.EffectiveMinSup = st.EffectiveMinSup
+	info.MemoryBudget = opts.MemoryBudget
+	info.OutOfCore = in.Residency != nil
 	info.WallNS = time.Since(start).Nanoseconds()
 	if spans := tr.Spans(); pre <= len(spans) {
 		info.Phases = spans[pre:]

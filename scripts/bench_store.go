@@ -1,10 +1,12 @@
 //go:build ignore
 
 // Command bench_store runs the persistent-store benchmarks
-// (BenchmarkStoreOpen / BenchmarkStoreMine in internal/store) and writes
-// the results to BENCH_store.json at the repository root — the committed
-// perf-trajectory baseline for the dataset store: cold open vs in-memory
-// rebuild vs warm mmap views, and mine-from-store vs mine-from-heap.
+// (BenchmarkStoreOpen / BenchmarkStoreMine / BenchmarkStoreMineOOC in
+// internal/store) and writes the results to BENCH_store.json at the
+// repository root — the committed perf-trajectory baseline for the
+// dataset store: cold open vs in-memory rebuild vs warm mmap views,
+// mine-from-store vs mine-from-heap, and budgeted out-of-core mining at
+// 25/50/100% of the mapped bundle.
 //
 // Usage (from the repository root):
 //
@@ -31,13 +33,14 @@ import (
 
 // Result is one benchmark line of the snapshot.
 type Result struct {
-	// Benchmark is the top-level benchmark name ("StoreOpen" or
-	// "StoreMine").
+	// Benchmark is the top-level benchmark name ("StoreOpen",
+	// "StoreMine" or "StoreMineOOC").
 	Benchmark string `json:"benchmark"`
 	// Transactions is the dataset size (the n= label).
 	Transactions int `json:"transactions"`
-	// Case is the sub-case: cold/rebuild/warm for StoreOpen,
-	// store/heap for StoreMine.
+	// Case is the sub-case: cold/rebuild/warm for StoreOpen, store/heap
+	// for StoreMine, and the budget percentage (25/50/100 of the mapped
+	// bundle) for StoreMineOOC.
 	Case string `json:"case"`
 	// NsPerOp is the fastest observed time per operation.
 	NsPerOp float64 `json:"nsPerOp"`
@@ -56,7 +59,7 @@ type Snapshot struct {
 }
 
 var benchLine = regexp.MustCompile(
-	`^Benchmark(StoreOpen|StoreMine)/n=(\d+)/(?:mode|source)=([a-z]+)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+	`^Benchmark(StoreOpen|StoreMineOOC|StoreMine)/n=(\d+)/(?:mode|source|budget)=([a-z0-9]+)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
 
 func main() {
 	benchtime := flag.String("benchtime", "20x", "go test -benchtime value")
